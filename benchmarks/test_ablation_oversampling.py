@@ -1,0 +1,108 @@
+"""Ablation: minority-pattern over-sampling (section 4.2).
+
+LSTMs struggle with rare-but-normal syslog patterns, which surface as
+false alarms.  The paper's fix trains in multiple rounds, over-sampling
+normal patterns the model still mis-scores.  This ablation trains the
+same detector with the loop off and on and compares the false-alarm
+rate at a matched detection level.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import lstm_factory, write_result
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.mapping import map_anomalies, warning_clusters
+from repro.evaluation.reporting import format_table
+from repro.logs.templates import TemplateStore
+from repro.timeutil import DAY, MONTH
+
+
+def false_alarms_at_matched_volume(detector, dataset, vpes,
+                                   start, end, volume_quantile=0.995):
+    """False alarms/day when flagging the same score quantile."""
+    streams = {
+        vpe: detector.score(dataset.messages_between(vpe, start, end))
+        for vpe in vpes
+    }
+    pooled = np.concatenate(
+        [s.scores for s in streams.values() if len(s)]
+    )
+    threshold = float(np.quantile(pooled, volume_quantile))
+    detections = {
+        vpe: warning_clusters(stream.anomalies(threshold))
+        for vpe, stream in streams.items()
+    }
+    tickets = [
+        t
+        for t in dataset.tickets_for(start=start, end=end)
+        if t.vpe in set(vpes)
+    ]
+    mapping = map_anomalies(detections, tickets)
+    counts = mapping.counts
+    return (
+        mapping.false_alarms_per_day(end - start),
+        counts.recall,
+    )
+
+
+def test_ablation_oversampling(benchmark, bench_dataset):
+    dataset = bench_dataset
+    vpes = dataset.vpe_names[:4]
+    store = TemplateStore().fit(
+        dataset.aggregate_messages(
+            start=dataset.start,
+            end=dataset.start + MONTH,
+            normal_only=True,
+        )[:20000]
+    )
+    training = [
+        dataset.normal_messages(
+            vpe, dataset.start, dataset.start + MONTH
+        )
+        for vpe in vpes
+    ]
+    test_start = dataset.start + MONTH
+    test_end = dataset.start + 2 * MONTH
+
+    def build(rounds, seed=0):
+        detector = lstm_factory(store, seed)
+        detector.oversample_rounds = rounds
+        detector.epochs = 3
+        return detector.fit_streams(training)
+
+    def experiment():
+        results = {}
+        for rounds in (0, 2):
+            detector = build(rounds)
+            fa, recall = false_alarms_at_matched_volume(
+                detector, dataset, vpes, test_start, test_end
+            )
+            results[rounds] = (fa, recall)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{rounds} rounds",
+            f"{fa:.2f}",
+            f"{recall:.2f}",
+        ]
+        for rounds, (fa, recall) in results.items()
+    ]
+    table = format_table(
+        ["over-sampling", "false alarms/day", "recall"],
+        rows,
+        title=(
+            "Ablation — minority-pattern over-sampling (section 4.2)\n"
+            "(paper: over-sampling mis-scored normal patterns cuts "
+            "false alarms)"
+        ),
+    )
+    write_result("ablation_oversampling", table)
+
+    fa_off = results[0][0]
+    fa_on = results[2][0]
+    # The loop must not make false alarms worse, and must keep recall.
+    assert fa_on <= fa_off * 1.25 + 0.1
+    assert results[2][1] >= results[0][1] - 0.15

@@ -1,0 +1,96 @@
+"""Ablation: what to freeze during post-update adaptation (section 4.3).
+
+The paper fine-tunes the "top layers" of the student.  Variants:
+freeze the lower LSTM (this library's default — the embedding stays
+trainable so brand-new template ids can be learned), freeze embedding
+plus lower LSTM, or retrain everything from the teacher's weights.
+All see the same one week of post-update data.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import UPDATE_MONTH, lstm_factory, write_result
+from repro.core.thresholds import sweep_thresholds
+from repro.evaluation.metrics import best_operating_point
+from repro.evaluation.reporting import format_table
+from repro.logs.templates import TemplateStore
+from repro.timeutil import DAY, MONTH
+
+
+def best_f(detector, dataset, vpes, start, end):
+    streams = {
+        vpe: detector.score(dataset.messages_between(vpe, start, end))
+        for vpe in vpes
+    }
+    tickets = [
+        t
+        for t in dataset.tickets_for(start=start, end=end)
+        if t.vpe in set(vpes)
+    ]
+    curve = sweep_thresholds(streams, tickets, n_thresholds=15)
+    return best_operating_point(curve).f_measure
+
+
+def test_ablation_transfer_freeze(benchmark, bench_dataset):
+    dataset = bench_dataset
+    update = dataset.updates[0]
+    affected = sorted(update.affected_vpes)
+    store = TemplateStore().fit(
+        dataset.aggregate_messages(
+            start=dataset.start,
+            end=dataset.start + MONTH,
+            normal_only=True,
+        )[:20000]
+    )
+    teacher = lstm_factory(store, 0)
+    teacher.fit_streams([
+        dataset.normal_messages(vpe, dataset.start, update.time)
+        for vpe in affected
+    ])
+    week = [
+        dataset.normal_messages(
+            vpe, update.time, update.time + 7 * DAY
+        )
+        for vpe in affected
+    ]
+    eval_start = dataset.start + (UPDATE_MONTH + 1) * MONTH
+
+    def experiment():
+        results = {}
+        results["freeze lstm1 (default)"] = best_f(
+            teacher.adapt_streams(week, freeze=("lstm1",)),
+            dataset, affected, eval_start, dataset.end,
+        )
+        results["freeze embedding+lstm1"] = best_f(
+            teacher.adapt_streams(
+                week, freeze=("embedding", "lstm1")
+            ),
+            dataset, affected, eval_start, dataset.end,
+        )
+        results["retrain all layers"] = best_f(
+            teacher.adapt_streams(week, freeze=()),
+            dataset, affected, eval_start, dataset.end,
+        )
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [[name, f"{f:.2f}"] for name, f in results.items()]
+    table = format_table(
+        ["adaptation variant", "post-update F"],
+        rows,
+        title=(
+            "Ablation — freeze policy during transfer adaptation\n"
+            "(default keeps the embedding trainable so new template "
+            "ids are learnable)"
+        ),
+    )
+    write_result("ablation_transfer_freeze", table)
+
+    default_f = results["freeze lstm1 (default)"]
+    # Freezing the embedding blocks learning the post-update
+    # vocabulary: it must not beat the default by a margin.
+    assert default_f >= results["freeze embedding+lstm1"] - 0.05
+    # With only one week of data, the default should be at least
+    # competitive with full retraining.
+    assert default_f >= results["retrain all layers"] - 0.1

@@ -1,0 +1,51 @@
+"""Figure 1(b): CDF of non-duplicated ticket inter-arrival per vPE.
+
+Paper: non-duplicated tickets arrive more than 40 minutes apart; 80%
+of consecutive tickets arrive more than 10 hours apart; 25% arrive
+more than 1000 hours apart.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.evaluation.reporting import format_table
+from repro.tickets.analysis import interarrival_cdf
+
+
+def cdf_at(hours, cdf, value):
+    index = np.searchsorted(hours, value, side="right") - 1
+    if index < 0:
+        return 0.0
+    return float(cdf[index])
+
+
+def test_fig1b_interarrival_cdf(benchmark, ticket_scale_dataset):
+    dataset = ticket_scale_dataset
+
+    def experiment():
+        return interarrival_cdf(dataset.tickets)
+
+    hours, cdf = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert hours.size > 100
+
+    probe_points = [0.67, 1, 10, 100, 1000]
+    rows = [
+        [f"{point:g} h", f"{cdf_at(hours, cdf, point):.3f}"]
+        for point in probe_points
+    ]
+    rows.append(["min gap", f"{hours[0]:.2f} h"])
+    table = format_table(
+        ["inter-arrival", "CDF"],
+        rows,
+        title=(
+            "Figure 1(b) — non-duplicated ticket inter-arrival CDF\n"
+            "(paper: all > 40 min; 80% > 10 h; 25% > 1000 h)"
+        ),
+    )
+    write_result("fig1b_interarrival", table)
+
+    # Shape: no sub-40-minute gaps; heavy tail.
+    assert hours[0] > 40.0 / 60.0
+    assert cdf_at(hours, cdf, 10.0) < 0.45   # most gaps exceed 10 h
+    assert cdf_at(hours, cdf, 1000.0) < 1.0  # a tail beyond 1000 h
+    assert hours[-1] > 1000.0

@@ -1,0 +1,122 @@
+"""Figure 7: effectiveness of customization and adaptation.
+
+Paper: per-vPE(-group) customization significantly improves the
+F-measure over a single universal model; the software update causes a
+sharp dip (false alarms jump ~14x) from which the adaptation component
+recovers using just one week of training data.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    POST_UPDATE_MONTHS,
+    PRE_UPDATE_MONTHS,
+    UPDATE_MONTH,
+    write_result,
+)
+from repro.evaluation.reporting import format_table
+
+
+def monthly_f(result):
+    threshold = result.choose_threshold(
+        month_indices=PRE_UPDATE_MONTHS
+    )
+    counts = result.monthly_counts(threshold)
+    return (
+        {m.month_index: c.f_measure
+         for m, c in zip(result.months, counts)},
+        threshold,
+    )
+
+
+def test_fig7_customization_adaptation(
+    benchmark, pipeline_universal, pipeline_noadapt, pipeline_adapt
+):
+    variants = {
+        "baseline (universal)": pipeline_universal,
+        "vPE cust": pipeline_noadapt,
+        "vPE cust + adapt": pipeline_adapt,
+    }
+
+    def experiment():
+        return {
+            name: monthly_f(result)
+            for name, result in variants.items()
+        }
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    months = sorted(series["vPE cust"][0])
+    rows = [
+        [f"month {m}"]
+        + [f"{series[name][0][m]:.2f}" for name in variants]
+        for m in months
+    ]
+    table = format_table(
+        ["", *variants.keys()],
+        rows,
+        title=(
+            "Figure 7 — monthly F-measure per system variant\n"
+            "(paper: customization lifts F; update dips it; "
+            "adaptation recovers within a week)"
+        ),
+    )
+
+    fa = {
+        name: result.monthly_false_alarms_per_day(
+            series[name][1]
+        )
+        for name, result in variants.items()
+    }
+    fa_rows = [
+        [f"month {m}"]
+        + [f"{fa[name][i]:.2f}" for name in variants]
+        for i, m in enumerate(months)
+    ]
+    fa_table = format_table(
+        ["", *variants.keys()],
+        fa_rows,
+        title=(
+            "False alarms per day (paper: ~14x jump at the update "
+            "without adaptation)"
+        ),
+    )
+    write_result("fig7_customization", table + "\n\n" + fa_table)
+
+    def mean_over(name, month_set):
+        values = [series[name][0][m] for m in month_set]
+        return float(np.mean(values))
+
+    # Shape 1: customization is in the same band as the universal
+    # baseline pre-update.  The paper's 38-vPE fleet shows a clear
+    # customization win; at 10 vPEs a single model has enough capacity
+    # to cover the role mixture, so this reproduction only checks that
+    # grouping costs nothing material (see EXPERIMENTS.md for the
+    # discussion, and the training-overhead bench for where grouping
+    # demonstrably pays: data economy).
+    assert mean_over("vPE cust", PRE_UPDATE_MONTHS) >= mean_over(
+        "baseline (universal)", PRE_UPDATE_MONTHS
+    ) - 0.05
+    # Shape 2: the update month dips the non-adaptive variants hard.
+    for name in ("baseline (universal)", "vPE cust"):
+        assert series[name][0][UPDATE_MONTH] < 0.7 * mean_over(
+            name, PRE_UPDATE_MONTHS
+        )
+    # Shape 3: adaptation rescues the update month itself (the paper's
+    # one-week recovery) and stays on par afterwards.
+    assert (
+        series["vPE cust + adapt"][0][UPDATE_MONTH]
+        > series["vPE cust"][0][UPDATE_MONTH] + 0.2
+    )
+    assert mean_over(
+        "vPE cust + adapt", POST_UPDATE_MONTHS
+    ) >= mean_over("vPE cust", POST_UPDATE_MONTHS) - 0.1
+    # Shape 4: without adaptation, false alarms jump by a large factor
+    # in the update month.
+    noadapt_fa = fa["vPE cust"]
+    pre_fa = max(np.mean(noadapt_fa[: UPDATE_MONTH - 1]), 0.05)
+    update_fa = noadapt_fa[UPDATE_MONTH - 1]
+    assert update_fa / pre_fa > 5.0
+    # ... and adaptation cuts the update-month spike substantially.
+    adapt_fa = fa["vPE cust + adapt"][UPDATE_MONTH - 1]
+    assert adapt_fa < update_fa

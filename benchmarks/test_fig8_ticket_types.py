@@ -1,0 +1,102 @@
+"""Figure 8: anomaly detection for different ticket types at several
+time offsets around the ticket report.
+
+Paper answers (section 5.3):
+* Q1 — circuit tickets show syslog signs before the report most often
+  (74%), then software (55%), cable (40%), hardware (28%);
+* Q2 — ~80% of tickets show syslog anomalies within 15 minutes after
+  report;
+* Q3 — many anomalies lead by 15+ minutes (circuit 36%, cable 39%,
+  hardware 38%).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import PRE_UPDATE_MONTHS, write_result
+from repro.core.mapping import (
+    FIGURE8_OFFSETS_MINUTES,
+    detection_rate_by_offset,
+    map_anomalies,
+    warning_clusters,
+)
+from repro.evaluation.reporting import format_table
+
+PAPER_BEFORE_REPORT = {
+    "circuit": 0.74,
+    "software": 0.55,
+    "cable": 0.40,
+    "hardware": 0.28,
+}
+
+
+def test_fig8_ticket_types(benchmark, pipeline_adapt):
+    result = pipeline_adapt
+    config = result.config
+    threshold = result.choose_threshold(
+        month_indices=PRE_UPDATE_MONTHS
+    )
+
+    def experiment():
+        detections = {}
+        for vpe, stream in result.pooled_streams().items():
+            raw = stream.anomalies(threshold)
+            detections[vpe] = warning_clusters(
+                raw,
+                min_size=config.cluster_min_size,
+                max_gap=config.cluster_max_gap,
+            )
+        mapping = map_anomalies(
+            detections,
+            result.pooled_tickets(),
+            config.predictive_period,
+        )
+        return detection_rate_by_offset(mapping)
+
+    rates = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    causes = ["circuit", "software", "cable", "hardware", "all"]
+    rows = []
+    for cause in causes:
+        if cause not in rates:
+            continue
+        rows.append(
+            [cause]
+            + [
+                f"{rates[cause][offset]:.2f}"
+                for offset in FIGURE8_OFFSETS_MINUTES
+            ]
+            + [
+                f"{PAPER_BEFORE_REPORT.get(cause, float('nan')):.2f}"
+            ]
+        )
+    table = format_table(
+        ["ticket type", "-15min", "-5min", "0min", "+5min", "+15min",
+         "paper @0min"],
+        rows,
+        title=(
+            "Figure 8 — detection rate per ticket type at each "
+            "offset\n(offset = minimum lead before ticket report; "
+            "negative = after)"
+        ),
+    )
+    write_result("fig8_ticket_types", table)
+
+    # Q1 shape: before-report visibility ordering matches the paper.
+    at_zero = {cause: rates[cause][0.0] for cause in rates}
+    assert at_zero["circuit"] > at_zero["software"]
+    assert at_zero["software"] > at_zero["hardware"]
+    assert at_zero["circuit"] > 0.5
+    assert at_zero["hardware"] < 0.6
+    # Q2 shape: most tickets show anomalies within +15 minutes.
+    assert rates["all"][-15.0] > 0.6
+    # Monotonicity: relaxing the offset can only increase the rate.
+    for cause in rates:
+        values = [
+            rates[cause][offset]
+            for offset in FIGURE8_OFFSETS_MINUTES
+        ]
+        assert all(
+            a <= b + 1e-12 for a, b in zip(values, values[1:])
+        )
+    # Q3 shape: a meaningful share of detections lead by 15+ minutes.
+    assert rates["circuit"][15.0] > 0.15

@@ -1,0 +1,95 @@
+"""Section 3.3: impact of system updates on the syslog distribution.
+
+Paper: month-over-month cosine similarity of the syslog distribution
+stays above 0.8 in normal operation, but drops below 0.4 when a
+software update rolls out — models must be rebuilt quickly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import UPDATE_MONTH, write_result
+from repro.evaluation.reporting import format_table
+from repro.features.counts import template_distribution
+from repro.logs.templates import TemplateStore
+from repro.ml.similarity import cosine_similarity
+from repro.timeutil import MONTH
+
+
+def test_sec33_update_shift(benchmark, bench_dataset):
+    dataset = bench_dataset
+    update = dataset.updates[0]
+    affected = sorted(update.affected_vpes)[0]
+    unaffected = next(
+        v for v in dataset.vpe_names if v not in update.affected_vpes
+    )
+    store = TemplateStore().fit(
+        dataset.aggregate_messages(
+            start=dataset.start,
+            end=dataset.start + MONTH,
+            normal_only=True,
+        )[:20000]
+    )
+    n_months = int(round((dataset.end - dataset.start) / MONTH))
+
+    def month_over_month(vpe):
+        sims = []
+        for month in range(n_months - 1):
+            a = store.transform(
+                dataset.normal_messages(
+                    vpe,
+                    dataset.start + month * MONTH,
+                    dataset.start + (month + 1) * MONTH,
+                )
+            )
+            b = store.transform(
+                dataset.normal_messages(
+                    vpe,
+                    dataset.start + (month + 1) * MONTH,
+                    dataset.start + (month + 2) * MONTH,
+                )
+            )
+            sims.append(
+                cosine_similarity(
+                    template_distribution(a, store.vocabulary_size),
+                    template_distribution(b, store.vocabulary_size),
+                )
+            )
+        return sims
+
+    def experiment():
+        return {
+            "affected": month_over_month(affected),
+            "unaffected": month_over_month(unaffected),
+        }
+
+    sims = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for month in range(n_months - 1):
+        rows.append(
+            [
+                f"m{month}->m{month + 1}",
+                f"{sims['affected'][month]:.3f}",
+                f"{sims['unaffected'][month]:.3f}",
+            ]
+        )
+    table = format_table(
+        ["months", f"{affected} (updated)", f"{unaffected}"],
+        rows,
+        title=(
+            "Section 3.3 — month-over-month cosine similarity\n"
+            "(paper: > 0.8 normally; < 0.4 at a software update)"
+        ),
+    )
+    write_result("sec33_update_shift", table)
+
+    transition = UPDATE_MONTH - 1  # similarity(m3, m4) spans rollout
+    affected_sims = sims["affected"]
+    # Shape: the update month collapses similarity for updated vPEs...
+    assert affected_sims[transition] < 0.5
+    # ... while every other month stays high ...
+    for month, value in enumerate(affected_sims):
+        if month != transition:
+            assert value > 0.8, f"month {month}"
+    # ... and unaffected vPEs never collapse.
+    assert min(sims["unaffected"]) > 0.8

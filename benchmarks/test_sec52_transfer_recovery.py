@@ -1,0 +1,98 @@
+"""Section 5.2 / 4.3: transfer learning cuts post-update recovery time.
+
+Paper: after a software update, rebuilding a training set takes 3+
+months; transfer learning (copy the teacher, fine-tune the top layers)
+bootstraps a working model from ONE WEEK of post-update data, and more
+than a week brings no significant further improvement.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import UPDATE_MONTH, lstm_factory, write_result
+from repro.core.grouping import group_vpes
+from repro.core.thresholds import sweep_thresholds
+from repro.evaluation.metrics import best_operating_point
+from repro.evaluation.reporting import format_table
+from repro.logs.templates import TemplateStore
+from repro.timeutil import DAY, MONTH
+
+
+def best_f(detector, dataset, vpes, start, end):
+    streams = {
+        vpe: detector.score(dataset.messages_between(vpe, start, end))
+        for vpe in vpes
+    }
+    tickets = [
+        t
+        for t in dataset.tickets_for(start=start, end=end)
+        if t.vpe in set(vpes)
+    ]
+    curve = sweep_thresholds(streams, tickets, n_thresholds=15)
+    return best_operating_point(curve).f_measure
+
+
+def test_sec52_transfer_recovery(benchmark, bench_dataset):
+    dataset = bench_dataset
+    update = dataset.updates[0]
+    affected = sorted(update.affected_vpes)
+    store = TemplateStore().fit(
+        dataset.aggregate_messages(
+            start=dataset.start,
+            end=dataset.start + MONTH,
+            normal_only=True,
+        )[:20000]
+    )
+
+    # Teacher: trained on the months before the update, on the
+    # affected vPEs' aggregated normal logs.
+    teacher = lstm_factory(store, 0)
+    teacher.fit_streams([
+        dataset.normal_messages(vpe, dataset.start, update.time)
+        for vpe in affected
+    ])
+
+    post_start = update.time
+    eval_start = dataset.start + (UPDATE_MONTH + 1) * MONTH
+    eval_end = dataset.end
+
+    def fresh_window(days):
+        return [
+            dataset.normal_messages(
+                vpe, post_start, post_start + days * DAY
+            )
+            for vpe in affected
+        ]
+
+    def experiment():
+        results = {}
+        results["no adaptation"] = best_f(
+            teacher, dataset, affected, eval_start, eval_end
+        )
+        for days in (2, 7, 14):
+            student = teacher.adapt_streams(fresh_window(days))
+            results[f"transfer, {days} days"] = best_f(
+                student, dataset, affected, eval_start, eval_end
+            )
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [[name, f"{f:.2f}"] for name, f in results.items()]
+    table = format_table(
+        ["adaptation regime", "post-update F-measure"],
+        rows,
+        title=(
+            "Section 5.2 — transfer-learning recovery from a software "
+            "update\n(paper: 1 week of data suffices; more brings "
+            "little improvement)"
+        ),
+    )
+    write_result("sec52_transfer_recovery", table)
+
+    # Shape: one week of fine-tuning clearly beats no adaptation ...
+    assert results["transfer, 7 days"] > results["no adaptation"]
+    # ... and doubling the data adds little.
+    assert (
+        results["transfer, 14 days"]
+        - results["transfer, 7 days"]
+    ) < 0.15

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Scenario: grouping a diverse vPE fleet for model customization.
+
+Section 4.3 of the paper: syslog distributions differ per vPE, so a
+universal model sacrifices accuracy, while fully per-vPE models
+multiply the training-data requirement.  K-means over per-vPE template
+distributions (K chosen by modularity) finds the middle ground — the
+paper's dataset yields 4 clusters.
+
+This example clusters a simulated fleet, shows that the recovered
+groups track the synthetic *role* ground truth, and quantifies the
+training-data saving.
+
+    python examples/fleet_grouping.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.grouping import group_vpes
+from repro.features.counts import template_distribution
+from repro.logs.templates import TemplateStore
+from repro.ml.similarity import cosine_similarity
+from repro.synthesis import FleetSimulator, SimulationConfig
+from repro.timeutil import MONTH
+
+
+def main() -> None:
+    print("simulating a 12-vPE fleet (4 hidden roles) ...")
+    config = SimulationConfig(
+        n_vpes=12,
+        n_months=1,
+        seed=2,
+        base_rate_per_hour=8.0,
+        update_month=None,
+        n_fleet_events=0,
+    )
+    dataset = FleetSimulator(config).run()
+
+    month0 = dataset.start + MONTH
+    store = TemplateStore().fit(
+        dataset.aggregate_messages(end=month0, normal_only=True)[
+            :30000
+        ]
+    )
+
+    per_vpe = {
+        vpe: dataset.normal_messages(vpe, dataset.start, month0)
+        for vpe in dataset.vpe_names
+    }
+    print("clustering vPEs by template distribution "
+          "(K chosen by modularity) ...")
+    grouping = group_vpes(per_vpe, store, k=None,
+                          candidates=(2, 3, 4, 5, 6))
+    print(f"selected K = {grouping.k}")
+
+    roles = {p.name: p.role for p in dataset.profiles}
+    for group, members in sorted(grouping.groups.items()):
+        role_mix = Counter(roles[vpe] for vpe in members)
+        dominant, count = role_mix.most_common(1)[0]
+        purity = count / len(members)
+        print(
+            f"  group {group}: {', '.join(members)}"
+            f"  (dominant role: {dominant}, purity {purity:.0%})"
+        )
+
+    # How much more similar are vPEs within a group than across?
+    distributions = {
+        vpe: template_distribution(
+            store.transform(messages), store.vocabulary_size
+        )
+        for vpe, messages in per_vpe.items()
+    }
+    within, across = [], []
+    names = dataset.vpe_names
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            sim = cosine_similarity(
+                distributions[a], distributions[b]
+            )
+            if grouping.group_of(a) == grouping.group_of(b):
+                within.append(sim)
+            else:
+                across.append(sim)
+    print(
+        f"\nmean cosine similarity within groups:  "
+        f"{sum(within) / len(within):.3f}"
+    )
+    print(
+        f"mean cosine similarity across groups:  "
+        f"{sum(across) / len(across):.3f}"
+    )
+
+    # Training-data economics of grouping.
+    solo = len(per_vpe[names[0]])
+    grouped = sum(
+        len(per_vpe[vpe])
+        for vpe in grouping.members(grouping.group_of(names[0]))
+    )
+    print(
+        f"\n{names[0]} alone contributes {solo:,} training messages "
+        f"per month;\nits group pools {grouped:,} — "
+        f"{grouped / solo:.1f}x the data from the same calendar time."
+    )
+    print(
+        "That multiplier is why the paper needs only 1 month of "
+        "data with clustering\ninstead of 3 months without."
+    )
+
+
+if __name__ == "__main__":
+    main()

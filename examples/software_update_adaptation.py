@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Scenario: surviving a software update with transfer learning.
+
+A software update changes the syslog distribution abruptly
+(section 3.3 of the paper): month-over-month cosine similarity
+collapses and a stale model's false alarms explode.  This example
+shows the paper's remedy — copy the pre-update *teacher* model into a
+*student* and fine-tune the top layers on ONE WEEK of post-update
+logs — and compares it against doing nothing.
+
+    python examples/software_update_adaptation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptation import distribution_shift
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.thresholds import sweep_thresholds
+from repro.evaluation.metrics import best_operating_point
+from repro.logs.templates import TemplateStore
+from repro.synthesis import FleetSimulator, SimulationConfig
+from repro.timeutil import DAY, MONTH
+
+
+def best_f(detector, dataset, vpes, start, end):
+    streams = {
+        vpe: detector.score(dataset.messages_between(vpe, start, end))
+        for vpe in vpes
+    }
+    tickets = [
+        t
+        for t in dataset.tickets_for(start=start, end=end)
+        if t.vpe in set(vpes)
+    ]
+    curve = sweep_thresholds(streams, tickets, n_thresholds=15)
+    return best_operating_point(curve)
+
+
+def main() -> None:
+    print("simulating a deployment with a software update in month 2")
+    config = SimulationConfig(
+        n_vpes=4,
+        n_months=4,
+        seed=5,
+        base_rate_per_hour=8.0,
+        update_month=2,
+        update_fraction=1.0,   # every vPE gets the update
+        n_fleet_events=0,
+    )
+    dataset = FleetSimulator(config).run()
+    update = dataset.updates[0]
+    vpes = dataset.vpe_names
+
+    # Teacher: trained on the two pre-update months.
+    store = TemplateStore().fit(
+        dataset.aggregate_messages(end=update.time, normal_only=True)[
+            :30000
+        ]
+    )
+    teacher = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=128,
+        window=8,
+        hidden=(24, 24),
+        epochs=2,
+        max_train_samples=6000,
+        seed=0,
+    )
+    print("training the teacher on pre-update months ...")
+    teacher.fit_streams([
+        dataset.normal_messages(vpe, dataset.start, update.time)
+        for vpe in vpes
+    ])
+
+    # Quantify the distribution shift the update causes.
+    before = store.transform(
+        dataset.aggregate_messages(
+            start=update.time - MONTH, end=update.time,
+            normal_only=True,
+        )
+    )
+    after = store.transform(
+        dataset.aggregate_messages(
+            start=update.time, end=update.time + 7 * DAY,
+            normal_only=True,
+        )
+    )
+    shift = distribution_shift(
+        before, after, store.vocabulary_size
+    )
+    print(
+        f"month-over-month cosine similarity at the update: "
+        f"{shift:.2f} (normal operation stays > 0.8)"
+    )
+
+    # Student: teacher weights + one week of post-update fine-tuning.
+    week = [
+        dataset.normal_messages(
+            vpe, update.time, update.time + 7 * DAY
+        )
+        for vpe in vpes
+    ]
+    print("adapting the student on one week of post-update logs ...")
+    student = teacher.adapt_streams(week)
+
+    # Compare on the final month (fully post-update).
+    eval_start = dataset.start + 3 * MONTH
+    stale = best_f(teacher, dataset, vpes, eval_start, dataset.end)
+    adapted = best_f(student, dataset, vpes, eval_start, dataset.end)
+    print("\npost-update detection quality (final month):")
+    print(
+        f"  stale teacher   P={stale.precision:.2f} "
+        f"R={stale.recall:.2f} F={stale.f_measure:.2f}"
+    )
+    print(
+        f"  adapted student P={adapted.precision:.2f} "
+        f"R={adapted.recall:.2f} F={adapted.f_measure:.2f}"
+    )
+    if adapted.f_measure > stale.f_measure:
+        print(
+            "\none week of fine-tuning recovered the model - the "
+            "paper's 3-month retraining window is not needed."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim enables legacy editable
+# installs on environments without the `wheel` package.
+setup()

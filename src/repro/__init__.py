@@ -1,0 +1,48 @@
+"""repro: reproduction of "Predictive Analysis in Network Function
+Virtualization" (IMC 2018).
+
+The package builds, end to end, the paper's predictive-analysis system
+for NFV deployments:
+
+* a synthetic 38-vPE / 18-month deployment trace -- syslogs, faults,
+  maintenance, software updates and trouble tickets
+  (:mod:`repro.synthesis`, substituting the proprietary dataset);
+* signature-tree template mining over raw syslog text
+  (:mod:`repro.logs`);
+* an LSTM template-language-model anomaly detector with minority
+  over-sampling, K-means vPE grouping, incremental learning and
+  transfer-learning adaptation (:mod:`repro.core`), built on a pure
+  numpy deep-learning stack (:mod:`repro.nn`);
+* autoencoder / one-class-SVM / PCA baselines
+  (:mod:`repro.core.baselines`);
+* anomaly-to-ticket mapping and the paper's evaluation metrics
+  (:mod:`repro.core.mapping`, :mod:`repro.evaluation`).
+"""
+
+from repro.version import __version__
+from repro.core import (
+    LSTMAnomalyDetector,
+    PipelineConfig,
+    RollingPipeline,
+    map_anomalies,
+    sweep_thresholds,
+)
+from repro.logs import SyslogMessage, TemplateStore
+from repro.synthesis import FleetDataset, FleetSimulator, SimulationConfig
+from repro.tickets import RootCause, TroubleTicket
+
+__all__ = [
+    "__version__",
+    "LSTMAnomalyDetector",
+    "PipelineConfig",
+    "RollingPipeline",
+    "map_anomalies",
+    "sweep_thresholds",
+    "SyslogMessage",
+    "TemplateStore",
+    "FleetDataset",
+    "FleetSimulator",
+    "SimulationConfig",
+    "RootCause",
+    "TroubleTicket",
+]

@@ -1,0 +1,395 @@
+"""Command-line interface: the operator workflow end to end.
+
+Subcommands::
+
+    python -m repro simulate --out trace/ --vpes 4 --months 2
+    python -m repro mine     --trace trace/ --out templates.json
+    python -m repro train    --trace trace/ --templates templates.json \
+                             --out model/
+    python -m repro detect   --trace trace/ --model model/ \
+                             --out anomalies.csv
+    python -m repro report   --trace trace/ --anomalies anomalies.csv
+
+Data formats are deliberately simple and inspectable:
+
+* ``trace/<vpe>.jsonl`` — one JSON object per syslog message;
+* ``trace/tickets.csv`` — ``vpe,root_cause,report_time,repair_time``;
+* ``trace/meta.json`` — trace bounds and simulation parameters;
+* ``templates.json`` — the serialized template store;
+* ``model/weights.npz`` + ``model/config.json`` — the LSTM detector;
+* ``anomalies.csv`` — ``vpe,time,score`` rows above the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.mapping import map_anomalies, warning_clusters
+from repro.core.thresholds import sweep_thresholds
+from repro.evaluation.metrics import best_operating_point
+from repro.evaluation.reporting import format_table
+from repro.logs.message import Facility, Severity, SyslogMessage
+from repro.logs.persistence import store_from_json, store_to_json
+from repro.logs.templates import TemplateStore
+from repro.synthesis import FleetSimulator, SimulationConfig
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY
+
+
+# -- trace I/O ------------------------------------------------------------
+
+
+def _message_to_json(message: SyslogMessage) -> str:
+    return json.dumps(
+        {
+            "ts": message.timestamp,
+            "host": message.host,
+            "proc": message.process,
+            "sev": int(message.severity),
+            "fac": int(message.facility),
+            "text": message.text,
+        }
+    )
+
+
+def _message_from_json(line: str) -> SyslogMessage:
+    raw = json.loads(line)
+    return SyslogMessage(
+        timestamp=raw["ts"],
+        host=raw["host"],
+        process=raw["proc"],
+        text=raw["text"],
+        severity=Severity(raw["sev"]),
+        facility=Facility(raw["fac"]),
+    )
+
+
+def write_trace(dataset, out_dir: pathlib.Path) -> None:
+    """Persist a FleetDataset as jsonl streams + tickets.csv + meta."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for vpe, stream in dataset.messages.items():
+        with open(out_dir / f"{vpe}.jsonl", "w") as handle:
+            for message in stream:
+                handle.write(_message_to_json(message) + "\n")
+    with open(out_dir / "tickets.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["vpe", "root_cause", "report_time", "repair_time"]
+        )
+        for ticket in dataset.tickets:
+            writer.writerow(
+                [
+                    ticket.vpe,
+                    ticket.root_cause.value,
+                    f"{ticket.report_time:.3f}",
+                    f"{ticket.repair_time:.3f}",
+                ]
+            )
+    meta = {
+        "start": dataset.start,
+        "end": dataset.end,
+        "vpes": dataset.vpe_names,
+        "updates": [
+            {
+                "time": update.time,
+                "affected": sorted(update.affected_vpes),
+            }
+            for update in dataset.updates
+        ],
+    }
+    (out_dir / "meta.json").write_text(json.dumps(meta, indent=2))
+
+
+def read_trace(trace_dir: pathlib.Path):
+    """Load a trace directory written by :func:`write_trace`."""
+    meta = json.loads((trace_dir / "meta.json").read_text())
+    messages: Dict[str, List[SyslogMessage]] = {}
+    for vpe in meta["vpes"]:
+        path = trace_dir / f"{vpe}.jsonl"
+        with open(path) as handle:
+            messages[vpe] = [
+                _message_from_json(line) for line in handle
+            ]
+    tickets: List[TroubleTicket] = []
+    with open(trace_dir / "tickets.csv") as handle:
+        for row in csv.DictReader(handle):
+            kwargs = {}
+            if row["root_cause"] == RootCause.DUPLICATE.value:
+                # originals are not tracked in the csv; synthesize one
+                kwargs["original_ticket_id"] = -1
+            tickets.append(
+                TroubleTicket(
+                    vpe=row["vpe"],
+                    root_cause=RootCause(row["root_cause"]),
+                    report_time=float(row["report_time"]),
+                    repair_time=float(row["repair_time"]),
+                    **kwargs,
+                )
+            )
+    return meta, messages, tickets
+
+
+def _normal_messages(
+    messages: Sequence[SyslogMessage],
+    tickets: Sequence[TroubleTicket],
+    vpe: str,
+    margin: float = 3 * DAY,
+) -> List[SyslogMessage]:
+    """The 3-day ticket scrub, over CLI-loaded data."""
+    intervals = sorted(
+        (t.report_time - margin, t.repair_time)
+        for t in tickets
+        if t.vpe == vpe
+    )
+    out = []
+    for message in messages:
+        if any(lo <= message.timestamp <= hi for lo, hi in intervals):
+            continue
+        out.append(message)
+    return out
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        n_vpes=args.vpes,
+        n_months=args.months,
+        seed=args.seed,
+        base_rate_per_hour=args.rate,
+        update_month=args.update_month,
+        n_fleet_events=args.fleet_events,
+    )
+    dataset = FleetSimulator(config).run()
+    out_dir = pathlib.Path(args.out)
+    write_trace(dataset, out_dir)
+    print(
+        f"wrote {dataset.n_messages:,} messages, "
+        f"{len(dataset.tickets)} tickets to {out_dir}/"
+    )
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    trace_dir = pathlib.Path(args.trace)
+    _, messages, tickets = read_trace(trace_dir)
+    training: List[SyslogMessage] = []
+    for vpe, stream in messages.items():
+        training.extend(_normal_messages(stream, tickets, vpe))
+    training.sort(key=lambda m: m.timestamp)
+    store = TemplateStore().fit(training[: args.max_messages])
+    pathlib.Path(args.out).write_text(store_to_json(store))
+    print(
+        f"mined {store.vocabulary_size - 1} templates from "
+        f"{min(len(training), args.max_messages):,} normal messages"
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    trace_dir = pathlib.Path(args.trace)
+    meta, messages, tickets = read_trace(trace_dir)
+    store = store_from_json(
+        pathlib.Path(args.templates).read_text()
+    )
+    train_end = meta["start"] + args.train_days * DAY
+    training_streams: List[List[SyslogMessage]] = []
+    for vpe, stream in messages.items():
+        training_streams.append([
+            m
+            for m in _normal_messages(stream, tickets, vpe)
+            if m.timestamp < train_end
+        ])
+    detector = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=args.capacity,
+        window=args.window,
+        hidden=(args.hidden, args.hidden),
+        epochs=args.epochs,
+        max_train_samples=args.max_samples,
+        seed=args.seed,
+    )
+    detector.fit_streams(training_streams)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    detector.model.save(str(out_dir / "weights.npz"))
+    (out_dir / "config.json").write_text(
+        json.dumps(
+            {
+                "capacity": args.capacity,
+                "window": args.window,
+                "hidden": args.hidden,
+                "templates": args.templates,
+            }
+        )
+    )
+    total = sum(len(stream) for stream in training_streams)
+    print(
+        f"trained on {total:,} normal messages; model in "
+        f"{out_dir}/"
+    )
+    return 0
+
+
+def _load_detector(model_dir: pathlib.Path) -> LSTMAnomalyDetector:
+    config = json.loads((model_dir / "config.json").read_text())
+    store = store_from_json(
+        pathlib.Path(config["templates"]).read_text()
+    )
+    detector = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=config["capacity"],
+        window=config["window"],
+        hidden=(config["hidden"], config["hidden"]),
+    )
+    detector.restore_weights(str(model_dir / "weights.npz"))
+    return detector
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    trace_dir = pathlib.Path(args.trace)
+    meta, messages, _ = read_trace(trace_dir)
+    detector = _load_detector(pathlib.Path(args.model))
+    scored = {
+        vpe: detector.score(
+            [m for m in stream if m.timestamp >= args.start]
+            if args.start
+            else stream
+        )
+        for vpe, stream in messages.items()
+    }
+    if args.threshold is None:
+        pooled = np.concatenate(
+            [s.scores for s in scored.values() if len(s)]
+        )
+        threshold = float(np.quantile(pooled, args.quantile))
+    else:
+        threshold = args.threshold
+    rows = 0
+    with open(args.out, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["vpe", "time", "score"])
+        for vpe, stream in scored.items():
+            mask = stream.scores > threshold
+            for t, s in zip(stream.times[mask],
+                            stream.scores[mask]):
+                writer.writerow([vpe, f"{t:.3f}", f"{s:.4f}"])
+                rows += 1
+    print(
+        f"wrote {rows} anomalies (threshold {threshold:.3f}) to "
+        f"{args.out}"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    trace_dir = pathlib.Path(args.trace)
+    meta, _, tickets = read_trace(trace_dir)
+    per_vpe: Dict[str, List[float]] = {}
+    with open(args.anomalies) as handle:
+        for row in csv.DictReader(handle):
+            per_vpe.setdefault(row["vpe"], []).append(
+                float(row["time"])
+            )
+    detections = {
+        vpe: warning_clusters(np.asarray(sorted(times)))
+        for vpe, times in per_vpe.items()
+    }
+    mapping = map_anomalies(
+        detections, tickets, predictive_period=args.window_days * DAY
+    )
+    counts = mapping.counts
+    span = meta["end"] - meta["start"]
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["warning signatures", len(mapping.records)],
+            ["precision", f"{counts.precision:.2f}"],
+            ["recall", f"{counts.recall:.2f}"],
+            ["F-measure", f"{counts.f_measure:.2f}"],
+            [
+                "false alarms / day",
+                f"{mapping.false_alarms_per_day(span):.2f}",
+            ],
+        ],
+        title="detection report",
+    )
+    print(table)
+    return 0
+
+
+# -- parser -------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Predictive analysis for NFV syslogs (IMC 2018 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate a synthetic trace")
+    p.add_argument("--out", required=True)
+    p.add_argument("--vpes", type=int, default=4)
+    p.add_argument("--months", type=int, default=2)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--rate", type=float, default=8.0)
+    p.add_argument("--update-month", type=int, default=None)
+    p.add_argument("--fleet-events", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("mine", help="mine syslog templates")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--max-messages", type=int, default=50000)
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("train", help="train the LSTM detector")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--templates", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--train-days", type=float, default=30.0)
+    p.add_argument("--capacity", type=int, default=160)
+    p.add_argument("--window", type=int, default=8)
+    p.add_argument("--hidden", type=int, default=24)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--max-samples", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("detect", help="score a trace for anomalies")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--start", type=float, default=None)
+    p.add_argument("--threshold", type=float, default=None)
+    p.add_argument("--quantile", type=float, default=0.995)
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("report", help="map anomalies to tickets")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--anomalies", required=True)
+    p.add_argument("--window-days", type=float, default=1.0)
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

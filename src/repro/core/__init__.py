@@ -1,0 +1,68 @@
+"""The paper's primary contribution: LSTM-based predictive analysis.
+
+* :mod:`repro.core.base` — the detector protocol all methods follow;
+* :mod:`repro.core.detector` — the LSTM template-language-model
+  detector (section 4.2), including minority-pattern over-sampling;
+* :mod:`repro.core.grouping` — K-means vPE grouping (section 4.3);
+* :mod:`repro.core.adaptation` — incremental updates and transfer-
+  learning adaptation after software updates (section 4.3);
+* :mod:`repro.core.mapping` — anomaly-to-ticket mapping with
+  predictive/infected periods and warning clusters (section 4.1,
+  Figure 4);
+* :mod:`repro.core.thresholds` — PRC sweeps over the detection
+  threshold (section 5.2);
+* :mod:`repro.core.pipeline` — the rolling monthly train/detect loop
+  over the full trace (section 5.1);
+* :mod:`repro.core.baselines` — autoencoder and one-class SVM
+  comparison methods (section 5.2), plus PCA and isolation-forest
+  references;
+* :mod:`repro.core.online` — the streaming runtime of the paper's
+  abstract: message-at-a-time scoring with clustered warnings;
+* :mod:`repro.core.triage` — the section 5.3 four-scenario
+  categorization of detected conditions.
+"""
+
+from repro.core.base import AnomalyDetector, ScoredStream
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.grouping import (
+    VpeGrouping,
+    fully_custom_grouping,
+    group_vpes,
+    universal_grouping,
+)
+from repro.core.mapping import (
+    AnomalyRecord,
+    AnomalyKind,
+    MappingResult,
+    map_anomalies,
+    warning_clusters,
+)
+from repro.core.online import OnlineMonitor, WarningSignature
+from repro.core.thresholds import sweep_thresholds
+from repro.core.adaptation import transfer_adapt
+from repro.core.pipeline import PipelineConfig, RollingPipeline
+from repro.core.triage import TriageFinding, TriageScenario, triage
+
+__all__ = [
+    "AnomalyDetector",
+    "ScoredStream",
+    "LSTMAnomalyDetector",
+    "VpeGrouping",
+    "group_vpes",
+    "universal_grouping",
+    "fully_custom_grouping",
+    "AnomalyRecord",
+    "AnomalyKind",
+    "MappingResult",
+    "map_anomalies",
+    "warning_clusters",
+    "sweep_thresholds",
+    "transfer_adapt",
+    "PipelineConfig",
+    "RollingPipeline",
+    "triage",
+    "TriageFinding",
+    "TriageScenario",
+    "OnlineMonitor",
+    "WarningSignature",
+]

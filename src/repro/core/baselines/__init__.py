@@ -1,0 +1,31 @@
+"""Comparison methods of section 5.2.
+
+* :class:`AutoencoderDetector` — deep but non-sequential: a
+  feed-forward autoencoder over TF-IDF window features; the
+  reconstruction error is the anomaly score.
+* :class:`OneClassSvmDetector` — shallow: a one-class SVM over the
+  same TF-IDF features.
+* :class:`PcaDetector` — the PCA residual method of Xu et al. (2009),
+  an extra reference point beyond the paper's two baselines.
+
+* :class:`IsolationForestDetector` — the industrial-default tabular
+  anomaly detector (Liu et al., 2008), another extra reference.
+
+All baselines share the windowed TF-IDF front end so the comparison
+isolates the modelling approach, and all implement the common
+:class:`~repro.core.base.AnomalyDetector` protocol.
+"""
+
+from repro.core.baselines.windowed import WindowedFeatureDetector
+from repro.core.baselines.autoencoder import AutoencoderDetector
+from repro.core.baselines.iforest import IsolationForestDetector
+from repro.core.baselines.ocsvm import OneClassSvmDetector
+from repro.core.baselines.pca import PcaDetector
+
+__all__ = [
+    "WindowedFeatureDetector",
+    "AutoencoderDetector",
+    "OneClassSvmDetector",
+    "IsolationForestDetector",
+    "PcaDetector",
+]

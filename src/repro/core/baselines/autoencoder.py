@@ -1,0 +1,116 @@
+"""Autoencoder baseline (section 5.2).
+
+"A feed-forward multi-layer neural network in which the desired output
+is the input itself.  After training the auto-encoder with normal
+data, the reconstruction error can be used as an anomaly indicator."
+Input features are TF-IDF vectors over template-id windows, following
+Zhang et al. (Big Data 2016).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.baselines.windowed import WindowedFeatureDetector
+from repro.logs.templates import TemplateStore
+from repro.nn import Adam, Dense, MeanSquaredError, Sequential
+
+
+class AutoencoderDetector(WindowedFeatureDetector):
+    """TF-IDF autoencoder with reconstruction-error scoring.
+
+    Args:
+        store: shared template store.
+        hidden: encoder widths; the decoder mirrors them.
+        bottleneck: central code dimension.
+        epochs / update_epochs / learning_rate / batch_size: schedule.
+        (window/stride/etc. as in the base class.)
+    """
+
+    def __init__(
+        self,
+        store: TemplateStore,
+        vocabulary_capacity: int = 256,
+        window: int = 20,
+        stride: int = 5,
+        hidden: int = 64,
+        bottleneck: int = 16,
+        epochs: int = 10,
+        update_epochs: int = 3,
+        learning_rate: float = 0.003,
+        batch_size: int = 64,
+        max_train_windows: int = 8000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            store,
+            vocabulary_capacity=vocabulary_capacity,
+            window=window,
+            stride=stride,
+            max_train_windows=max_train_windows,
+            seed=seed,
+        )
+        self.epochs = epochs
+        self.update_epochs = update_epochs
+        self.batch_size = batch_size
+        self.loss = MeanSquaredError()
+        self.optimizer = Adam(learning_rate)
+        self.model = Sequential(
+            [
+                Dense(hidden, activation="relu", name="encoder1"),
+                Dense(bottleneck, activation="relu", name="code"),
+                Dense(hidden, activation="relu", name="decoder1"),
+                Dense(
+                    vocabulary_capacity,
+                    activation="linear",
+                    name="reconstruction",
+                ),
+            ],
+            rng=np.random.default_rng(seed + 1),
+        ).build((vocabulary_capacity,))
+
+    def _fit_vectors(self, vectors: np.ndarray, initial: bool) -> None:
+        epochs = self.epochs if initial else self.update_epochs
+        self.model.fit(
+            vectors,
+            vectors,
+            self.loss,
+            self.optimizer,
+            epochs=epochs,
+            batch_size=self.batch_size,
+        )
+
+    def _score_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        reconstructed = self.model.predict(vectors)
+        diff = reconstructed - vectors
+        return np.mean(diff * diff, axis=1)
+
+    def freeze_encoder(self) -> None:
+        """Freeze the encoder for transfer-style adaptation."""
+        self.model.freeze(["encoder1", "code"])
+
+    def unfreeze_encoder(self) -> None:
+        self.model.unfreeze(["encoder1", "code"])
+
+    def adapt(self, messages: Sequence) -> "AutoencoderDetector":
+        """Transfer-style adaptation: fine-tune with a frozen encoder.
+
+        Mirrors the LSTM detector's scheme so the section 5.2
+        comparison applies the same adaptation mechanism to every
+        method.  The store is extended first so post-update templates
+        receive their own feature dimensions.
+        """
+        return self.adapt_streams([messages])
+
+    def adapt_streams(self, streams: Sequence) -> "AutoencoderDetector":
+        """Per-device-stream counterpart of :meth:`adapt`."""
+        for stream in streams:
+            self.store.extend(list(stream))
+        self.freeze_encoder()
+        try:
+            self.update_streams(streams)
+        finally:
+            self.unfreeze_encoder()
+        return self

@@ -1,0 +1,67 @@
+"""Isolation-forest baseline detector over TF-IDF window features.
+
+Not in the paper; included as the "industrial default" reference for
+the method-comparison bench (see :mod:`repro.ml.isolation_forest`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.baselines.windowed import WindowedFeatureDetector
+from repro.logs.templates import TemplateStore
+from repro.ml.isolation_forest import IsolationForest
+
+
+class IsolationForestDetector(WindowedFeatureDetector):
+    """Isolation forest over TF-IDF window features.
+
+    Like the OC-SVM baseline, incremental updates refit on a sliding
+    buffer of recent training vectors.
+    """
+
+    def __init__(
+        self,
+        store: TemplateStore,
+        vocabulary_capacity: int = 256,
+        window: int = 20,
+        stride: int = 5,
+        n_trees: int = 100,
+        sample_size: int = 256,
+        buffer_windows: int = 12000,
+        max_train_windows: int = 8000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            store,
+            vocabulary_capacity=vocabulary_capacity,
+            window=window,
+            stride=stride,
+            max_train_windows=max_train_windows,
+            seed=seed,
+        )
+        self.n_trees = n_trees
+        self.sample_size = sample_size
+        self.buffer_windows = buffer_windows
+        self._buffer: Optional[np.ndarray] = None
+        self._forest: Optional[IsolationForest] = None
+
+    def _fit_vectors(self, vectors: np.ndarray, initial: bool) -> None:
+        if initial or self._buffer is None:
+            self._buffer = vectors
+        else:
+            self._buffer = np.concatenate([self._buffer, vectors])
+            if self._buffer.shape[0] > self.buffer_windows:
+                self._buffer = self._buffer[-self.buffer_windows:]
+        self._forest = IsolationForest(
+            n_trees=self.n_trees,
+            sample_size=self.sample_size,
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+        ).fit(self._buffer)
+
+    def _score_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        if self._forest is None:
+            raise RuntimeError("forest not fitted")
+        return self._forest.score_samples(vectors)

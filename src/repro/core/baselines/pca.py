@@ -1,0 +1,60 @@
+"""PCA-subspace baseline (Xu et al., SOSP 2009).
+
+Not one of the paper's two comparison methods, but the canonical
+unsupervised log-anomaly detector of the related work (section 2);
+included as an extra reference point for the method-comparison bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.baselines.windowed import WindowedFeatureDetector
+from repro.logs.templates import TemplateStore
+from repro.ml.pca import PCADetector
+
+
+class PcaDetector(WindowedFeatureDetector):
+    """Residual-subspace scoring over TF-IDF window features."""
+
+    def __init__(
+        self,
+        store: TemplateStore,
+        vocabulary_capacity: int = 256,
+        window: int = 20,
+        stride: int = 5,
+        variance_retained: float = 0.95,
+        buffer_windows: int = 12000,
+        max_train_windows: int = 8000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            store,
+            vocabulary_capacity=vocabulary_capacity,
+            window=window,
+            stride=stride,
+            max_train_windows=max_train_windows,
+            seed=seed,
+        )
+        self.variance_retained = variance_retained
+        self.buffer_windows = buffer_windows
+        self._buffer: Optional[np.ndarray] = None
+        self._pca: Optional[PCADetector] = None
+
+    def _fit_vectors(self, vectors: np.ndarray, initial: bool) -> None:
+        if initial or self._buffer is None:
+            self._buffer = vectors
+        else:
+            self._buffer = np.concatenate([self._buffer, vectors])
+            if self._buffer.shape[0] > self.buffer_windows:
+                self._buffer = self._buffer[-self.buffer_windows:]
+        self._pca = PCADetector(
+            variance_retained=self.variance_retained
+        ).fit(self._buffer)
+
+    def _score_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        if self._pca is None:
+            raise RuntimeError("PCA not fitted")
+        return self._pca.score_samples(vectors)

@@ -1,0 +1,154 @@
+"""Shared TF-IDF window front end for the baseline detectors.
+
+Both baselines consume fixed-size sliding windows of template ids
+turned into TF-IDF vectors (Zhang et al., Big Data 2016).  This base
+class handles annotation, windowing, vector building and the score
+stream plumbing; subclasses implement ``_fit_vectors`` and
+``_score_vectors``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import AnomalyDetector, ScoredStream
+from repro.features.tfidf import TfidfVectorizer
+from repro.logs.message import SyslogMessage
+from repro.logs.templates import TemplateStore
+
+
+class WindowedFeatureDetector(AnomalyDetector):
+    """Base for detectors over TF-IDF window features.
+
+    Args:
+        store: shared template store.
+        vocabulary_capacity: fixed feature dimension (ids beyond it
+            fold onto the unknown id so the store may keep growing).
+        window: messages per feature window.
+        stride: windows advance by this many messages.
+        max_train_windows: cap on training windows per fit call.
+        seed: reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        store: TemplateStore,
+        vocabulary_capacity: int = 256,
+        window: int = 20,
+        stride: int = 5,
+        max_train_windows: int = 8000,
+        seed: int = 0,
+    ) -> None:
+        if window < 1 or stride < 1:
+            raise ValueError("window and stride must be >= 1")
+        self.store = store
+        self.vocabulary_capacity = vocabulary_capacity
+        self.window = window
+        self.stride = stride
+        self.max_train_windows = max_train_windows
+        self.rng = np.random.default_rng(seed)
+        self.vectorizer = TfidfVectorizer(vocabulary_capacity)
+        self._fitted = False
+
+    # -- windowing ---------------------------------------------------------
+
+    def _documents(
+        self, messages: Sequence[SyslogMessage]
+    ) -> Tuple[List[List[int]], np.ndarray]:
+        """Sliding windows of template ids plus window-end timestamps."""
+        annotated = self.store.transform(list(messages))
+        ids = [
+            message.template_id
+            if (message.template_id or 0) < self.vocabulary_capacity
+            else 0
+            for message in annotated
+        ]
+        times = [message.timestamp for message in annotated]
+        documents: List[List[int]] = []
+        ends: List[float] = []
+        for start in range(
+            0, max(len(ids) - self.window + 1, 0), self.stride
+        ):
+            documents.append(ids[start:start + self.window])
+            ends.append(times[start + self.window - 1])
+        return documents, np.asarray(ends, dtype=np.float64)
+
+    def _train_vectors(
+        self,
+        streams: Sequence[Sequence[SyslogMessage]],
+        refit_idf: bool,
+    ) -> np.ndarray:
+        # Windows never span devices: documents are built per stream
+        # and pooled, mirroring the LSTM detector's grouped training.
+        documents: List[List[int]] = []
+        for stream in streams:
+            stream_documents, _ = self._documents(stream)
+            documents.extend(stream_documents)
+        if not documents:
+            raise ValueError(
+                "not enough messages to form a feature window"
+            )
+        if len(documents) > self.max_train_windows:
+            index = self.rng.choice(
+                len(documents),
+                size=self.max_train_windows,
+                replace=False,
+            )
+            documents = [documents[i] for i in sorted(index)]
+        if refit_idf or not self.vectorizer.fitted:
+            return self.vectorizer.fit_transform(documents)
+        return self.vectorizer.transform(documents)
+
+    # -- protocol -----------------------------------------------------------
+
+    def fit(
+        self, messages: Sequence[SyslogMessage]
+    ) -> "WindowedFeatureDetector":
+        return self.fit_streams([messages])
+
+    def fit_streams(
+        self, streams: Sequence[Sequence[SyslogMessage]]
+    ) -> "WindowedFeatureDetector":
+        vectors = self._train_vectors(streams, refit_idf=True)
+        self._fit_vectors(vectors, initial=True)
+        self._fitted = True
+        return self
+
+    def update(
+        self, messages: Sequence[SyslogMessage]
+    ) -> "WindowedFeatureDetector":
+        return self.update_streams([messages])
+
+    def update_streams(
+        self, streams: Sequence[Sequence[SyslogMessage]]
+    ) -> "WindowedFeatureDetector":
+        if not self._fitted:
+            return self.fit_streams(streams)
+        try:
+            vectors = self._train_vectors(streams, refit_idf=False)
+        except ValueError:
+            return self
+        self._fit_vectors(vectors, initial=False)
+        return self
+
+    def score(self, messages: Sequence[SyslogMessage]) -> ScoredStream:
+        if not self._fitted:
+            raise RuntimeError("detector not fitted")
+        documents, times = self._documents(messages)
+        if not documents:
+            return ScoredStream(np.empty(0), np.empty(0))
+        vectors = self.vectorizer.transform(documents)
+        return ScoredStream(times, self._score_vectors(vectors))
+
+    # -- subclass hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _fit_vectors(self, vectors: np.ndarray, initial: bool) -> None:
+        """Train (or incrementally update) on TF-IDF vectors."""
+
+    @abc.abstractmethod
+    def _score_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Anomaly scores, higher = more anomalous."""

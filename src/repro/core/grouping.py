@@ -1,0 +1,107 @@
+"""vPE grouping via K-means (section 4.3).
+
+Building one model per vPE maximizes accuracy but multiplies the
+training-data requirement; one universal model starves diverse vPEs.
+The paper's compromise: K-means over per-vPE syslog distributions,
+choosing K by modularity (their dataset produces 4 clusters), then one
+model per group trained on the group's aggregated logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.counts import template_distribution
+from repro.logs.message import SyslogMessage
+from repro.logs.templates import TemplateStore
+from repro.ml.kmeans import KMeans, choose_k
+
+
+@dataclass
+class VpeGrouping:
+    """A partition of vPEs into model groups.
+
+    Attributes:
+        groups: group index -> member vPE names.
+        labels: vPE name -> group index.
+        k: number of groups.
+    """
+
+    groups: Dict[int, List[str]]
+    labels: Dict[str, int]
+
+    @property
+    def k(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, vpe: str) -> int:
+        if vpe not in self.labels:
+            raise KeyError(f"vPE {vpe!r} not in grouping")
+        return self.labels[vpe]
+
+    def members(self, group: int) -> List[str]:
+        return list(self.groups[group])
+
+
+def group_vpes(
+    per_vpe_messages: Dict[str, Sequence[SyslogMessage]],
+    store: TemplateStore,
+    k: Optional[int] = None,
+    candidates: Sequence[int] = (2, 3, 4, 5, 6),
+    seed: int = 0,
+) -> VpeGrouping:
+    """Cluster vPEs by their (annotated) syslog template distributions.
+
+    Args:
+        per_vpe_messages: normal messages per vPE (one training month
+            suffices, per the paper's data-reduction result).
+        store: fitted template store used for annotation.
+        k: fixed group count; ``None`` selects K by modularity.
+        candidates: K candidates when selecting automatically.
+        seed: clustering seed.
+    """
+    if not per_vpe_messages:
+        raise ValueError("per_vpe_messages must be non-empty")
+    names = sorted(per_vpe_messages)
+    rows = []
+    for name in names:
+        annotated = store.transform(list(per_vpe_messages[name]))
+        rows.append(
+            template_distribution(annotated, store.vocabulary_size)
+        )
+    matrix = np.stack(rows)
+    rng = np.random.default_rng(seed)
+    if k is None:
+        k = choose_k(matrix, candidates=candidates, rng=rng)
+    k = min(k, len(names))
+    labels = KMeans(k, rng=rng).fit(matrix).labels_
+    groups: Dict[int, List[str]] = {}
+    label_of: Dict[str, int] = {}
+    # Re-index group ids densely in first-appearance order so empty
+    # clusters (possible with degenerate data) do not leave holes.
+    remap: Dict[int, int] = {}
+    for name, raw_label in zip(names, labels):
+        group = remap.setdefault(int(raw_label), len(remap))
+        groups.setdefault(group, []).append(name)
+        label_of[name] = group
+    return VpeGrouping(groups=groups, labels=label_of)
+
+
+def universal_grouping(vpes: Sequence[str]) -> VpeGrouping:
+    """The K=1 baseline: every vPE in a single group."""
+    names = list(vpes)
+    return VpeGrouping(
+        groups={0: names}, labels={name: 0 for name in names}
+    )
+
+
+def fully_custom_grouping(vpes: Sequence[str]) -> VpeGrouping:
+    """The K=N extreme: one model per vPE (ablation)."""
+    names = list(vpes)
+    return VpeGrouping(
+        groups={index: [name] for index, name in enumerate(names)},
+        labels={name: index for index, name in enumerate(names)},
+    )

@@ -1,0 +1,259 @@
+"""Mapping syslog anomalies to trouble tickets (section 4.1, Figure 4).
+
+Each ticket defines a *predictive period* (a window before its report
+time) and an *infected period* (report to repair finish).  A detected
+anomaly falling in a ticket's predictive period is an **early
+warning**; in the infected period an **error**; outside every ticket's
+periods a **false alarm**.
+
+The module also implements the warning-cluster rule of section 5.1
+(report a warning signature upon a small cluster of two or more
+anomalies) and the detection-rate-by-offset analysis behind Figure 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.metrics import DetectionCounts
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, MINUTE
+
+
+class AnomalyKind(enum.Enum):
+    """Classification of one detected anomaly relative to tickets."""
+
+    EARLY_WARNING = "early_warning"
+    ERROR = "error"
+    FALSE_ALARM = "false_alarm"
+
+
+@dataclass(frozen=True)
+class AnomalyRecord:
+    """One detected anomaly after ticket mapping.
+
+    Attributes:
+        vpe: device the anomaly was detected on.
+        time: detection timestamp.
+        kind: early warning / error / false alarm.
+        ticket: the matched ticket (None for false alarms).
+        lead_time: seconds by which the anomaly preceded the ticket
+            report (positive = before; None for false alarms).
+    """
+
+    vpe: str
+    time: float
+    kind: AnomalyKind
+    ticket: Optional[TroubleTicket] = None
+    lead_time: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TicketHit:
+    """One anomaly's relation to one (possibly secondary) ticket."""
+
+    time: float
+    lead_time: float
+
+
+@dataclass
+class MappingResult:
+    """Everything produced by :func:`map_anomalies`.
+
+    ``records`` carry each anomaly's *primary* match (the containing
+    ticket with the earliest report time); ``ticket_hits`` credits
+    every containing ticket, so a duplicate follow-up whose infected
+    period nests inside the original's still counts as detected.
+    """
+
+    records: List[AnomalyRecord]
+    tickets: List[TroubleTicket]
+    predictive_period: float
+    ticket_hits: Dict[int, List[TicketHit]] = field(
+        default_factory=dict
+    )
+
+    def by_kind(self, kind: AnomalyKind) -> List[AnomalyRecord]:
+        return [record for record in self.records if record.kind is kind]
+
+    @property
+    def counts(self) -> DetectionCounts:
+        """The precision/recall counting of section 5.2."""
+        true_anomalies = sum(
+            1
+            for record in self.records
+            if record.kind is not AnomalyKind.FALSE_ALARM
+        )
+        return DetectionCounts(
+            true_anomalies=true_anomalies,
+            false_alarms=len(self.records) - true_anomalies,
+            tickets_detected=sum(
+                1 for ticket in self.tickets
+                if self.ticket_hits.get(ticket.ticket_id)
+            ),
+            tickets_total=len(self.tickets),
+        )
+
+    def false_alarms_per_day(self, span_seconds: float) -> float:
+        """Fleet-wide false alarms per day over a trace span."""
+        if span_seconds <= 0:
+            raise ValueError("span_seconds must be positive")
+        return (
+            len(self.by_kind(AnomalyKind.FALSE_ALARM))
+            / (span_seconds / DAY)
+        )
+
+
+def map_anomalies(
+    anomalies: Mapping[str, np.ndarray],
+    tickets: Sequence[TroubleTicket],
+    predictive_period: float = DAY,
+) -> MappingResult:
+    """Classify per-vPE anomaly timestamps against tickets.
+
+    Args:
+        anomalies: per-vPE arrays of anomaly timestamps.
+        tickets: candidate tickets (any vPE; filtered per device).
+        predictive_period: the early-warning window length before each
+            ticket's report time (the paper converges at 1 day).
+
+    An anomaly matching several overlapping tickets maps to the one
+    with the earliest report time, so one detection never double
+    counts.
+    """
+    records: List[AnomalyRecord] = []
+    hits: Dict[int, List[TicketHit]] = defaultdict(list)
+    tickets_by_vpe: Dict[str, List[TroubleTicket]] = defaultdict(list)
+    for ticket in tickets:
+        tickets_by_vpe[ticket.vpe].append(ticket)
+    for vpe_tickets in tickets_by_vpe.values():
+        vpe_tickets.sort(key=lambda ticket: ticket.report_time)
+    for vpe, times in anomalies.items():
+        vpe_tickets = tickets_by_vpe.get(vpe, [])
+        timelines = [
+            ticket.timeline(predictive_period) for ticket in vpe_tickets
+        ]
+        for time in np.sort(np.asarray(times, dtype=np.float64)):
+            time = float(time)
+            containing = [
+                timeline
+                for timeline in timelines
+                if timeline.contains(time)
+            ]
+            for timeline in containing:
+                hits[timeline.ticket.ticket_id].append(
+                    TicketHit(
+                        time=time, lead_time=timeline.lead_time(time)
+                    )
+                )
+            if not containing:
+                records.append(
+                    AnomalyRecord(
+                        vpe=vpe, time=time, kind=AnomalyKind.FALSE_ALARM
+                    )
+                )
+                continue
+            primary = containing[0]  # earliest report time
+            kind = (
+                AnomalyKind.EARLY_WARNING
+                if primary.is_early_warning(time)
+                else AnomalyKind.ERROR
+            )
+            records.append(
+                AnomalyRecord(
+                    vpe=vpe,
+                    time=time,
+                    kind=kind,
+                    ticket=primary.ticket,
+                    lead_time=primary.lead_time(time),
+                )
+            )
+    return MappingResult(
+        records=records,
+        tickets=list(tickets),
+        predictive_period=predictive_period,
+        ticket_hits=dict(hits),
+    )
+
+
+def warning_clusters(
+    times: np.ndarray,
+    min_size: int = 2,
+    max_gap: float = 5 * MINUTE,
+) -> np.ndarray:
+    """Collapse raw anomalies into warning signatures (section 5.1).
+
+    The paper observes that true anomalies arrive in tight clusters
+    (< 1 minute apart on average) and configures the system to report
+    a warning upon a small cluster of two or more anomalies.  Returns
+    the first timestamp of every qualifying cluster.
+    """
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    times = np.sort(np.asarray(times, dtype=np.float64))
+    if times.size == 0:
+        return times
+    starts: List[float] = []
+    cluster_start = times[0]
+    cluster_count = 1
+    for previous, current in zip(times, times[1:]):
+        if current - previous <= max_gap:
+            cluster_count += 1
+        else:
+            if cluster_count >= min_size:
+                starts.append(cluster_start)
+            cluster_start = current
+            cluster_count = 1
+    if cluster_count >= min_size:
+        starts.append(cluster_start)
+    return np.asarray(starts, dtype=np.float64)
+
+
+#: Figure 8's x-axis: minimum lead time (minutes) a detection must have.
+#: Positive = before the ticket report, negative = allowed to trail it.
+FIGURE8_OFFSETS_MINUTES: Tuple[float, ...] = (15.0, 5.0, 0.0, -5.0, -15.0)
+
+
+def detection_rate_by_offset(
+    result: MappingResult,
+    offsets_minutes: Sequence[float] = FIGURE8_OFFSETS_MINUTES,
+    include_duplicates: bool = False,
+) -> Dict[str, Dict[float, float]]:
+    """Per-root-cause detection rates at different lead offsets (Fig. 8).
+
+    For each ticket and offset ``o`` (minutes), the ticket counts as
+    detected when some mapped anomaly precedes the ticket report by at
+    least ``o`` minutes (for negative ``o``: trails it by at most
+    ``|o|``).  Returns rates keyed by root-cause value plus ``"all"``.
+    """
+    hits = result.ticket_hits
+    tickets = [
+        ticket
+        for ticket in result.tickets
+        if include_duplicates or not ticket.is_duplicate
+    ]
+    rates: Dict[str, Dict[float, float]] = {}
+    groups: Dict[str, List[TroubleTicket]] = defaultdict(list)
+    for ticket in tickets:
+        groups[ticket.root_cause.value].append(ticket)
+    groups["all"] = tickets
+    for key, members in groups.items():
+        rates[key] = {}
+        for offset in offsets_minutes:
+            threshold = offset * MINUTE
+            detected = 0
+            for ticket in members:
+                ticket_hits = hits.get(ticket.ticket_id, [])
+                if any(
+                    hit.lead_time >= threshold for hit in ticket_hits
+                ):
+                    detected += 1
+            rates[key][offset] = (
+                detected / len(members) if members else 0.0
+            )
+    return rates

@@ -1,0 +1,194 @@
+"""Streaming detection runtime.
+
+The paper envisions "a runtime predictive analysis system running in
+parallel with existing reactive monitoring systems to provide network
+operators timely warnings" (abstract).  :class:`OnlineMonitor` is that
+runtime: it consumes syslog messages one at a time, keeps a sliding
+context per device, scores each arrival under the trained LSTM, and
+emits a :class:`WarningSignature` when a cluster of anomalies forms —
+with a cooldown so one incident raises one warning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.detector import LSTMAnomalyDetector
+from repro.logs.message import SyslogMessage
+from repro.logs.sequences import N_GAP_BUCKETS, gap_bucket
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.timeutil import MINUTE
+
+
+@dataclass(frozen=True)
+class WarningSignature:
+    """One operator-facing warning emitted by the monitor.
+
+    Attributes:
+        vpe: device the warning is for.
+        time: when the warning fired (timestamp of the anomaly that
+            completed the cluster).
+        first_anomaly: timestamp of the cluster's first anomaly.
+        n_anomalies: anomalies inside the cluster at emission time.
+        peak_score: highest anomaly score in the cluster.
+    """
+
+    vpe: str
+    time: float
+    first_anomaly: float
+    n_anomalies: int
+    peak_score: float
+
+
+@dataclass
+class _DeviceState:
+    """Per-device sliding context and anomaly history."""
+
+    context: Deque = field(default_factory=deque)
+    last_time: Optional[float] = None
+    last_score: Optional[float] = None
+    recent_anomalies: List[float] = field(default_factory=list)
+    peak_score: float = 0.0
+    cooldown_until: float = 0.0
+
+
+class OnlineMonitor:
+    """Score messages as they arrive; emit clustered warnings.
+
+    Args:
+        detector: a fitted :class:`LSTMAnomalyDetector`.
+        threshold: anomaly-score threshold (e.g. the operating point
+            from a threshold sweep on recent history).
+        cluster_min_size: anomalies needed before a warning fires
+            (2 = the paper's warning-signature rule).
+        cluster_max_gap: anomalies further apart than this do not
+            cluster.
+        cooldown: after a warning fires on a device, further warnings
+            are suppressed for this long (one incident, one page).
+    """
+
+    def __init__(
+        self,
+        detector: LSTMAnomalyDetector,
+        threshold: float,
+        cluster_min_size: int = 2,
+        cluster_max_gap: float = 5 * MINUTE,
+        cooldown: float = 30 * MINUTE,
+    ) -> None:
+        if cluster_min_size < 1:
+            raise ValueError("cluster_min_size must be >= 1")
+        if cluster_max_gap <= 0 or cooldown < 0:
+            raise ValueError("invalid gap/cooldown")
+        self.detector = detector
+        self.threshold = threshold
+        self.cluster_min_size = cluster_min_size
+        self.cluster_max_gap = cluster_max_gap
+        self.cooldown = cooldown
+        self._devices: Dict[str, _DeviceState] = {}
+        self.n_observed = 0
+        self.n_anomalies = 0
+
+    def observe(
+        self, message: SyslogMessage
+    ) -> Optional[WarningSignature]:
+        """Ingest one message; return a warning if one fires.
+
+        Messages must arrive in per-device timestamp order.
+        """
+        state = self._devices.setdefault(
+            message.host, _DeviceState()
+        )
+        if (
+            state.last_time is not None
+            and message.timestamp < state.last_time
+        ):
+            raise ValueError(
+                f"out-of-order message for {message.host}"
+            )
+        self.n_observed += 1
+        score = self._score(state, message)
+        state.last_score = score
+        state.last_time = message.timestamp
+        if score is None or score <= self.threshold:
+            return None
+        self.n_anomalies += 1
+        return self._register_anomaly(state, message, score)
+
+    def _score(
+        self, state: _DeviceState, message: SyslogMessage
+    ) -> Optional[float]:
+        """Score the arrival given the device's current context."""
+        detector = self.detector
+        template_id = detector.store.match(message)
+        if template_id >= detector.vocabulary_capacity:
+            template_id = 0
+        gap = (
+            N_GAP_BUCKETS - 1
+            if state.last_time is None
+            else gap_bucket(message.timestamp - state.last_time)
+        )
+        window = detector.windower.window
+        score: Optional[float] = None
+        if len(state.context) == window:
+            context = np.array(
+                [state.context], dtype=np.int64
+            )  # (1, window, 2)
+            logits = detector.model.forward(context, training=False)
+            likelihood = SoftmaxCrossEntropy.log_likelihoods(
+                logits, np.array([template_id])
+            )
+            score = float(-likelihood[0])
+        state.context.append((template_id, gap))
+        if len(state.context) > window:
+            state.context.popleft()
+        return score
+
+    def _register_anomaly(
+        self,
+        state: _DeviceState,
+        message: SyslogMessage,
+        score: float,
+    ) -> Optional[WarningSignature]:
+        now = message.timestamp
+        # Drop anomalies that no longer chain into the cluster.
+        state.recent_anomalies = [
+            t
+            for t in state.recent_anomalies
+            if now - t <= self.cluster_max_gap
+        ] + [now]
+        state.peak_score = max(
+            state.peak_score
+            if len(state.recent_anomalies) > 1
+            else 0.0,
+            score,
+        )
+        if now < state.cooldown_until:
+            return None
+        if len(state.recent_anomalies) < self.cluster_min_size:
+            return None
+        state.cooldown_until = now + self.cooldown
+        warning = WarningSignature(
+            vpe=message.host,
+            time=now,
+            first_anomaly=state.recent_anomalies[0],
+            n_anomalies=len(state.recent_anomalies),
+            peak_score=state.peak_score,
+        )
+        state.recent_anomalies = []
+        state.peak_score = 0.0
+        return warning
+
+    def run(
+        self, messages
+    ) -> List[WarningSignature]:
+        """Convenience: observe a whole (sorted) stream."""
+        warnings = []
+        for message in messages:
+            warning = self.observe(message)
+            if warning is not None:
+                warnings.append(warning)
+        return warnings

@@ -1,0 +1,176 @@
+"""Operational triage of detected anomalies (section 5.3).
+
+The paper categorizes detected conditions into four scenarios and
+leaves automating that categorization as future work:
+
+1. **predictive signal** — the anomaly repeatedly precedes tickets
+   (e.g. the "invalid response from peer chassis-control" message);
+2. **early-detection signature** — the anomaly co-occurs with the
+   fault and fires before the (delayed) ticket report, so it can be
+   turned into a faster ticket trigger (e.g. the "BGP UNUSABLE
+   ASPATH" storm);
+3. **ticketing-flow event** — the anomaly lands inside the infected
+   period: it is part of the events that triggered the ticket;
+4. **coincidental** — the anomaly matches no ticket; a candidate for
+   a suppression rule.
+
+:func:`triage` implements the categorization over a
+:class:`~repro.core.mapping.MappingResult`: per *warning condition*
+(the dominant template around each detection), it aggregates how that
+condition relates to tickets across the whole evaluation span and
+assigns the scenario.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.mapping import AnomalyKind, MappingResult
+from repro.logs.message import SyslogMessage
+from repro.logs.templates import TemplateStore
+from repro.timeutil import MINUTE
+
+
+class TriageScenario(enum.Enum):
+    """Section 5.3's four operational scenarios."""
+
+    PREDICTIVE_SIGNAL = "predictive_signal"
+    EARLY_DETECTION_SIGNATURE = "early_detection_signature"
+    TICKETING_FLOW_EVENT = "ticketing_flow_event"
+    COINCIDENTAL = "coincidental"
+
+
+@dataclass(frozen=True)
+class TriageFinding:
+    """One triaged warning condition.
+
+    Attributes:
+        condition: rendered template text of the dominant message
+            around the detections ("the condition").
+        scenario: the assigned operational scenario.
+        occurrences: how many detections carried this condition.
+        tickets_involved: distinct tickets the condition related to.
+        median_lead: median lead time (seconds before ticket report)
+            across ticket-related occurrences; None for coincidental.
+    """
+
+    condition: str
+    scenario: TriageScenario
+    occurrences: int
+    tickets_involved: int
+    median_lead: Optional[float]
+
+
+def _dominant_condition(
+    messages: Sequence[SyslogMessage],
+    store: TemplateStore,
+    when: float,
+    radius: float,
+) -> str:
+    """The most common template text within ``radius`` of ``when``."""
+    nearby = [
+        message
+        for message in messages
+        if abs(message.timestamp - when) <= radius
+    ]
+    if not nearby:
+        return "(no nearby messages)"
+    counts = Counter(store.match(message) for message in nearby)
+    template_id, _ = counts.most_common(1)[0]
+    template = (
+        store.template(template_id) if template_id else None
+    )
+    if template is None:
+        return "(unmined template)"
+    return template.render()
+
+
+def triage(
+    mapping: MappingResult,
+    messages_by_vpe: Mapping[str, Sequence[SyslogMessage]],
+    store: TemplateStore,
+    radius: float = 2 * MINUTE,
+    predictive_lead: float = 5 * MINUTE,
+) -> List[TriageFinding]:
+    """Categorize detected conditions into the four 5.3 scenarios.
+
+    Args:
+        mapping: the anomaly→ticket mapping of an evaluation span.
+        messages_by_vpe: the raw streams the detections came from, so
+            conditions can be named by their dominant template.
+        store: template store used for naming conditions.
+        radius: how far around a detection to look for its condition.
+        predictive_lead: minimum lead for a condition to count as
+            predictive rather than merely early-detection.
+
+    Returns:
+        Findings sorted by scenario severity (predictive first), then
+        by occurrence count.
+    """
+    per_condition: Dict[str, List] = defaultdict(list)
+    for record in mapping.records:
+        condition = _dominant_condition(
+            messages_by_vpe.get(record.vpe, ()),
+            store,
+            record.time,
+            radius,
+        )
+        per_condition[condition].append(record)
+
+    findings: List[TriageFinding] = []
+    for condition, records in per_condition.items():
+        related = [
+            r for r in records if r.kind is not AnomalyKind.FALSE_ALARM
+        ]
+        if not related:
+            findings.append(
+                TriageFinding(
+                    condition=condition,
+                    scenario=TriageScenario.COINCIDENTAL,
+                    occurrences=len(records),
+                    tickets_involved=0,
+                    median_lead=None,
+                )
+            )
+            continue
+        leads = sorted(
+            r.lead_time for r in related if r.lead_time is not None
+        )
+        median_lead = leads[len(leads) // 2]
+        tickets_involved = len(
+            {r.ticket.ticket_id for r in related if r.ticket}
+        )
+        early = [
+            r for r in related if r.kind is AnomalyKind.EARLY_WARNING
+        ]
+        if early and median_lead >= predictive_lead:
+            scenario = TriageScenario.PREDICTIVE_SIGNAL
+        elif early:
+            scenario = TriageScenario.EARLY_DETECTION_SIGNATURE
+        else:
+            scenario = TriageScenario.TICKETING_FLOW_EVENT
+        findings.append(
+            TriageFinding(
+                condition=condition,
+                scenario=scenario,
+                occurrences=len(records),
+                tickets_involved=tickets_involved,
+                median_lead=median_lead,
+            )
+        )
+    severity = {
+        TriageScenario.PREDICTIVE_SIGNAL: 0,
+        TriageScenario.EARLY_DETECTION_SIGNATURE: 1,
+        TriageScenario.TICKETING_FLOW_EVENT: 2,
+        TriageScenario.COINCIDENTAL: 3,
+    }
+    findings.sort(
+        key=lambda finding: (
+            severity[finding.scenario],
+            -finding.occurrences,
+        )
+    )
+    return findings

@@ -1,0 +1,28 @@
+"""Evaluation: detection metrics, PRC sweeps, bootstrap CIs, tables."""
+
+from repro.evaluation.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_detection_metrics,
+)
+from repro.evaluation.metrics import (
+    DetectionCounts,
+    PrecisionRecallPoint,
+    auc_pr,
+    best_operating_point,
+    f_measure,
+    precision_recall,
+)
+from repro.evaluation.reporting import format_series, format_table
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_detection_metrics",
+    "DetectionCounts",
+    "PrecisionRecallPoint",
+    "precision_recall",
+    "f_measure",
+    "best_operating_point",
+    "auc_pr",
+    "format_table",
+    "format_series",
+]

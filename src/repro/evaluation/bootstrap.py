@@ -1,0 +1,134 @@
+"""Bootstrap confidence intervals for detection metrics.
+
+The benchmarks run single seeded traces, so point estimates of
+precision/recall/F carry sampling noise — especially recall, whose
+denominator (tickets) is small.  These helpers quantify that noise by
+resampling detections (for precision) and tickets (for recall) with
+replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.evaluation.metrics import f_measure
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.core.mapping import MappingResult
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile bootstrap interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.point <= self.high:
+            raise ValueError(
+                f"interval [{self.low}, {self.high}] must bracket the "
+                f"point estimate {self.point}"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.point:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}]"
+        )
+
+
+def _percentile_interval(
+    samples: np.ndarray, point: float, confidence: float
+) -> ConfidenceInterval:
+    alpha = (1.0 - confidence) / 2.0
+    low = float(np.quantile(samples, alpha))
+    high = float(np.quantile(samples, 1.0 - alpha))
+    return ConfidenceInterval(
+        point=point,
+        low=min(low, point),
+        high=max(high, point),
+        confidence=confidence,
+    )
+
+
+def bootstrap_detection_metrics(
+    mapping: "MappingResult",
+    n_boot: int = 1000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, ConfidenceInterval]:
+    """Bootstrap precision / recall / F from a mapping result.
+
+    Precision resamples the detection records; recall resamples the
+    ticket population; F combines paired draws.  Returns a dict with
+    keys ``"precision"``, ``"recall"``, ``"f_measure"``.
+    """
+    from repro.core.mapping import AnomalyKind
+
+    if n_boot < 1:
+        raise ValueError("n_boot must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    record_hits = np.array(
+        [
+            record.kind is not AnomalyKind.FALSE_ALARM
+            for record in mapping.records
+        ],
+        dtype=np.float64,
+    )
+    ticket_hits = np.array(
+        [
+            bool(mapping.ticket_hits.get(ticket.ticket_id))
+            for ticket in mapping.tickets
+        ],
+        dtype=np.float64,
+    )
+    counts = mapping.counts
+    if record_hits.size == 0 or ticket_hits.size == 0:
+        zero = ConfidenceInterval(0.0, 0.0, 0.0, confidence)
+        return {
+            "precision": zero,
+            "recall": zero,
+            "f_measure": zero,
+        }
+    precision_samples = np.empty(n_boot)
+    recall_samples = np.empty(n_boot)
+    f_samples = np.empty(n_boot)
+    for index in range(n_boot):
+        precision = float(
+            np.mean(
+                record_hits[
+                    rng.integers(
+                        record_hits.size, size=record_hits.size
+                    )
+                ]
+            )
+        )
+        recall = float(
+            np.mean(
+                ticket_hits[
+                    rng.integers(
+                        ticket_hits.size, size=ticket_hits.size
+                    )
+                ]
+            )
+        )
+        precision_samples[index] = precision
+        recall_samples[index] = recall
+        f_samples[index] = f_measure(precision, recall)
+    return {
+        "precision": _percentile_interval(
+            precision_samples, counts.precision, confidence
+        ),
+        "recall": _percentile_interval(
+            recall_samples, counts.recall, confidence
+        ),
+        "f_measure": _percentile_interval(
+            f_samples, counts.f_measure, confidence
+        ),
+    }

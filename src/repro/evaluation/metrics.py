@@ -1,0 +1,122 @@
+"""Detection metrics: precision, recall, F-measure, PRC (section 5.2).
+
+The paper's definitions:
+
+* *Precision* — fraction of detected anomalies that are true anomalies
+  (fall inside a ticket's predictive or infected period);
+* *Recall* — fraction of tickets (the approximate ground truth) whose
+  periods contain at least one detected anomaly;
+* *F-measure* — their harmonic mean;
+* the *PRC* is swept by varying the LSTM log-likelihood threshold, and
+  the operating point maximizes F-measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionCounts:
+    """Raw counts from mapping anomalies to tickets.
+
+    Attributes:
+        true_anomalies: detections inside some ticket's periods.
+        false_alarms: detections outside every ticket's periods.
+        tickets_detected: tickets covered by >= 1 detection.
+        tickets_total: tickets considered.
+    """
+
+    true_anomalies: int
+    false_alarms: int
+    tickets_detected: int
+    tickets_total: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.true_anomalies,
+            self.false_alarms,
+            self.tickets_detected,
+            self.tickets_total,
+        ) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.tickets_detected > self.tickets_total:
+            raise ValueError(
+                "tickets_detected cannot exceed tickets_total"
+            )
+
+    @property
+    def precision(self) -> float:
+        detected = self.true_anomalies + self.false_alarms
+        if detected == 0:
+            return 0.0
+        return self.true_anomalies / detected
+
+    @property
+    def recall(self) -> float:
+        if self.tickets_total == 0:
+            return 0.0
+        return self.tickets_detected / self.tickets_total
+
+    @property
+    def f_measure(self) -> float:
+        return f_measure(self.precision, self.recall)
+
+
+def precision_recall(counts: DetectionCounts) -> Tuple[float, float]:
+    """Convenience accessor returning ``(precision, recall)``."""
+    return counts.precision, counts.recall
+
+
+def f_measure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (F1)."""
+    if precision < 0 or recall < 0:
+        raise ValueError("precision and recall must be non-negative")
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class PrecisionRecallPoint:
+    """One PRC point: the threshold and the metrics it produced."""
+
+    threshold: float
+    precision: float
+    recall: float
+
+    @property
+    def f_measure(self) -> float:
+        return f_measure(self.precision, self.recall)
+
+
+def best_operating_point(
+    curve: Sequence[PrecisionRecallPoint],
+) -> PrecisionRecallPoint:
+    """The PRC point maximizing F-measure (the paper's operating point)."""
+    if not curve:
+        raise ValueError("empty PRC")
+    return max(curve, key=lambda point: point.f_measure)
+
+
+def auc_pr(curve: Sequence[PrecisionRecallPoint]) -> float:
+    """Area under the PR curve via trapezoidal integration over recall.
+
+    Points are sorted by recall; duplicated recall values keep the max
+    precision, the usual convention.
+    """
+    if not curve:
+        return 0.0
+    by_recall: dict = {}
+    for point in curve:
+        existing = by_recall.get(point.recall)
+        if existing is None or point.precision > existing:
+            by_recall[point.recall] = point.precision
+    recalls = np.array(sorted(by_recall))
+    precisions = np.array([by_recall[r] for r in recalls])
+    if recalls.size == 1:
+        return float(precisions[0] * recalls[0])
+    return float(np.trapezoid(precisions, recalls))

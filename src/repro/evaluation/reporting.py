@@ -1,0 +1,60 @@
+"""Plain-text tables and series for benchmark output.
+
+Benchmarks print the same rows/series the paper's figures show; these
+helpers keep that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    string_rows: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            header.ljust(widths[index])
+            for index, header in enumerate(headers)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[index])
+                for index, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Sequence[float], precision: int = 3
+) -> str:
+    """Render a named numeric series on one line."""
+    rendered = ", ".join(f"{value:.{precision}f}" for value in values)
+    return f"{name}: [{rendered}]"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

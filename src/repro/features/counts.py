@@ -1,0 +1,103 @@
+"""Template-frequency distributions over time windows.
+
+Section 3.3 computes, per vPE, the "normalized frequency distribution"
+of syslog templates inside sliding one-month windows, then compares
+distributions with cosine similarity.  These helpers produce exactly
+those vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.message import SyslogMessage
+from repro.timeutil import MONTH
+
+
+def template_distribution(
+    messages: Iterable[SyslogMessage], vocabulary_size: int
+) -> np.ndarray:
+    """Normalized template-frequency vector of a message set.
+
+    Messages must carry template ids.  Returns a vector of length
+    ``vocabulary_size`` summing to 1 (or all zeros for an empty set).
+    """
+    counts = np.zeros(vocabulary_size, dtype=np.float64)
+    total = 0
+    for message in messages:
+        if message.template_id is None:
+            raise ValueError("message lacks a template id")
+        if not 0 <= message.template_id < vocabulary_size:
+            raise ValueError(
+                f"template id {message.template_id} outside vocabulary "
+                f"of size {vocabulary_size}"
+            )
+        counts[message.template_id] += 1
+        total += 1
+    if total:
+        counts /= total
+    return counts
+
+
+def sliding_distributions(
+    messages: Sequence[SyslogMessage],
+    vocabulary_size: int,
+    window: float = MONTH,
+    step: float = MONTH,
+    start: float = None,
+    end: float = None,
+) -> List[Tuple[float, np.ndarray]]:
+    """Distribution per sliding window — ``(window_start, vector)``.
+
+    Messages must be sorted by timestamp.  Windows are ``[t, t+window)``
+    advancing by ``step``; ``start``/``end`` default to the message
+    span.  Empty windows yield zero vectors, preserving alignment
+    across vPEs.
+    """
+    if not messages:
+        return []
+    if start is None:
+        start = messages[0].timestamp
+    if end is None:
+        end = messages[-1].timestamp
+    times = np.fromiter(
+        (message.timestamp for message in messages),
+        dtype=np.float64,
+        count=len(messages),
+    )
+    out: List[Tuple[float, np.ndarray]] = []
+    window_start = start
+    while window_start < end:
+        lo = int(np.searchsorted(times, window_start, side="left"))
+        hi = int(
+            np.searchsorted(times, window_start + window, side="left")
+        )
+        out.append(
+            (
+                window_start,
+                template_distribution(
+                    messages[lo:hi], vocabulary_size
+                ),
+            )
+        )
+        window_start += step
+    return out
+
+
+def distribution_matrix(
+    per_entity_messages: Sequence[Sequence[SyslogMessage]],
+    vocabulary_size: int,
+) -> np.ndarray:
+    """Stack one whole-trace distribution per entity into a matrix.
+
+    Rows are entities (vPEs), columns template ids; the K-means vPE
+    grouping clusters these rows.
+    """
+    return np.stack(
+        [
+            template_distribution(messages, vocabulary_size)
+            for messages in per_entity_messages
+        ]
+    )

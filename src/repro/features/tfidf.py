@@ -1,0 +1,105 @@
+"""TF-IDF vectorization over windows of template ids.
+
+The autoencoder baseline (section 5.2) takes "TF-IDF (term-frequency,
+inverse document frequency) features" following Zhang et al. (Big Data
+2016): each fixed-size window of template ids is a document, each
+template id a term.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class TfidfVectorizer:
+    """Fit IDF weights on template-id windows; transform to vectors.
+
+    Documents are integer sequences; the vocabulary is fixed up front
+    (template store vocabulary size) so vectors from different months
+    stay aligned.
+    """
+
+    def __init__(self, vocabulary_size: int, smooth: bool = True) -> None:
+        if vocabulary_size < 1:
+            raise ValueError("vocabulary_size must be >= 1")
+        self.vocabulary_size = vocabulary_size
+        self.smooth = smooth
+        self.idf_: np.ndarray = None  # type: ignore[assignment]
+
+    @property
+    def fitted(self) -> bool:
+        return self.idf_ is not None
+
+    def _term_counts(
+        self, documents: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        counts = np.zeros(
+            (len(documents), self.vocabulary_size), dtype=np.float64
+        )
+        for row, document in enumerate(documents):
+            for term in document:
+                if not 0 <= term < self.vocabulary_size:
+                    raise ValueError(
+                        f"term {term} outside vocabulary of size "
+                        f"{self.vocabulary_size}"
+                    )
+                counts[row, term] += 1
+        return counts
+
+    def fit(
+        self, documents: Sequence[Sequence[int]]
+    ) -> "TfidfVectorizer":
+        """Learn IDF weights from a document collection."""
+        if not documents:
+            raise ValueError("cannot fit on an empty document collection")
+        counts = self._term_counts(documents)
+        document_frequency = (counts > 0).sum(axis=0).astype(np.float64)
+        n_documents = float(len(documents))
+        if self.smooth:
+            self.idf_ = (
+                np.log((1.0 + n_documents) / (1.0 + document_frequency))
+                + 1.0
+            )
+        else:
+            self.idf_ = (
+                np.log(n_documents / np.maximum(document_frequency, 1.0))
+                + 1.0
+            )
+        return self
+
+    def transform(
+        self, documents: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Map documents to L2-normalized TF-IDF vectors."""
+        if not self.fitted:
+            raise RuntimeError("TfidfVectorizer.transform before fit")
+        counts = self._term_counts(documents)
+        lengths = counts.sum(axis=1, keepdims=True)
+        term_frequency = counts / np.maximum(lengths, 1.0)
+        vectors = term_frequency * self.idf_
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        return vectors / np.maximum(norms, 1e-12)
+
+    def fit_transform(
+        self, documents: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        return self.fit(documents).transform(documents)
+
+
+def window_documents(
+    template_ids: Sequence[int], window: int, stride: int = None
+) -> List[List[int]]:
+    """Chop a template-id stream into fixed-size documents."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if stride is None:
+        stride = window
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    ids = list(template_ids)
+    return [
+        ids[start:start + window]
+        for start in range(0, max(len(ids) - window + 1, 0), stride)
+    ]

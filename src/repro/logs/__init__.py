@@ -1,0 +1,37 @@
+"""Syslog substrate: message model, wire format, templates, sequences.
+
+The paper consumes router syslogs in two representations:
+
+* raw free-form text lines, as emitted by the vPE (``repro.logs.message``
+  and ``repro.logs.syslog_format``);
+* structured *templates* mined with a signature tree (Qiu et al.,
+  IMC 2010), which turn each raw line into a ``(template_id, gap)``
+  tuple consumed by the LSTM (``repro.logs.signature_tree`` and
+  ``repro.logs.templates``).
+
+``repro.logs.sequences`` windows template streams into the ``k`` inputs /
+next-template supervision pairs used for language-model training.
+"""
+
+from repro.logs.message import Facility, Severity, SyslogMessage
+from repro.logs.persistence import store_from_json, store_to_json
+from repro.logs.sequences import SequenceWindower, TemplateEvent
+from repro.logs.signature_tree import SignatureTree, tokenize
+from repro.logs.syslog_format import format_rfc3164, parse_rfc3164
+from repro.logs.templates import Template, TemplateStore
+
+__all__ = [
+    "Facility",
+    "Severity",
+    "SyslogMessage",
+    "SignatureTree",
+    "tokenize",
+    "format_rfc3164",
+    "parse_rfc3164",
+    "Template",
+    "TemplateStore",
+    "TemplateEvent",
+    "SequenceWindower",
+    "store_to_json",
+    "store_from_json",
+]

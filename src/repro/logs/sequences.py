@@ -1,0 +1,139 @@
+"""Windowing template streams into LSTM training samples.
+
+Section 4.2: each log is represented as a tuple ``(m_i, t_i - t_{i-1})``
+— the template id plus the gap to the previous message — and the model
+is trained to predict ``m_{k+1}`` from the previous ``k`` tuples.  This
+module turns an annotated message stream into those samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.message import SyslogMessage
+
+#: Gap values are log-compressed into coarse buckets so the model sees a
+#: small discrete timing signal rather than a raw float.  Bucket edges in
+#: seconds: <1s, <10s, <1min, <10min, <1h, >=1h.
+GAP_BUCKET_EDGES: Tuple[float, ...] = (1.0, 10.0, 60.0, 600.0, 3600.0)
+N_GAP_BUCKETS: int = len(GAP_BUCKET_EDGES) + 1
+
+
+def gap_bucket(gap_seconds: float) -> int:
+    """Map an inter-message gap to its discrete bucket index."""
+    if gap_seconds < 0:
+        raise ValueError(f"negative gap: {gap_seconds}")
+    for index, edge in enumerate(GAP_BUCKET_EDGES):
+        if gap_seconds < edge:
+            return index
+    return len(GAP_BUCKET_EDGES)
+
+
+@dataclass(frozen=True)
+class TemplateEvent:
+    """One element of a template stream: ``(template id, gap bucket)``."""
+
+    timestamp: float
+    template_id: int
+    gap_bucket: int
+
+
+def events_from_messages(
+    messages: Sequence[SyslogMessage],
+) -> List[TemplateEvent]:
+    """Convert annotated messages into a template-event stream.
+
+    Messages must be template-annotated (via ``TemplateStore.transform``)
+    and sorted by timestamp; the first message gets the largest gap
+    bucket (it follows "nothing").
+    """
+    events: List[TemplateEvent] = []
+    previous_time: float = None  # type: ignore[assignment]
+    for message in messages:
+        if message.template_id is None:
+            raise ValueError(
+                "message lacks a template id; run TemplateStore.transform"
+            )
+        if previous_time is not None and message.timestamp < previous_time:
+            raise ValueError("messages must be sorted by timestamp")
+        gap = (
+            N_GAP_BUCKETS - 1
+            if previous_time is None
+            else gap_bucket(message.timestamp - previous_time)
+        )
+        events.append(
+            TemplateEvent(
+                timestamp=message.timestamp,
+                template_id=message.template_id,
+                gap_bucket=gap,
+            )
+        )
+        previous_time = message.timestamp
+    return events
+
+
+class SequenceWindower:
+    """Slide a length-``k`` window over a template stream.
+
+    Produces ``(context, target)`` pairs where ``context`` is the
+    ``k × 2`` array of ``(template_id, gap_bucket)`` tuples and
+    ``target`` is the next template id — the multi-class label the LSTM
+    predicts.
+    """
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def windows(
+        self, events: Sequence[TemplateEvent]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(contexts, targets, target_times)`` arrays.
+
+        ``contexts`` has shape ``(n, window, 2)``; ``targets`` and
+        ``target_times`` have shape ``(n,)``.  ``target_times`` carries
+        the timestamp of each predicted message so detections can be
+        placed on the trace timeline.
+        """
+        n = len(events) - self.window
+        if n <= 0:
+            empty_ctx = np.empty((0, self.window, 2), dtype=np.int64)
+            return (
+                empty_ctx,
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        contexts = np.empty((n, self.window, 2), dtype=np.int64)
+        targets = np.empty(n, dtype=np.int64)
+        target_times = np.empty(n, dtype=np.float64)
+        ids = np.fromiter(
+            (event.template_id for event in events),
+            dtype=np.int64,
+            count=len(events),
+        )
+        gaps = np.fromiter(
+            (event.gap_bucket for event in events),
+            dtype=np.int64,
+            count=len(events),
+        )
+        times = np.fromiter(
+            (event.timestamp for event in events),
+            dtype=np.float64,
+            count=len(events),
+        )
+        for offset in range(self.window):
+            contexts[:, offset, 0] = ids[offset:offset + n]
+            contexts[:, offset, 1] = gaps[offset:offset + n]
+        targets[:] = ids[self.window:]
+        target_times[:] = times[self.window:]
+        return contexts, targets, target_times
+
+    def windows_from_messages(
+        self, messages: Sequence[SyslogMessage]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convenience: annotate-free path from messages to windows."""
+        return self.windows(events_from_messages(messages))

@@ -1,0 +1,218 @@
+"""Signature-tree template mining for router syslogs.
+
+The paper structures raw syslogs with the signature-tree approach of
+Qiu et al. ("What happened in my network: mining network events from
+router syslogs", IMC 2010): messages are grouped by coarse structure,
+then positions whose values vary across messages of the same group are
+generalized into wildcards, yielding a small set of message *templates*
+(signatures).  Each raw line then maps to exactly one template id, and
+the LSTM models the sequence of template ids.
+
+This implementation builds a three-level tree:
+
+1. level 1 — token count of the message body;
+2. level 2 — the reporting process concatenated with the first token
+   (router logs almost always lead with a stable event keyword);
+3. leaves — a list of signatures.  A signature is a tuple of tokens
+   where ``None`` marks a wildcard position.
+
+A new message either matches an existing signature exactly (all
+non-wildcard positions equal), is merged into the most similar
+signature when the token-agreement ratio clears ``merge_threshold``
+(disagreeing positions become wildcards), or starts a new signature.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logs.message import SyslogMessage
+
+#: Wildcard marker inside a signature.
+WILDCARD = None
+
+_TOKEN_RE = re.compile(r"\S+")
+
+# Token shapes that are variable by construction and should never be
+# treated as stable structure: numbers, IPv4 addresses, hex words,
+# interface names with unit numbers, durations.
+_VARIABLE_PATTERNS = (
+    re.compile(r"^\d+$"),
+    re.compile(r"^\d{1,3}(\.\d{1,3}){3}(:\d+)?$"),
+    re.compile(r"^0x[0-9a-fA-F]+$"),
+    re.compile(r"^(ge|xe|et|ae|lo|irb|fxp)-?\d+(/\d+)*(\.\d+)?$"),
+    re.compile(r"^\d+(\.\d+)?(ms|s|us|%)$"),
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a message body into whitespace-delimited tokens."""
+    return _TOKEN_RE.findall(text)
+
+
+def is_variable_token(token: str) -> bool:
+    """Return True when a token is variable by shape (number, IP, ...)."""
+    return any(pattern.match(token) for pattern in _VARIABLE_PATTERNS)
+
+
+Signature = Tuple[Optional[str], ...]
+
+
+def _presignature(tokens: Sequence[str]) -> Signature:
+    """Wildcard the by-shape-variable tokens before any merging."""
+    return tuple(
+        WILDCARD if is_variable_token(token) else token for token in tokens
+    )
+
+
+def _agreement(a: Signature, b: Signature) -> float:
+    """Fraction of positions on which two equal-length signatures agree.
+
+    Wildcard positions count as agreement: a wildcard is compatible
+    with any token.
+    """
+    if len(a) != len(b):
+        raise ValueError("signatures must have equal length")
+    if not a:
+        return 1.0
+    agree = sum(
+        1
+        for x, y in zip(a, b)
+        if x == y or x is WILDCARD or y is WILDCARD
+    )
+    return agree / len(a)
+
+
+def _merge(a: Signature, b: Signature) -> Signature:
+    """Merge two signatures, wildcarding every disagreeing position."""
+    return tuple(
+        x if x == y else WILDCARD for x, y in zip(a, b)
+    )
+
+
+def _matches(signature: Signature, tokens: Signature) -> bool:
+    """True when ``tokens`` is an instance of ``signature``."""
+    return len(signature) == len(tokens) and all(
+        s is WILDCARD or s == t for s, t in zip(signature, tokens)
+    )
+
+
+@dataclass
+class _Leaf:
+    """A leaf bucket holding the signatures of one (count, key) group."""
+
+    signatures: List[Signature] = field(default_factory=list)
+    supports: List[int] = field(default_factory=list)
+
+    def insert(self, presig: Signature, merge_threshold: float) -> int:
+        """Insert a pre-signature, returning its local signature index."""
+        for index, signature in enumerate(self.signatures):
+            if _matches(signature, presig):
+                self.supports[index] += 1
+                return index
+        best_index, best_score = -1, 0.0
+        for index, signature in enumerate(self.signatures):
+            score = _agreement(signature, presig)
+            if score > best_score:
+                best_index, best_score = index, score
+        if best_index >= 0 and best_score >= merge_threshold:
+            self.signatures[best_index] = _merge(
+                self.signatures[best_index], presig
+            )
+            self.supports[best_index] += 1
+            return best_index
+        self.signatures.append(presig)
+        self.supports.append(1)
+        return len(self.signatures) - 1
+
+
+class SignatureTree:
+    """Incremental signature-tree miner over syslog messages.
+
+    Args:
+        merge_threshold: minimum token-agreement ratio for merging a
+            message into an existing signature rather than creating a
+            new one.  The paper does not publish the value; 0.7 matches
+            the common setting in the log-mining literature.
+    """
+
+    def __init__(self, merge_threshold: float = 0.7) -> None:
+        if not 0.0 < merge_threshold <= 1.0:
+            raise ValueError(
+                f"merge_threshold must be in (0, 1], got {merge_threshold}"
+            )
+        self.merge_threshold = merge_threshold
+        self._tree: Dict[int, Dict[str, _Leaf]] = {}
+
+    def _leaf_for(self, process: str, tokens: Sequence[str]) -> _Leaf:
+        level1 = self._tree.setdefault(len(tokens), {})
+        first = next(
+            (tok for tok in tokens if not is_variable_token(tok)), ""
+        )
+        key = f"{process}\x00{first}"
+        leaf = level1.get(key)
+        if leaf is None:
+            leaf = _Leaf()
+            level1[key] = leaf
+        return leaf
+
+    def insert(self, message: SyslogMessage) -> Signature:
+        """Insert one message and return the signature it landed in."""
+        tokens = tokenize(message.text)
+        leaf = self._leaf_for(message.process, tokens)
+        index = leaf.insert(_presignature(tokens), self.merge_threshold)
+        return leaf.signatures[index]
+
+    def lookup(self, message: SyslogMessage) -> Optional[Signature]:
+        """Return the matching signature without modifying the tree."""
+        tokens = tokenize(message.text)
+        level1 = self._tree.get(len(tokens))
+        if level1 is None:
+            return None
+        first = next(
+            (tok for tok in tokens if not is_variable_token(tok)), ""
+        )
+        leaf = level1.get(f"{message.process}\x00{first}")
+        if leaf is None:
+            return None
+        presig = _presignature(tokens)
+        for signature in leaf.signatures:
+            if _matches(signature, presig):
+                return signature
+        return None
+
+    def signatures(self) -> List[Tuple[str, Signature, int]]:
+        """Return ``(process, signature, support)`` for every signature.
+
+        The process component of the level-2 key is returned so callers
+        can attribute each signature to the daemon that emits it.
+        """
+        out: List[Tuple[str, Signature, int]] = []
+        for level1 in self._tree.values():
+            for key, leaf in level1.items():
+                process = key.split("\x00", 1)[0]
+                out.extend(
+                    (process, signature, support)
+                    for signature, support in zip(
+                        leaf.signatures, leaf.supports
+                    )
+                )
+        return out
+
+    @property
+    def n_signatures(self) -> int:
+        """Total number of mined signatures."""
+        return sum(
+            len(leaf.signatures)
+            for level1 in self._tree.values()
+            for leaf in level1.values()
+        )
+
+
+def render_signature(signature: Signature, wildcard: str = "<*>") -> str:
+    """Render a signature as human-readable text."""
+    return " ".join(
+        wildcard if token is WILDCARD else token for token in signature
+    )

@@ -1,0 +1,87 @@
+"""RFC 3164-style wire formatting and parsing for syslog lines.
+
+The fleet simulator emits messages through :func:`format_rfc3164` so
+that the template miner is exercised on realistic raw text rather than
+on pre-structured records, and :func:`parse_rfc3164` reverses the
+transform for ingest.  The format is the classic BSD shape::
+
+    <PRI>MMM DD HH:MM:SS host process: message text
+
+Timestamps carry no year (as in RFC 3164), so the parser takes a
+``year_origin`` hint; the simulator's traces are contiguous, which makes
+recovery unambiguous in practice.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+import time
+from typing import Optional
+
+from repro.logs.message import SyslogMessage, decode_priority
+
+_RFC3164_RE = re.compile(
+    r"^<(?P<pri>\d{1,3})>"
+    r"(?P<mon>[A-Z][a-z]{2}) {1,2}(?P<day>\d{1,2}) "
+    r"(?P<time>\d{2}:\d{2}:\d{2}) "
+    r"(?P<host>\S+) "
+    r"(?P<process>[^:\s]+): "
+    r"(?P<text>.*)$"
+)
+
+_MONTH_ABBR = {
+    abbr: index
+    for index, abbr in enumerate(calendar.month_abbr)
+    if abbr
+}
+
+
+def format_rfc3164(message: SyslogMessage) -> str:
+    """Render a :class:`SyslogMessage` as an RFC 3164 line."""
+    stamp = time.gmtime(message.timestamp)
+    month = calendar.month_abbr[stamp.tm_mon]
+    # RFC 3164 pads single-digit days with a space, not a zero.
+    day = f"{stamp.tm_mday:2d}"
+    clock = time.strftime("%H:%M:%S", stamp)
+    return (
+        f"<{message.priority}>{month} {day} {clock} "
+        f"{message.host} {message.process}: {message.text}"
+    )
+
+
+def parse_rfc3164(
+    line: str, year_origin: Optional[int] = None
+) -> SyslogMessage:
+    """Parse an RFC 3164 line back into a :class:`SyslogMessage`.
+
+    Args:
+        line: the raw syslog line.
+        year_origin: the year to assume for the (year-less) RFC 3164
+            timestamp.  Defaults to the current UTC year.
+
+    Raises:
+        ValueError: if the line does not match the RFC 3164 shape or
+            carries an invalid PRI / date.
+    """
+    match = _RFC3164_RE.match(line)
+    if match is None:
+        raise ValueError(f"not an RFC 3164 syslog line: {line!r}")
+    facility, severity = decode_priority(int(match.group("pri")))
+    month = _MONTH_ABBR.get(match.group("mon"))
+    if month is None:
+        raise ValueError(f"unknown month abbreviation in {line!r}")
+    year = year_origin if year_origin is not None else time.gmtime().tm_year
+    hour, minute, second = (int(part) for part in
+                            match.group("time").split(":"))
+    timestamp = calendar.timegm(
+        (year, month, int(match.group("day")), hour, minute, second, 0, 0, 0)
+    )
+    return SyslogMessage(
+        timestamp=float(timestamp),
+        host=match.group("host"),
+        process=match.group("process"),
+        text=match.group("text"),
+        severity=severity,
+        facility=facility,
+    )

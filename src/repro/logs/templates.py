@@ -1,0 +1,182 @@
+"""Template store: stable ids for mined syslog signatures.
+
+The LSTM treats syslogs as a language over a finite template set ``S``
+(section 4.2 of the paper).  :class:`TemplateStore` assigns each mined
+signature a stable integer id, maps raw messages to ids, and reserves
+id 0 for out-of-vocabulary messages (templates first seen after the
+store was fitted — exactly the situation after a software update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logs.message import SyslogMessage
+from repro.logs.signature_tree import (
+    Signature,
+    SignatureTree,
+    render_signature,
+)
+
+#: Template id reserved for messages that match no known signature.
+UNKNOWN_TEMPLATE_ID = 0
+
+
+@dataclass(frozen=True)
+class Template:
+    """A mined message template.
+
+    Attributes:
+        template_id: stable integer id (>= 1; 0 is the unknown id).
+        process: the daemon that emits this template.
+        signature: token tuple with ``None`` wildcards.
+        support: number of training messages that matched.
+    """
+
+    template_id: int
+    process: str
+    signature: Signature
+    support: int
+
+    def render(self) -> str:
+        """Human-readable ``process: template text`` rendering."""
+        return f"{self.process}: {render_signature(self.signature)}"
+
+
+class TemplateStore:
+    """Fit a signature tree on a corpus and map messages to template ids.
+
+    Typical use::
+
+        store = TemplateStore()
+        store.fit(training_messages)
+        ids = [store.match(m) for m in stream]
+
+    ``match`` returns :data:`UNKNOWN_TEMPLATE_ID` for messages whose
+    signature was never mined; downstream models treat that id as its
+    own vocabulary entry, which is what lets the detector notice brand
+    new message types introduced by software updates.
+    """
+
+    def __init__(self, merge_threshold: float = 0.7) -> None:
+        self._tree = SignatureTree(merge_threshold=merge_threshold)
+        self._templates: List[Template] = []
+        self._index: Dict[Tuple[str, Signature], int] = {}
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` (or :meth:`extend`) has run."""
+        return self._fitted
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of ids a model must handle (templates + unknown id)."""
+        return len(self._templates) + 1
+
+    def fit(self, messages: Iterable[SyslogMessage]) -> "TemplateStore":
+        """Mine signatures from a corpus and freeze ids.
+
+        Calling ``fit`` twice restarts mining from scratch; use
+        :meth:`extend` to add templates while preserving existing ids.
+        """
+        self._tree = SignatureTree(
+            merge_threshold=self._tree.merge_threshold
+        )
+        self._templates = []
+        self._index = {}
+        for message in messages:
+            self._tree.insert(message)
+        self._rebuild_index()
+        self._fitted = True
+        return self
+
+    def extend(self, messages: Iterable[SyslogMessage]) -> int:
+        """Mine additional messages, keeping already-assigned ids stable.
+
+        Returns the number of templates added.  Signature merging may
+        generalize an existing signature in place; its id is preserved
+        because ids are keyed by leaf identity order, re-derived after
+        insertion.
+        """
+        if not self._fitted:
+            self.fit(messages)
+            return len(self._templates)
+        before = len(self._templates)
+        for message in messages:
+            self._tree.insert(message)
+        self._rebuild_index()
+        return len(self._templates) - before
+
+    def _rebuild_index(self) -> None:
+        known = {
+            (template.process, template.signature): template.template_id
+            for template in self._templates
+        }
+        rebuilt: List[Template] = []
+        next_id = len(self._templates) + 1
+        seen_ids = set()
+        for process, signature, support in self._tree.signatures():
+            key = (process, signature)
+            template_id = known.get(key)
+            if template_id is None or template_id in seen_ids:
+                template_id = next_id
+                next_id += 1
+            seen_ids.add(template_id)
+            rebuilt.append(
+                Template(
+                    template_id=template_id,
+                    process=process,
+                    signature=signature,
+                    support=support,
+                )
+            )
+        rebuilt.sort(key=lambda template: template.template_id)
+        # Re-number densely so vocabulary size equals template count + 1.
+        self._templates = [
+            Template(
+                template_id=index + 1,
+                process=template.process,
+                signature=template.signature,
+                support=template.support,
+            )
+            for index, template in enumerate(rebuilt)
+        ]
+        self._index = {
+            (template.process, template.signature): template.template_id
+            for template in self._templates
+        }
+
+    def match(self, message: SyslogMessage) -> int:
+        """Map a message to its template id (0 when unknown)."""
+        if not self._fitted:
+            raise RuntimeError("TemplateStore.match called before fit")
+        signature = self._tree.lookup(message)
+        if signature is None:
+            return UNKNOWN_TEMPLATE_ID
+        return self._index.get(
+            (message.process, signature), UNKNOWN_TEMPLATE_ID
+        )
+
+    def transform(
+        self, messages: Sequence[SyslogMessage]
+    ) -> List[SyslogMessage]:
+        """Return copies of ``messages`` annotated with template ids."""
+        return [
+            message.with_template(self.match(message))
+            for message in messages
+        ]
+
+    def template(self, template_id: int) -> Optional[Template]:
+        """Look up a template by id (``None`` for the unknown id)."""
+        if template_id == UNKNOWN_TEMPLATE_ID:
+            return None
+        index = template_id - 1
+        if not 0 <= index < len(self._templates):
+            raise KeyError(f"unknown template id {template_id}")
+        return self._templates[index]
+
+    def templates(self) -> List[Template]:
+        """All templates, ordered by id."""
+        return list(self._templates)

@@ -1,0 +1,26 @@
+"""Shallow machine-learning substrate.
+
+* :mod:`repro.ml.similarity` — cosine similarity (section 3.3);
+* :mod:`repro.ml.kmeans` — K-means with a modularity-style criterion
+  for choosing K (section 4.3's vPE grouping);
+* :mod:`repro.ml.ocsvm` — one-class SVM (the shallow baseline of
+  section 5.2);
+* :mod:`repro.ml.pca` — PCA-subspace anomaly detection (Xu et al.,
+  SOSP 2009), implemented as an additional reference method.
+"""
+
+from repro.ml.isolation_forest import IsolationForest
+from repro.ml.kmeans import KMeans, choose_k
+from repro.ml.ocsvm import OneClassSVM
+from repro.ml.pca import PCADetector
+from repro.ml.similarity import cosine_similarity, pairwise_cosine
+
+__all__ = [
+    "IsolationForest",
+    "KMeans",
+    "choose_k",
+    "OneClassSVM",
+    "PCADetector",
+    "cosine_similarity",
+    "pairwise_cosine",
+]

@@ -1,0 +1,146 @@
+"""Isolation forest (Liu, Ting & Zhou, 2008).
+
+An additional unsupervised baseline beyond the paper's two comparison
+methods: isolation forests isolate anomalies with random axis-aligned
+splits — points that isolate in few splits are anomalous.  Included
+because it is the de-facto industrial default for tabular anomaly
+detection, making it a natural "what if we just used the standard
+tool" reference for the method-comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+def _harmonic(n: float) -> float:
+    """Approximate harmonic number H(n)."""
+    return float(np.log(n) + 0.5772156649)
+
+
+def average_path_length(n: int) -> float:
+    """Expected path length of unsuccessful BST search, c(n)."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    return 2.0 * _harmonic(n - 1) - 2.0 * (n - 1) / n
+
+
+@dataclass
+class _Node:
+    """One node of an isolation tree."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _build_tree(
+    points: np.ndarray,
+    rng: np.random.Generator,
+    depth: int,
+    max_depth: int,
+) -> _Node:
+    n = points.shape[0]
+    if depth >= max_depth or n <= 1:
+        return _Node(size=n)
+    # pick a feature with spread; give up after a few tries
+    for _ in range(4):
+        feature = int(rng.integers(points.shape[1]))
+        lo = float(points[:, feature].min())
+        hi = float(points[:, feature].max())
+        if hi > lo:
+            break
+    else:
+        return _Node(size=n)
+    threshold = float(rng.uniform(lo, hi))
+    mask = points[:, feature] < threshold
+    return _Node(
+        feature=feature,
+        threshold=threshold,
+        left=_build_tree(points[mask], rng, depth + 1, max_depth),
+        right=_build_tree(points[~mask], rng, depth + 1, max_depth),
+        size=n,
+    )
+
+
+def _path_length(node: _Node, point: np.ndarray, depth: int) -> float:
+    while not node.is_leaf:
+        if point[node.feature] < node.threshold:
+            node = node.left
+        else:
+            node = node.right
+        depth += 1
+    return depth + average_path_length(node.size)
+
+
+class IsolationForest:
+    """Isolation forest anomaly scorer.
+
+    Args:
+        n_trees: ensemble size.
+        sample_size: sub-sample per tree (256 in the original paper).
+        rng: seeded generator.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        sample_size: int = 256,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if sample_size < 2:
+            raise ValueError("sample_size must be >= 2")
+        self.n_trees = n_trees
+        self.sample_size = sample_size
+        self.rng = rng or np.random.default_rng(0)
+        self._trees: List[_Node] = []
+        self._c: float = 1.0
+
+    def fit(self, x: np.ndarray) -> "IsolationForest":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise ValueError(f"need an (n >= 2, d) matrix, got {x.shape}")
+        sample = min(self.sample_size, x.shape[0])
+        max_depth = int(np.ceil(np.log2(sample)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            index = self.rng.choice(
+                x.shape[0], size=sample, replace=False
+            )
+            self._trees.append(
+                _build_tree(x[index], self.rng, 0, max_depth)
+            )
+        self._c = average_path_length(sample)
+        return self
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Anomaly score in (0, 1); higher = more anomalous."""
+        if not self._trees:
+            raise RuntimeError("IsolationForest.score_samples before fit")
+        x = np.asarray(x, dtype=np.float64)
+        scores = np.empty(x.shape[0])
+        for row in range(x.shape[0]):
+            mean_path = np.mean([
+                _path_length(tree, x[row], 0) for tree in self._trees
+            ])
+            scores[row] = 2.0 ** (-mean_path / max(self._c, 1e-9))
+        return scores
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5):
+        """+1 inlier / -1 anomaly at an anomaly-score threshold."""
+        return np.where(
+            self.score_samples(x) <= threshold, 1, -1
+        )

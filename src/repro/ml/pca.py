@@ -1,0 +1,78 @@
+"""PCA-subspace anomaly detection (Xu et al., SOSP 2009).
+
+The related-work baseline: project feature vectors onto the principal
+subspace learned from normal data; the squared residual norm in the
+complementary subspace is the anomaly score (large residual = the
+vector does not fit the dominant correlation structure of normal logs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCADetector:
+    """Residual-subspace anomaly scoring.
+
+    Args:
+        variance_retained: fraction of training variance the principal
+            subspace must capture (Xu et al. use 0.95).
+        n_components: overrides ``variance_retained`` with an explicit
+            subspace dimension when set.
+    """
+
+    def __init__(
+        self,
+        variance_retained: float = 0.95,
+        n_components: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < variance_retained <= 1.0:
+            raise ValueError(
+                "variance_retained must be in (0, 1], got "
+                f"{variance_retained}"
+            )
+        self.variance_retained = variance_retained
+        self.n_components = n_components
+        self.mean_: np.ndarray = None  # type: ignore[assignment]
+        self.components_: np.ndarray = None  # type: ignore[assignment]
+
+    def fit(self, x: np.ndarray) -> "PCADetector":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise ValueError(
+                f"need a (n >= 2, d) matrix, got shape {x.shape}"
+            )
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _, singular_values, rows = np.linalg.svd(
+            centered, full_matrices=False
+        )
+        if self.n_components is not None:
+            keep = min(self.n_components, rows.shape[0])
+        else:
+            energy = singular_values**2
+            total = energy.sum()
+            if total == 0.0:
+                keep = 1
+            else:
+                ratio = np.cumsum(energy) / total
+                keep = int(
+                    np.searchsorted(ratio, self.variance_retained) + 1
+                )
+        self.components_ = rows[:keep]
+        return self
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Squared residual norm; larger means more anomalous."""
+        if self.components_ is None:
+            raise RuntimeError("PCADetector.score_samples before fit")
+        centered = np.asarray(x, dtype=np.float64) - self.mean_
+        projected = centered @ self.components_.T @ self.components_
+        residual = centered - projected
+        return np.sum(residual * residual, axis=1)
+
+    def predict(self, x: np.ndarray, threshold: float) -> np.ndarray:
+        """+1 inlier / -1 anomaly at the given residual threshold."""
+        return np.where(self.score_samples(x) <= threshold, 1, -1)

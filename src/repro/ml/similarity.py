@@ -1,0 +1,41 @@
+"""Cosine similarity, the comparison metric of section 3.3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors.
+
+    Zero vectors (e.g. an empty log window) have undefined direction;
+    we define their similarity to anything as 0.0, which is the
+    conservative choice for the paper's "did the distribution change"
+    question.
+    """
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"vectors must have equal shape, got {a.shape} vs {b.shape}"
+        )
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def pairwise_cosine(matrix: np.ndarray) -> np.ndarray:
+    """Cosine similarity between all row pairs of a matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = matrix / np.maximum(norms, 1e-12)
+    out = safe @ safe.T
+    # Rows with zero norm get similarity 0 everywhere (incl. diagonal).
+    zero = (norms.reshape(-1) == 0.0)
+    out[zero, :] = 0.0
+    out[:, zero] = 0.0
+    return np.clip(out, -1.0, 1.0)

@@ -1,0 +1,58 @@
+"""A small deep-learning framework in pure numpy.
+
+The paper implements its models in Keras on TensorFlow; neither is
+available offline, so this package provides the pieces those models
+need, from scratch:
+
+* :mod:`repro.nn.layers` — ``Dense``, ``Embedding``, ``TupleEmbedding``,
+  ``Dropout`` with exact backprop;
+* :mod:`repro.nn.lstm` — a full LSTM layer with backpropagation
+  through time;
+* :mod:`repro.nn.losses` — softmax cross-entropy (the paper's
+  "categorical cross entropy") and mean squared error;
+* :mod:`repro.nn.optimizers` — SGD with momentum, RMSprop, Adam;
+* :mod:`repro.nn.model` — a ``Sequential`` container with training
+  loops, layer freezing (for the paper's transfer learning), weight
+  save/load and cloning.
+
+Every stochastic operation takes an explicit ``numpy.random.Generator``
+so training runs are reproducible bit-for-bit.
+"""
+
+from repro.nn.activations import relu, sigmoid, softmax, tanh
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+from repro.nn.layers import Dense, Dropout, Embedding, Layer, TupleEmbedding
+from repro.nn.losses import (
+    Loss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.gru import GRU
+from repro.nn.lstm import LSTM
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSprop
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "glorot_uniform",
+    "orthogonal",
+    "zeros",
+    "Layer",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "TupleEmbedding",
+    "LSTM",
+    "GRU",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "RMSprop",
+    "Adam",
+]

@@ -1,0 +1,76 @@
+"""Activation functions and their derivatives.
+
+Derivatives are expressed in terms of the activation *output*, which is
+what the backward passes cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad(output: np.ndarray) -> np.ndarray:
+    """d sigmoid / dx expressed via the sigmoid output."""
+    return output * (1.0 - output)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad(output: np.ndarray) -> np.ndarray:
+    """d tanh / dx expressed via the tanh output."""
+    return 1.0 - output * output
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(output: np.ndarray) -> np.ndarray:
+    """d relu / dx expressed via the relu output."""
+    return (output > 0).astype(np.float64)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(
+        np.sum(np.exp(shifted), axis=axis, keepdims=True)
+    )
+
+
+_ACTIVATIONS = {
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "tanh": (tanh, tanh_grad),
+    "relu": (relu, relu_grad),
+    "linear": (lambda x: x, lambda out: np.ones_like(out)),
+}
+
+
+def get_activation(name: str):
+    """Look up ``(function, gradient)`` by name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; "
+            f"choose from {sorted(_ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,190 @@
+"""GRU layer with full backpropagation through time.
+
+The gated recurrent unit (Cho et al., 2014) is the usual lighter-weight
+alternative to the paper's LSTM: three gate blocks instead of four and
+no separate cell state.  It exists here to support the recurrent-cell
+ablation (does the LSTM's extra memory path matter for syslog
+modelling?).
+
+Formulation (Keras ``reset_after=False`` flavor):
+
+.. math::
+
+    z_t &= \\sigma(x_t W_z + h_{t-1} U_z + b_z) \\\\
+    r_t &= \\sigma(x_t W_r + h_{t-1} U_r + b_r) \\\\
+    \\tilde{h}_t &= \\tanh(x_t W_h + (r_t \\odot h_{t-1}) U_h + b_h) \\\\
+    h_t &= z_t \\odot h_{t-1} + (1 - z_t) \\odot \\tilde{h}_t
+
+Gate blocks are stored fused in z, r, h order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers import Layer
+
+
+class GRU(Layer):
+    """A single GRU layer (drop-in alternative to :class:`LSTM`)."""
+
+    def __init__(
+        self,
+        hidden: int,
+        return_sequences: bool = False,
+        name: str = "gru",
+    ) -> None:
+        super().__init__(name)
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        self.hidden = hidden
+        self.return_sequences = return_sequences
+        self._cache: Optional[dict] = None
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ValueError(
+                "GRU expects (time, features) input shape, got "
+                f"{input_shape}"
+            )
+        _, features = input_shape
+        if not self.built:
+            self.params = {
+                "W": glorot_uniform((features, 3 * self.hidden), rng),
+                "U": np.concatenate(
+                    [
+                        orthogonal((self.hidden, self.hidden), rng)
+                        for _ in range(3)
+                    ],
+                    axis=1,
+                ),
+                "b": np.zeros(3 * self.hidden),
+            }
+            self.zero_grads()
+            self.built = True
+        if self.return_sequences:
+            return (input_shape[0], self.hidden)
+        return (self.hidden,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"GRU expects (batch, time, features), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        hidden = self.hidden
+        weight, recurrent, bias = (
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+        )
+        h_prev = np.zeros((batch, hidden))
+        zs: List[np.ndarray] = []
+        rs: List[np.ndarray] = []
+        candidates: List[np.ndarray] = []
+        hiddens: List[np.ndarray] = []
+        prev_hiddens: List[np.ndarray] = []
+        for step in range(steps):
+            x_proj = x[:, step, :] @ weight + bias
+            h_proj_zr = h_prev @ recurrent[:, : 2 * hidden]
+            gate_z = sigmoid(
+                x_proj[:, :hidden] + h_proj_zr[:, :hidden]
+            )
+            gate_r = sigmoid(
+                x_proj[:, hidden:2 * hidden]
+                + h_proj_zr[:, hidden:2 * hidden]
+            )
+            candidate = tanh(
+                x_proj[:, 2 * hidden:]
+                + (gate_r * h_prev) @ recurrent[:, 2 * hidden:]
+            )
+            prev_hiddens.append(h_prev)
+            h_prev = gate_z * h_prev + (1.0 - gate_z) * candidate
+            zs.append(gate_z)
+            rs.append(gate_r)
+            candidates.append(candidate)
+            hiddens.append(h_prev)
+        self._cache = {
+            "x": x,
+            "z": zs,
+            "r": rs,
+            "c": candidates,
+            "h_prev": prev_hiddens,
+        }
+        if self.return_sequences:
+            return np.stack(hiddens, axis=1)
+        return hiddens[-1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError("backward called before forward")
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        hidden = self.hidden
+        weight, recurrent = self.params["W"], self.params["U"]
+
+        if self.return_sequences:
+            if grad.shape != (batch, steps, hidden):
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match output"
+                )
+            step_grads = grad
+        else:
+            if grad.shape != (batch, hidden):
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match output"
+                )
+            step_grads = np.zeros((batch, steps, hidden))
+            step_grads[:, -1, :] = grad
+
+        dx = np.zeros_like(x, dtype=np.float64)
+        dh_next = np.zeros((batch, hidden))
+        u_z = recurrent[:, :hidden]
+        u_r = recurrent[:, hidden:2 * hidden]
+        u_h = recurrent[:, 2 * hidden:]
+        for step in range(steps - 1, -1, -1):
+            gate_z = cache["z"][step]
+            gate_r = cache["r"][step]
+            candidate = cache["c"][step]
+            h_prev = cache["h_prev"][step]
+
+            dh = step_grads[:, step, :] + dh_next
+            d_candidate = dh * (1.0 - gate_z)
+            d_z = dh * (h_prev - candidate)
+            dh_prev = dh * gate_z
+
+            # through the candidate tanh
+            d_pre_candidate = d_candidate * (
+                1.0 - candidate * candidate
+            )
+            d_rh = d_pre_candidate @ u_h.T
+            d_r = d_rh * h_prev
+            dh_prev += d_rh * gate_r
+
+            # through the gates' sigmoids
+            d_pre_z = d_z * gate_z * (1.0 - gate_z)
+            d_pre_r = d_r * gate_r * (1.0 - gate_r)
+
+            d_pre = np.concatenate(
+                [d_pre_z, d_pre_r, d_pre_candidate], axis=1
+            )
+            self.grads["W"] += x[:, step, :].T @ d_pre
+            self.grads["b"] += d_pre.sum(axis=0)
+            self.grads["U"][:, :hidden] += h_prev.T @ d_pre_z
+            self.grads["U"][:, hidden:2 * hidden] += (
+                h_prev.T @ d_pre_r
+            )
+            self.grads["U"][:, 2 * hidden:] += (
+                (gate_r * h_prev).T @ d_pre_candidate
+            )
+            dx[:, step, :] = d_pre @ weight.T
+            dh_prev += d_pre_z @ u_z.T + d_pre_r @ u_r.T
+            dh_next = dh_prev
+        return dx

@@ -1,0 +1,47 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator`, so a
+model built twice from the same seed has identical weights — a property
+both the tests and the transfer-learning experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def glorot_uniform(
+    shape: Tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for dense kernels."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(
+    shape: Tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Orthogonal initialization, standard for recurrent kernels."""
+    rows, cols = shape
+    size = max(rows, cols)
+    gaussian = rng.standard_normal((size, size))
+    q, r = np.linalg.qr(gaussian)
+    # Sign correction makes the decomposition unique and the
+    # distribution uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    return q[:rows, :cols]
+
+
+def uniform_scaled(
+    shape: Tuple[int, ...], rng: np.random.Generator, scale: float = 0.05
+) -> np.ndarray:
+    """Small uniform initialization (embeddings)."""
+    return rng.uniform(-scale, scale, size=shape)

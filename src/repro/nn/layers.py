@@ -1,0 +1,259 @@
+"""Feed-forward layers: Dense, Embedding, TupleEmbedding, Dropout.
+
+Every layer implements the same protocol:
+
+* ``build(input_shape, rng)`` — allocate parameters (idempotent);
+* ``forward(x, training)`` — compute outputs, caching what backward
+  needs;
+* ``backward(grad)`` — given d(loss)/d(output), accumulate parameter
+  gradients and return d(loss)/d(input);
+* ``params`` / ``grads`` — dictionaries keyed by parameter name;
+* ``trainable`` — when False the optimizer skips the layer, which is
+  how the paper's transfer learning freezes the bottom of a teacher
+  model while fine-tuning the top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import get_activation
+from repro.nn.initializers import glorot_uniform, uniform_scaled, zeros
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.trainable = True
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.built = False
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        """Allocate parameters; return the output shape (sans batch)."""
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def reset_state(self) -> None:
+        """Clear any recurrent state; no-op for feed-forward layers."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = activation(x @ W + b)``.
+
+    Accepts inputs of shape ``(batch, features)`` or
+    ``(batch, time, features)``; the time axis is treated as extra
+    batch dimensions.
+    """
+
+    def __init__(
+        self, units: int, activation: str = "linear", name: str = "dense"
+    ) -> None:
+        super().__init__(name)
+        if units < 1:
+            raise ValueError(f"units must be >= 1, got {units}")
+        self.units = units
+        self.activation_name = activation
+        self._activation, self._activation_grad = get_activation(activation)
+        self._cache_x: Optional[np.ndarray] = None
+        self._cache_out: Optional[np.ndarray] = None
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        features = input_shape[-1]
+        if not self.built:
+            self.params = {
+                "W": glorot_uniform((features, self.units), rng),
+                "b": zeros((self.units,)),
+            }
+            self.zero_grads()
+            self.built = True
+        return (*input_shape[:-1], self.units)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self._activation(x @ self.params["W"] + self.params["b"])
+        self._cache_x = x
+        self._cache_out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, out = self._cache_x, self._cache_out
+        if x is None or out is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad * self._activation_grad(out)
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_grad = grad.reshape(-1, grad.shape[-1])
+        self.grads["W"] += flat_x.T @ flat_grad
+        self.grads["b"] += flat_grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+
+class Embedding(Layer):
+    """Integer-id lookup table: ``(batch, time) -> (batch, time, dim)``."""
+
+    def __init__(
+        self, vocabulary: int, dim: int, name: str = "embedding"
+    ) -> None:
+        super().__init__(name)
+        if vocabulary < 1 or dim < 1:
+            raise ValueError("vocabulary and dim must be >= 1")
+        self.vocabulary = vocabulary
+        self.dim = dim
+        self._cache_ids: Optional[np.ndarray] = None
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        if not self.built:
+            self.params = {
+                "E": uniform_scaled((self.vocabulary, self.dim), rng)
+            }
+            self.zero_grads()
+            self.built = True
+        return (*input_shape, self.dim)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        ids = np.asarray(x, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocabulary:
+            raise ValueError(
+                f"embedding ids out of range [0, {self.vocabulary})"
+            )
+        self._cache_ids = ids
+        return self.params["E"][ids]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        ids = self._cache_ids
+        if ids is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(
+            self.grads["E"],
+            ids.reshape(-1),
+            grad.reshape(-1, self.dim),
+        )
+        # Integer inputs have no gradient; return zeros of input shape
+        # so a Sequential chain stays well-typed.
+        return np.zeros(ids.shape, dtype=np.float64)
+
+
+class TupleEmbedding(Layer):
+    """Embed ``(template_id, gap_bucket)`` pairs and concatenate.
+
+    Input shape ``(batch, time, 2)`` of integer ids; output
+    ``(batch, time, id_dim + gap_dim)``.  This realizes the paper's
+    per-log tuple ``(m_i, t_i - t_{i-1})`` as a single dense vector.
+    """
+
+    def __init__(
+        self,
+        id_vocabulary: int,
+        gap_vocabulary: int,
+        id_dim: int = 32,
+        gap_dim: int = 4,
+        name: str = "tuple_embedding",
+    ) -> None:
+        super().__init__(name)
+        self.id_embedding = Embedding(id_vocabulary, id_dim, name="ids")
+        self.gap_embedding = Embedding(gap_vocabulary, gap_dim, name="gaps")
+
+    @property
+    def output_dim(self) -> int:
+        return self.id_embedding.dim + self.gap_embedding.dim
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        if input_shape[-1] != 2:
+            raise ValueError(
+                f"TupleEmbedding expects trailing dim 2, got {input_shape}"
+            )
+        inner = input_shape[:-1]
+        self.id_embedding.build(inner, rng)
+        self.gap_embedding.build(inner, rng)
+        if not self.built:
+            self.params = {
+                "ids.E": self.id_embedding.params["E"],
+                "gaps.E": self.gap_embedding.params["E"],
+            }
+            self.zero_grads()
+            # Share gradient buffers with the children so their
+            # backward passes accumulate into what the optimizer sees.
+            self.id_embedding.grads["E"] = self.grads["ids.E"]
+            self.gap_embedding.grads["E"] = self.grads["gaps.E"]
+            self.built = True
+        return (*inner, self.output_dim)
+
+    def zero_grads(self) -> None:
+        super().zero_grads()
+        if self.built:
+            self.id_embedding.grads["E"] = self.grads["ids.E"]
+            self.gap_embedding.grads["E"] = self.grads["gaps.E"]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        ids = self.id_embedding.forward(x[..., 0], training)
+        gaps = self.gap_embedding.forward(x[..., 1], training)
+        return np.concatenate([ids, gaps], axis=-1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        split = self.id_embedding.dim
+        self.id_embedding.backward(grad[..., :split])
+        self.gap_embedding.backward(grad[..., split:])
+        shape = grad.shape[:-1] + (2,)
+        return np.zeros(shape, dtype=np.float64)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(
+        self,
+        rate: float,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "dropout",
+    ) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        self.built = True
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self._rng.random(x.shape) < keep
+        ).astype(np.float64) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,197 @@
+"""LSTM layer with full backpropagation through time.
+
+The cell follows Hochreiter & Schmidhuber (1997) in the modern gated
+formulation used by Keras:
+
+.. math::
+
+    i_t &= \\sigma(x_t W_i + h_{t-1} U_i + b_i) \\\\
+    f_t &= \\sigma(x_t W_f + h_{t-1} U_f + b_f) \\\\
+    g_t &= \\tanh(x_t W_g + h_{t-1} U_g + b_g) \\\\
+    o_t &= \\sigma(x_t W_o + h_{t-1} U_o + b_o) \\\\
+    c_t &= f_t \\odot c_{t-1} + i_t \\odot g_t \\\\
+    h_t &= o_t \\odot \\tanh(c_t)
+
+The four gate blocks are stored fused (``W`` has shape
+``(input_dim, 4 * hidden)`` in i, f, g, o order), which keeps the
+forward pass to two matmuls per step.  The forget-gate bias initializes
+to 1.0, the standard trick that eases gradient flow early in training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers import Layer
+
+
+class LSTM(Layer):
+    """A single LSTM layer.
+
+    Args:
+        hidden: number of hidden units.
+        return_sequences: when True the layer outputs the hidden state
+            at every timestep ``(batch, time, hidden)``; when False
+            only the final state ``(batch, hidden)``.
+        name: layer name used for parameter keys.
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        return_sequences: bool = False,
+        name: str = "lstm",
+    ) -> None:
+        super().__init__(name)
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        self.hidden = hidden
+        self.return_sequences = return_sequences
+        self._cache: Optional[dict] = None
+
+    def build(
+        self, input_shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ValueError(
+                "LSTM expects (time, features) input shape, got "
+                f"{input_shape}"
+            )
+        _, features = input_shape
+        if not self.built:
+            bias = np.zeros(4 * self.hidden)
+            # Forget gate bias = 1.0 (block order: i, f, g, o).
+            bias[self.hidden:2 * self.hidden] = 1.0
+            self.params = {
+                "W": glorot_uniform((features, 4 * self.hidden), rng),
+                "U": np.concatenate(
+                    [
+                        orthogonal((self.hidden, self.hidden), rng)
+                        for _ in range(4)
+                    ],
+                    axis=1,
+                ),
+                "b": bias,
+            }
+            self.zero_grads()
+            self.built = True
+        if self.return_sequences:
+            return (input_shape[0], self.hidden)
+        return (self.hidden,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"LSTM expects (batch, time, features), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        hidden = self.hidden
+        weight, recurrent, bias = (
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+        )
+        h_prev = np.zeros((batch, hidden))
+        c_prev = np.zeros((batch, hidden))
+        gates_i: List[np.ndarray] = []
+        gates_f: List[np.ndarray] = []
+        gates_g: List[np.ndarray] = []
+        gates_o: List[np.ndarray] = []
+        cells: List[np.ndarray] = []
+        hiddens: List[np.ndarray] = []
+        prev_hiddens: List[np.ndarray] = []
+        prev_cells: List[np.ndarray] = []
+        for step in range(steps):
+            z = x[:, step, :] @ weight + h_prev @ recurrent + bias
+            gate_i = sigmoid(z[:, :hidden])
+            gate_f = sigmoid(z[:, hidden:2 * hidden])
+            gate_g = tanh(z[:, 2 * hidden:3 * hidden])
+            gate_o = sigmoid(z[:, 3 * hidden:])
+            prev_hiddens.append(h_prev)
+            prev_cells.append(c_prev)
+            c_prev = gate_f * c_prev + gate_i * gate_g
+            h_prev = gate_o * tanh(c_prev)
+            gates_i.append(gate_i)
+            gates_f.append(gate_f)
+            gates_g.append(gate_g)
+            gates_o.append(gate_o)
+            cells.append(c_prev)
+            hiddens.append(h_prev)
+        self._cache = {
+            "x": x,
+            "i": gates_i,
+            "f": gates_f,
+            "g": gates_g,
+            "o": gates_o,
+            "c": cells,
+            "h": hiddens,
+            "h_prev": prev_hiddens,
+            "c_prev": prev_cells,
+        }
+        if self.return_sequences:
+            return np.stack(hiddens, axis=1)
+        return hiddens[-1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError("backward called before forward")
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        hidden = self.hidden
+        weight, recurrent = self.params["W"], self.params["U"]
+
+        if self.return_sequences:
+            if grad.shape != (batch, steps, hidden):
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match output"
+                )
+            step_grads = grad
+        else:
+            if grad.shape != (batch, hidden):
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match output"
+                )
+            step_grads = np.zeros((batch, steps, hidden))
+            step_grads[:, -1, :] = grad
+
+        dx = np.zeros_like(x, dtype=np.float64)
+        dh_next = np.zeros((batch, hidden))
+        dc_next = np.zeros((batch, hidden))
+        for step in range(steps - 1, -1, -1):
+            gate_i = cache["i"][step]
+            gate_f = cache["f"][step]
+            gate_g = cache["g"][step]
+            gate_o = cache["o"][step]
+            cell = cache["c"][step]
+            cell_prev = cache["c_prev"][step]
+            hidden_prev = cache["h_prev"][step]
+
+            dh = step_grads[:, step, :] + dh_next
+            tanh_cell = np.tanh(cell)
+            d_o = dh * tanh_cell
+            dc = dh * gate_o * (1.0 - tanh_cell * tanh_cell) + dc_next
+            d_f = dc * cell_prev
+            d_i = dc * gate_g
+            d_g = dc * gate_i
+
+            dz = np.concatenate(
+                [
+                    d_i * gate_i * (1.0 - gate_i),
+                    d_f * gate_f * (1.0 - gate_f),
+                    d_g * (1.0 - gate_g * gate_g),
+                    d_o * gate_o * (1.0 - gate_o),
+                ],
+                axis=1,
+            )
+            self.grads["W"] += x[:, step, :].T @ dz
+            self.grads["U"] += hidden_prev.T @ dz
+            self.grads["b"] += dz.sum(axis=0)
+            dx[:, step, :] = dz @ weight.T
+            dh_next = dz @ recurrent.T
+            dc_next = dc * gate_f
+        return dx

@@ -1,0 +1,254 @@
+"""Sequential model container: training loop, freezing, save/load.
+
+:class:`Sequential` chains layers, drives mini-batch training against a
+loss/optimizer pair, and provides the two capabilities the paper's
+adaptation mechanism needs:
+
+* :meth:`clone` — copy a teacher model's architecture and weights into
+  a fresh student;
+* :meth:`freeze` / :meth:`unfreeze` — stop gradient updates for the
+  bottom of the network while the top fine-tunes on new data.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss
+from repro.nn.optimizers import Optimizer, ParamTriple
+
+
+def batches(
+    n: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches.
+
+    When ``rng`` is given the order is shuffled; the final short batch
+    is always yielded.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        yield order[start:start + batch_size]
+
+
+class Sequential:
+    """A linear stack of layers.
+
+    Args:
+        layers: the layer stack, bottom first.
+        rng: generator used for weight initialization (and dropout).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"layer names must be unique, got {names}")
+        self.layers: List[Layer] = list(layers)
+        self.rng = rng or np.random.default_rng(0)
+        self._built = False
+
+    def build(self, input_shape: Tuple[int, ...]) -> "Sequential":
+        """Build every layer given the per-sample input shape."""
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.build(shape, self.rng)
+        self._built = True
+        return self
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError(
+                "model not built; call build(input_shape) first"
+            )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def parameter_triples(
+        self, trainable_only: bool = True
+    ) -> List[ParamTriple]:
+        """``(key, param, grad)`` triples for the optimizer."""
+        triples: List[ParamTriple] = []
+        for layer in self.layers:
+            if trainable_only and not layer.trainable:
+                continue
+            for key, param in layer.params.items():
+                triples.append(
+                    (f"{layer.name}.{key}", param, layer.grads[key])
+                )
+        return triples
+
+    @property
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(
+            param.size
+            for layer in self.layers
+            for param in layer.params.values()
+        )
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Loss,
+        optimizer: Optimizer,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        self.zero_grads()
+        outputs = self.forward(x, training=True)
+        value, grad = loss.value_and_grad(outputs, y)
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight, dtype=np.float64)
+            if weights.shape[0] != grad.shape[0]:
+                raise ValueError("sample_weight length must match batch")
+            grad = grad * weights.reshape(
+                (-1,) + (1,) * (grad.ndim - 1)
+            )
+        self.backward(grad)
+        optimizer.step(self.parameter_triples())
+        return value
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Loss,
+        optimizer: Optimizer,
+        epochs: int = 1,
+        batch_size: int = 64,
+        sample_weight: Optional[np.ndarray] = None,
+        shuffle: bool = True,
+    ) -> List[float]:
+        """Mini-batch training; returns the mean loss per epoch."""
+        self._require_built()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must agree on the batch dimension")
+        history: List[float] = []
+        for _ in range(epochs):
+            epoch_losses: List[float] = []
+            order_rng = self.rng if shuffle else None
+            for index in batches(x.shape[0], batch_size, order_rng):
+                weight = (
+                    sample_weight[index]
+                    if sample_weight is not None
+                    else None
+                )
+                epoch_losses.append(
+                    self.train_batch(
+                        x[index], y[index], loss, optimizer, weight
+                    )
+                )
+            history.append(float(np.mean(epoch_losses)))
+        return history
+
+    def predict(
+        self, x: np.ndarray, batch_size: int = 256
+    ) -> np.ndarray:
+        """Forward pass in inference mode, batched to bound memory."""
+        self._require_built()
+        outputs = [
+            self.forward(x[index], training=False)
+            for index in batches(x.shape[0], batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    # -- transfer learning support ------------------------------------
+
+    def freeze(self, layer_names: Sequence[str]) -> None:
+        """Mark the named layers as non-trainable."""
+        self._set_trainable(layer_names, False)
+
+    def unfreeze(self, layer_names: Sequence[str]) -> None:
+        """Mark the named layers as trainable again."""
+        self._set_trainable(layer_names, True)
+
+    def _set_trainable(
+        self, layer_names: Sequence[str], value: bool
+    ) -> None:
+        known = {layer.name: layer for layer in self.layers}
+        for name in layer_names:
+            if name not in known:
+                raise KeyError(
+                    f"no layer named {name!r}; have {sorted(known)}"
+                )
+            known[name].trainable = value
+
+    def clone(self) -> "Sequential":
+        """Deep-copy the model (architecture, weights, trainability).
+
+        The clone gets an independent RNG state so teacher and student
+        training do not interleave random streams.
+        """
+        self._require_built()
+        cloned = copy.deepcopy(self)
+        cloned.rng = np.random.default_rng(self.rng.integers(2**63))
+        return cloned
+
+    # -- persistence ----------------------------------------------------
+
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        """Copy out all weights keyed by ``layer.param``."""
+        return {
+            f"{layer.name}.{key}": param.copy()
+            for layer in self.layers
+            for key, param in layer.params.items()
+        }
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        """Load weights produced by :meth:`get_weights`."""
+        self._require_built()
+        for layer in self.layers:
+            for key, param in layer.params.items():
+                full_key = f"{layer.name}.{key}"
+                if full_key not in weights:
+                    raise KeyError(f"missing weight {full_key!r}")
+                value = np.asarray(weights[full_key])
+                if value.shape != param.shape:
+                    raise ValueError(
+                        f"shape mismatch for {full_key!r}: "
+                        f"{value.shape} vs {param.shape}"
+                    )
+                param[...] = value
+        # TupleEmbedding shares buffers with child layers; re-link.
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def save(self, path: str) -> None:
+        """Persist weights to an ``.npz`` file."""
+        np.savez(path, **self.get_weights())
+
+    def load(self, path: str) -> None:
+        """Load weights from an ``.npz`` file written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.set_weights({key: archive[key] for key in archive.files})

@@ -1,0 +1,164 @@
+"""First-order optimizers: SGD (with momentum), RMSprop, Adam.
+
+Optimizers update parameter arrays *in place* through a list of
+``(key, param, grad)`` triples supplied by the model, keeping slot
+state (momenta, second moments) per key so that freezing/unfreezing
+layers does not scramble the state of the others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+ParamTriple = Tuple[str, np.ndarray, np.ndarray]
+
+
+class Optimizer:
+    """Base optimizer."""
+
+    def __init__(
+        self, learning_rate: float, clip_norm: float = 5.0
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if clip_norm <= 0:
+            raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+
+    def step(self, triples: Iterable[ParamTriple]) -> None:
+        """Apply one update over ``(key, param, grad)`` triples."""
+        triples = list(triples)
+        self._clip(triples)
+        for key, param, grad in triples:
+            self._update(key, param, grad)
+
+    def _clip(self, triples: Iterable[ParamTriple]) -> None:
+        """Global-norm gradient clipping, essential for LSTM training."""
+        total = 0.0
+        for _, _, grad in triples:
+            total += float(np.sum(grad * grad))
+        norm = np.sqrt(total)
+        if norm > self.clip_norm:
+            scale = self.clip_norm / (norm + 1e-12)
+            for _, _, grad in triples:
+                grad *= scale
+
+    def _update(
+        self, key: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all slot state (e.g. when starting a new fine-tune)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        momentum: float = 0.0,
+        clip_norm: float = 5.0,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(
+        self, key: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        if self.momentum > 0.0:
+            velocity = self._velocity.setdefault(
+                key, np.zeros_like(param)
+            )
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+        else:
+            param -= self.learning_rate * grad
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton), Keras-default flavor."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        rho: float = 0.9,
+        epsilon: float = 1e-7,
+        clip_norm: float = 5.0,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        self.rho = rho
+        self.epsilon = epsilon
+        self._second_moment: Dict[str, np.ndarray] = {}
+
+    def _update(
+        self, key: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        moment = self._second_moment.setdefault(
+            key, np.zeros_like(param)
+        )
+        moment *= self.rho
+        moment += (1.0 - self.rho) * grad * grad
+        param -= (
+            self.learning_rate * grad / (np.sqrt(moment) + self.epsilon)
+        )
+
+    def reset(self) -> None:
+        self._second_moment.clear()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.002,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float = 5.0,
+    ) -> None:
+        super().__init__(learning_rate, clip_norm)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: Dict[str, np.ndarray] = {}
+        self._second_moment: Dict[str, np.ndarray] = {}
+        self._steps: Dict[str, int] = {}
+
+    def _update(
+        self, key: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        first = self._first_moment.setdefault(key, np.zeros_like(param))
+        second = self._second_moment.setdefault(key, np.zeros_like(param))
+        step = self._steps.get(key, 0) + 1
+        self._steps[key] = step
+        first *= self.beta1
+        first += (1.0 - self.beta1) * grad
+        second *= self.beta2
+        second += (1.0 - self.beta2) * grad * grad
+        corrected_first = first / (1.0 - self.beta1**step)
+        corrected_second = second / (1.0 - self.beta2**step)
+        param -= (
+            self.learning_rate
+            * corrected_first
+            / (np.sqrt(corrected_second) + self.epsilon)
+        )
+
+    def reset(self) -> None:
+        self._first_moment.clear()
+        self._second_moment.clear()
+        self._steps.clear()

@@ -1,0 +1,59 @@
+"""Synthetic NFV deployment: the proprietary-data substitute.
+
+The paper's dataset — 18 months of syslogs and trouble tickets from 38
+production vPEs — is proprietary.  This package builds the closest
+synthetic equivalent that exercises the same code paths:
+
+* :mod:`repro.synthesis.catalog` — a catalog of realistic router
+  syslog templates (routing daemons, chassis, VM layer, physical
+  layer), including per-root-cause fault *symptom* templates;
+* :mod:`repro.synthesis.profiles` — per-vPE role profiles controlling
+  template mix and log rate (vPE diversity, Figure 3), plus a pPE
+  profile with the physical-layer messages vPEs lose (section 2);
+* :mod:`repro.synthesis.markov` — sequential log generation with a
+  learnable Markov structure (what the LSTM models);
+* :mod:`repro.synthesis.faults` — fault processes per root cause that
+  emit symptom bursts *before* monitoring signals, reproducing the
+  "symptoms precede tickets" structure of Figure 8;
+* :mod:`repro.synthesis.maintenance` — scheduled maintenance windows;
+* :mod:`repro.synthesis.updates` — software updates that shift the
+  syslog distribution (section 3.3, Figure 7);
+* :mod:`repro.synthesis.fleet` — the end-to-end fleet driver;
+* :mod:`repro.synthesis.dataset` — the assembled dataset object the
+  experiments consume.
+
+Everything is seeded: the same configuration reproduces the same
+trace bit-for-bit.
+"""
+
+from repro.synthesis.catalog import (
+    FAULT_SYMPTOM_TEMPLATES,
+    PHYSICAL_TEMPLATES,
+    ROUTINE_TEMPLATES,
+    LogTemplateSpec,
+)
+from repro.synthesis.dataset import FleetDataset
+from repro.synthesis.fleet import FleetSimulator, SimulationConfig
+from repro.synthesis.kpi import (
+    KpiSample,
+    KpiSimulator,
+    KpiThresholdDetector,
+)
+from repro.synthesis.profiles import VpeProfile, build_fleet_profiles
+from repro.synthesis.updates import SoftwareUpdate
+
+__all__ = [
+    "LogTemplateSpec",
+    "ROUTINE_TEMPLATES",
+    "PHYSICAL_TEMPLATES",
+    "FAULT_SYMPTOM_TEMPLATES",
+    "VpeProfile",
+    "build_fleet_profiles",
+    "SoftwareUpdate",
+    "FleetSimulator",
+    "SimulationConfig",
+    "FleetDataset",
+    "KpiSample",
+    "KpiSimulator",
+    "KpiThresholdDetector",
+]

@@ -1,0 +1,175 @@
+"""The assembled fleet dataset consumed by every experiment.
+
+:class:`FleetDataset` bundles the synthetic trace — per-vPE syslog
+streams, the fleet ticket list, update events — and provides the slice
+operations the paper's methodology needs, most importantly the
+"normal log" scrub of sections 3.3/4.2: *remove log entries within 3
+days from a ticket's arrival to the time the ticket is resolved*.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logs.message import SyslogMessage
+from repro.synthesis.profiles import VpeProfile
+from repro.synthesis.updates import SoftwareUpdate
+from repro.tickets.ticket import TroubleTicket
+from repro.timeutil import DAY
+
+
+@dataclass
+class FleetDataset:
+    """A complete synthetic deployment trace.
+
+    Attributes:
+        profiles: per-vPE static profiles.
+        messages: per-vPE syslog streams, each sorted by timestamp.
+        tickets: all trouble tickets, sorted by report time.
+        updates: software-update events applied during the trace.
+        start / end: trace bounds (POSIX seconds).
+        kpis: per-vPE service-level metric series (present when the
+            simulation enabled KPI generation; empty otherwise).
+    """
+
+    profiles: List[VpeProfile]
+    messages: Dict[str, List[SyslogMessage]]
+    tickets: List[TroubleTicket]
+    updates: List[SoftwareUpdate]
+    start: float
+    end: float
+    kpis: Dict[str, list] = field(default_factory=dict)
+    _times: Dict[str, List[float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for vpe, stream in self.messages.items():
+            times = [message.timestamp for message in stream]
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise ValueError(f"stream for {vpe} is not sorted")
+            self._times[vpe] = times
+        self.tickets = sorted(
+            self.tickets, key=lambda ticket: ticket.report_time
+        )
+
+    @property
+    def vpe_names(self) -> List[str]:
+        return [profile.name for profile in self.profiles]
+
+    @property
+    def n_messages(self) -> int:
+        return sum(len(stream) for stream in self.messages.values())
+
+    def profile(self, vpe: str) -> VpeProfile:
+        for candidate in self.profiles:
+            if candidate.name == vpe:
+                return candidate
+        raise KeyError(f"unknown vPE {vpe!r}")
+
+    def messages_between(
+        self, vpe: str, start: float, end: float
+    ) -> List[SyslogMessage]:
+        """Messages of one vPE in ``[start, end)``."""
+        stream = self.messages.get(vpe)
+        if stream is None:
+            raise KeyError(f"unknown vPE {vpe!r}")
+        times = self._times[vpe]
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_left(times, end)
+        return stream[lo:hi]
+
+    def tickets_for(
+        self,
+        vpe: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        include_duplicates: bool = True,
+    ) -> List[TroubleTicket]:
+        """Filter tickets by vPE, report-time range, duplicate status."""
+        out = []
+        for ticket in self.tickets:
+            if vpe is not None and ticket.vpe != vpe:
+                continue
+            if start is not None and ticket.report_time < start:
+                continue
+            if end is not None and ticket.report_time >= end:
+                continue
+            if not include_duplicates and ticket.is_duplicate:
+                continue
+            out.append(ticket)
+        return out
+
+    def scrub_intervals(
+        self, vpe: str, margin: float = 3 * DAY
+    ) -> List[Tuple[float, float]]:
+        """Merged exclusion intervals around this vPE's tickets.
+
+        Each ticket excludes ``[report - margin, repair]`` (the paper's
+        3-day pre-ticket scrub through resolution).
+        """
+        raw = sorted(
+            (ticket.report_time - margin, ticket.repair_time)
+            for ticket in self.tickets
+            if ticket.vpe == vpe
+        )
+        merged: List[Tuple[float, float]] = []
+        for lo, hi in raw:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def normal_messages(
+        self,
+        vpe: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        margin: float = 3 * DAY,
+    ) -> List[SyslogMessage]:
+        """Ticket-free ("normal") messages of one vPE in a range.
+
+        Implements the training-data rule of section 4.2: drop
+        everything within ``margin`` before a ticket's report through
+        the ticket's resolution.
+        """
+        start = self.start if start is None else start
+        end = self.end if end is None else end
+        window = self.messages_between(vpe, start, end)
+        intervals = self.scrub_intervals(vpe, margin)
+        if not intervals:
+            return list(window)
+        starts = [interval[0] for interval in intervals]
+        out: List[SyslogMessage] = []
+        for message in window:
+            index = bisect.bisect_right(starts, message.timestamp) - 1
+            if index >= 0 and message.timestamp <= intervals[index][1]:
+                continue
+            out.append(message)
+        return out
+
+    def aggregate_messages(
+        self,
+        vpes: Optional[Sequence[str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        normal_only: bool = False,
+        margin: float = 3 * DAY,
+    ) -> List[SyslogMessage]:
+        """Time-merged stream over several vPEs (default: whole fleet)."""
+        start = self.start if start is None else start
+        end = self.end if end is None else end
+        vpes = list(self.messages) if vpes is None else list(vpes)
+        combined: List[SyslogMessage] = []
+        for vpe in vpes:
+            if normal_only:
+                combined.extend(
+                    self.normal_messages(vpe, start, end, margin)
+                )
+            else:
+                combined.extend(self.messages_between(vpe, start, end))
+        combined.sort(key=lambda message: message.timestamp)
+        return combined

@@ -1,0 +1,457 @@
+"""End-to-end fleet simulation driver.
+
+:class:`FleetSimulator` assembles everything in :mod:`repro.synthesis`
+into one deterministic trace generator: routine Markov log streams per
+vPE, fault injections with symptom bursts, scheduled maintenance, rare
+fleet-wide circuit events, a mid-trace software update, and the ticket
+processing flow that turns monitoring signals into trouble tickets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.message import Severity, SyslogMessage
+from repro.synthesis.catalog import catalog_by_name
+from repro.synthesis.dataset import FleetDataset
+from repro.synthesis.faults import (
+    DEFAULT_FAULT_MODELS,
+    FaultInjector,
+    FaultTypeModel,
+    fleet_wide_circuit_event,
+)
+from repro.synthesis.maintenance import MaintenanceScheduler
+from repro.synthesis.markov import (
+    MarkovLogGenerator,
+    MarkovStructure,
+    build_structure,
+)
+from repro.synthesis.profiles import (
+    ROLES,
+    VpeProfile,
+    build_fleet_profiles,
+    role_base_weights,
+)
+from repro.synthesis.updates import SoftwareUpdate
+from repro.tickets.processing import (
+    MonitoringSignal,
+    TicketingPolicy,
+    TicketProcessor,
+)
+from repro.timeutil import MONTH, TRACE_START
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All the knobs of one simulated deployment.
+
+    The defaults model the paper's deployment shape (38 vPEs, 18
+    months); tests and benchmarks shrink ``n_vpes`` / ``n_months`` /
+    ``base_rate_per_hour`` to keep numpy-LSTM training affordable.
+
+    Attributes:
+        n_vpes: fleet size.
+        n_months: trace length in 30-day months.
+        seed: master seed; every stream derives from it.
+        base_rate_per_hour: mean routine log rate per vPE.
+        coherence: Markov coherence of routine logs (how learnable
+            normal sequences are).
+        update_month: month index at which the software update rolls
+            out; ``None`` disables it.  The paper's update lands about
+            14 months in ("between late 2017 and early 2018").
+        update_fraction: fraction of vPEs the update touches.
+        n_fleet_events: number of fleet-wide circuit disruptions.
+        benign_bursts_per_day: rate of benign event storms per vPE —
+            tight clusters of rare-but-harmless messages (auth-fail
+            storms, routine flaps) that pressure the detector's false
+            alarm rate; these never produce tickets.
+        novelty_events_per_day: rate of long-tail novelty events per
+            vPE — small clusters of never-seen-before message shapes
+            (daemon hiccups, one-off diagnostics).  They are the
+            irreducible false-alarm floor of log anomaly detection.
+        maintenance_interval_days: mean maintenance cadence per vPE.
+        fault_models: per-root-cause fault behaviour.
+        fault_rate_multiplier: scales every fault model's rate;
+            benchmarks raise it to collect enough per-root-cause
+            tickets at reduced fleet scale.
+        cascade_probability: chance a fault triggers a follow-up fault
+            within hours (the short-gap mass of Figure 1(b)).
+        lemon_fraction: fraction of devices with elevated fault rates
+            (the volume skew of Figure 2).
+        generate_kpis: also produce per-vPE service-level KPI series
+            (see :mod:`repro.synthesis.kpi`).
+        ticketing: ticket-processing policy.
+    """
+
+    n_vpes: int = 38
+    n_months: int = 18
+    seed: int = 7
+    base_rate_per_hour: float = 40.0
+    coherence: float = 0.7
+    update_month: Optional[int] = 14
+    update_fraction: float = 0.6
+    n_fleet_events: int = 2
+    benign_bursts_per_day: float = 0.2
+    novelty_events_per_day: float = 0.05
+    maintenance_interval_days: float = 45.0
+    fault_models: Tuple[FaultTypeModel, ...] = DEFAULT_FAULT_MODELS
+    fault_rate_multiplier: float = 1.0
+    cascade_probability: float = 0.25
+    lemon_fraction: float = 0.15
+    generate_kpis: bool = False
+    ticketing: TicketingPolicy = field(default_factory=TicketingPolicy)
+
+    def __post_init__(self) -> None:
+        if self.n_vpes < 1:
+            raise ValueError("n_vpes must be >= 1")
+        if self.n_months < 1:
+            raise ValueError("n_months must be >= 1")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in [0, 1]")
+        if self.update_month is not None and not (
+            0 < self.update_month < self.n_months
+        ):
+            raise ValueError(
+                "update_month must fall inside the trace (exclusive)"
+            )
+
+    @property
+    def start(self) -> float:
+        return TRACE_START
+
+    @property
+    def end(self) -> float:
+        return TRACE_START + self.n_months * MONTH
+
+    @property
+    def update_time(self) -> Optional[float]:
+        if self.update_month is None:
+            return None
+        return TRACE_START + self.update_month * MONTH
+
+
+class FleetSimulator:
+    """Generate a :class:`FleetDataset` from a :class:`SimulationConfig`."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+        self._catalog = catalog_by_name()
+
+    def run(self) -> FleetDataset:
+        """Simulate the whole deployment and return the dataset."""
+        config = self.config
+        profiles = build_fleet_profiles(
+            n_vpes=config.n_vpes,
+            seed=config.seed,
+            base_rate_per_hour=config.base_rate_per_hour,
+            lemon_fraction=config.lemon_fraction,
+        )
+        update = self._plan_update(profiles)
+        injector = FaultInjector(
+            config.fault_models,
+            cascade_probability=config.cascade_probability,
+            rate_multiplier=config.fault_rate_multiplier,
+        )
+        scheduler = MaintenanceScheduler(
+            interval_days=config.maintenance_interval_days
+        )
+        all_signals: List[MonitoringSignal] = []
+        streams: Dict[str, List[SyslogMessage]] = {}
+        faults_by_vpe: Dict[str, list] = {}
+        for index, profile in enumerate(profiles):
+            rng = np.random.default_rng([config.seed, 100 + index])
+            messages, signals, fault_events = self._simulate_vpe(
+                profile, update, injector, scheduler, rng
+            )
+            streams[profile.name] = messages
+            faults_by_vpe[profile.name] = fault_events
+            all_signals.extend(signals)
+        all_signals.extend(
+            self._fleet_events(profiles, injector, streams)
+        )
+        tickets = TicketProcessor(config.ticketing).process(all_signals)
+        for stream in streams.values():
+            stream.sort(key=lambda message: message.timestamp)
+        kpis: Dict[str, list] = {}
+        if config.generate_kpis:
+            from repro.synthesis.kpi import KpiSimulator
+
+            kpi_simulator = KpiSimulator()
+            for index, profile in enumerate(profiles):
+                rng = np.random.default_rng(
+                    [config.seed, 500 + index]
+                )
+                kpis[profile.name] = kpi_simulator.generate(
+                    config.start,
+                    config.end,
+                    faults_by_vpe[profile.name],
+                    rng,
+                )
+        return FleetDataset(
+            profiles=profiles,
+            messages=streams,
+            tickets=tickets,
+            updates=[update] if update else [],
+            start=config.start,
+            end=config.end,
+            kpis=kpis,
+        )
+
+    def _plan_update(
+        self, profiles: Sequence[VpeProfile]
+    ) -> Optional[SoftwareUpdate]:
+        config = self.config
+        if config.update_time is None or config.update_fraction == 0.0:
+            return None
+        rng = np.random.default_rng([config.seed, 1])
+        count = max(
+            int(round(config.update_fraction * len(profiles))), 1
+        )
+        chosen = rng.choice(len(profiles), size=count, replace=False)
+        return SoftwareUpdate(
+            time=config.update_time,
+            affected_vpes=frozenset(
+                profiles[int(index)].name for index in chosen
+            ),
+        )
+
+    def _simulate_vpe(
+        self,
+        profile: VpeProfile,
+        update: Optional[SoftwareUpdate],
+        injector: FaultInjector,
+        scheduler: MaintenanceScheduler,
+        rng: np.random.Generator,
+    ) -> Tuple[List[SyslogMessage], List[MonitoringSignal], list]:
+        config = self.config
+        messages: List[SyslogMessage] = []
+        signals: List[MonitoringSignal] = []
+        fault_events: list = []
+
+        # Routine stream, split at the update when it applies.
+        segments = self._routine_segments(profile, update)
+        for segment_index, (weights, seg_start, seg_end) in enumerate(
+            segments
+        ):
+            structure = self._device_structure(
+                profile, update, weights, segment_index
+            )
+            generator = MarkovLogGenerator(
+                self._catalog,
+                structure,
+                rate_per_hour=profile.base_rate_per_hour,
+                coherence=config.coherence,
+            )
+            messages.extend(
+                generator.generate(profile.name, seg_start, seg_end, rng)
+            )
+
+        # Faults and their symptoms/signals.
+        report_delay = (
+            config.ticketing.verification_delay
+            + (config.ticketing.reoccurrence_count - 1) * 60.0
+        )
+        for event in injector.draw_faults(
+            profile, config.start, config.end, rng
+        ):
+            fault_events.append(event)
+            burst, fault_signals = injector.materialize(
+                event,
+                rng,
+                reoccurrence_count=config.ticketing.reoccurrence_count,
+                expected_report_delay=report_delay,
+            )
+            messages.extend(
+                message
+                for message in burst
+                if message.timestamp < config.end
+            )
+            signals.extend(fault_signals)
+
+        # Benign event storms: anomaly-shaped but ticket-free.
+        messages.extend(self._benign_bursts(profile, rng))
+
+        # Long-tail novelty: unique message shapes, never ticketed.
+        messages.extend(self._novelty_events(profile, rng))
+
+        # Maintenance windows.
+        for window in scheduler.schedule(
+            profile, config.start, config.end, rng
+        ):
+            storm, window_signals = scheduler.materialize(
+                window,
+                rng,
+                reoccurrence_count=config.ticketing.reoccurrence_count,
+            )
+            messages.extend(storm)
+            signals.extend(window_signals)
+        return messages, signals, fault_events
+
+    #: Rare routine templates whose storms look anomalous but are
+    #: operationally benign (no ticket follows).
+    _BENIGN_BURST_TEMPLATES = (
+        "snmp_auth_fail",
+        "ifdown_routine",
+        "bgp_hold_timer",
+        "config_commit",
+        "vm_migrate_ok",
+    )
+
+    def _benign_bursts(
+        self, profile: VpeProfile, rng: np.random.Generator
+    ) -> List[SyslogMessage]:
+        """Tight clusters of benign rare messages (false-alarm pressure)."""
+        config = self.config
+        span_days = (config.end - config.start) / (24 * 3600.0)
+        count = int(
+            rng.poisson(config.benign_bursts_per_day * span_days)
+        )
+        messages: List[SyslogMessage] = []
+        for _ in range(count):
+            name = self._BENIGN_BURST_TEMPLATES[
+                int(rng.integers(len(self._BENIGN_BURST_TEMPLATES)))
+            ]
+            spec = self._catalog[name]
+            start = float(rng.uniform(config.start, config.end))
+            timestamp = start
+            for _ in range(int(rng.integers(6, 15))):
+                messages.append(
+                    spec.render(timestamp, profile.name, rng)
+                )
+                timestamp += float(rng.exponential(20.0))
+        return messages
+
+    _NOVELTY_PROCESSES = ("kernel", "mgd", "eventd", "craftd", "alarmd")
+
+    def _novelty_events(
+        self, profile: VpeProfile, rng: np.random.Generator
+    ) -> List[SyslogMessage]:
+        """Small clusters of one-off, never-repeated message shapes.
+
+        Each event invents a fresh token structure (random words and
+        token count), so the signature tree mines a brand-new template
+        that no model has trained on — the irreducible false-alarm
+        floor of unsupervised log anomaly detection.
+        """
+        config = self.config
+        span_days = (config.end - config.start) / (24 * 3600.0)
+        count = int(
+            rng.poisson(config.novelty_events_per_day * span_days)
+        )
+        messages: List[SyslogMessage] = []
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        for _ in range(count):
+            words = [
+                "".join(
+                    letters[rng.integers(26)]
+                    for _ in range(int(rng.integers(5, 11)))
+                ).upper()
+                for _ in range(int(rng.integers(4, 9)))
+            ]
+            text = " ".join(words)
+            process = self._NOVELTY_PROCESSES[
+                int(rng.integers(len(self._NOVELTY_PROCESSES)))
+            ]
+            start = float(rng.uniform(config.start, config.end))
+            timestamp = start
+            for _ in range(int(rng.integers(2, 5))):
+                messages.append(
+                    SyslogMessage(
+                        timestamp=timestamp,
+                        host=profile.name,
+                        process=process,
+                        text=text,
+                        severity=Severity.NOTICE,
+                    )
+                )
+                timestamp += float(rng.exponential(45.0))
+        return messages
+
+    def _device_structure(
+        self,
+        profile: VpeProfile,
+        update: Optional[SoftwareUpdate],
+        device_weights: Dict[str, float],
+        segment_index: int,
+    ) -> MarkovStructure:
+        """Role-shared transition skeleton + device-specific mix.
+
+        Devices of one role share the successor structure (seeded from
+        the role, not the device): same-cluster vPEs speak compatible
+        log languages, which is what makes grouped model training pool
+        meaningfully (section 4.3).  The stationary distribution keeps
+        the device's jittered weights so no two devices are identical.
+        """
+        base = role_base_weights(profile.role)
+        if segment_index > 0 and update is not None:
+            base = update.rewrite_weights(base)
+        role_rng = np.random.default_rng(
+            [
+                self.config.seed,
+                7,
+                ROLES.index(profile.role),
+                segment_index,
+            ]
+        )
+        skeleton = build_structure(base, role_rng)
+        stationary = np.array(
+            [device_weights[name] for name in skeleton.names]
+        )
+        stationary = stationary / stationary.sum()
+        return MarkovStructure(
+            names=skeleton.names,
+            stationary=stationary,
+            successors=skeleton.successors,
+            successor_probs=skeleton.successor_probs,
+        )
+
+    def _routine_segments(
+        self,
+        profile: VpeProfile,
+        update: Optional[SoftwareUpdate],
+    ) -> List[Tuple[Dict[str, float], float, float]]:
+        """(weights, start, end) segments of the routine stream."""
+        config = self.config
+        if update is None or profile.name not in update.affected_vpes:
+            return [(profile.template_weights, config.start, config.end)]
+        return [
+            (profile.template_weights, config.start, update.time),
+            (
+                update.rewrite_weights(profile.template_weights),
+                update.time,
+                config.end,
+            ),
+        ]
+
+    def _fleet_events(
+        self,
+        profiles: Sequence[VpeProfile],
+        injector: FaultInjector,
+        streams: Dict[str, List[SyslogMessage]],
+    ) -> List[MonitoringSignal]:
+        """Inject the rare fleet-wide circuit disruptions (Figure 2)."""
+        config = self.config
+        signals: List[MonitoringSignal] = []
+        rng = np.random.default_rng([config.seed, 2])
+        for _ in range(config.n_fleet_events):
+            timestamp = float(rng.uniform(config.start, config.end))
+            for event in fleet_wide_circuit_event(
+                profiles, timestamp, rng, models=config.fault_models
+            ):
+                burst, event_signals = injector.materialize(
+                    event,
+                    rng,
+                    reoccurrence_count=(
+                        config.ticketing.reoccurrence_count
+                    ),
+                )
+                streams[event.vpe].extend(
+                    message
+                    for message in burst
+                    if message.timestamp < config.end
+                )
+                signals.extend(event_signals)
+        return signals

@@ -1,0 +1,119 @@
+"""Scheduled maintenance windows.
+
+Figure 1(a): maintenance is the dominant ticket category, and it is
+predictable because windows are pre-scheduled.  Each device gets a
+recurring window (with jitter) during which a maintenance log storm is
+emitted and a MAINTENANCE ticket signal fires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.message import SyslogMessage
+from repro.synthesis.catalog import FAULT_SYMPTOM_TEMPLATES
+from repro.synthesis.profiles import VpeProfile
+from repro.tickets.processing import MonitoringSignal
+from repro.tickets.ticket import RootCause
+from repro.timeutil import DAY, HOUR, MINUTE
+
+_maintenance_ids = itertools.count(10_000_000)
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """One scheduled maintenance action on one device."""
+
+    vpe: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("maintenance window must have positive length")
+
+
+class MaintenanceScheduler:
+    """Generate recurring maintenance windows per device.
+
+    Args:
+        interval_days: mean days between windows per device.
+        window_hours: window duration.
+        night_hour: windows open near this local hour (maintenance is
+            done off-peak).
+    """
+
+    def __init__(
+        self,
+        interval_days: float = 21.0,
+        window_hours: float = 2.0,
+        night_hour: float = 2.0,
+    ) -> None:
+        if interval_days <= 0 or window_hours <= 0:
+            raise ValueError("interval and window must be positive")
+        self.interval_days = interval_days
+        self.window_hours = window_hours
+        self.night_hour = night_hour
+
+    def schedule(
+        self,
+        profile: VpeProfile,
+        start: float,
+        end: float,
+        rng: np.random.Generator,
+    ) -> List[MaintenanceWindow]:
+        """Draw this device's maintenance windows over ``[start, end)``."""
+        windows: List[MaintenanceWindow] = []
+        cursor = start + float(
+            rng.uniform(0.2, 1.0) * self.interval_days * DAY
+        )
+        while cursor < end:
+            day_start = cursor - (cursor % DAY)
+            opens = day_start + self.night_hour * HOUR + float(
+                rng.uniform(-30, 30) * MINUTE
+            )
+            opens = max(opens, start)
+            closes = opens + self.window_hours * HOUR
+            if opens < end:
+                windows.append(
+                    MaintenanceWindow(
+                        vpe=profile.name, start=opens, end=closes
+                    )
+                )
+            cursor += float(
+                rng.lognormal(np.log(self.interval_days * DAY), 0.3)
+            )
+        return windows
+
+    def materialize(
+        self,
+        window: MaintenanceWindow,
+        rng: np.random.Generator,
+        reoccurrence_count: int = 2,
+    ) -> Tuple[List[SyslogMessage], List[MonitoringSignal]]:
+        """Emit the maintenance log storm and ticket signals."""
+        templates = FAULT_SYMPTOM_TEMPLATES[RootCause.MAINTENANCE.value]
+        messages: List[SyslogMessage] = []
+        timestamp = window.start
+        mean_gap = 2 * MINUTE
+        while timestamp < window.end:
+            spec = templates[int(rng.integers(len(templates)))]
+            messages.append(spec.render(timestamp, window.vpe, rng))
+            timestamp += max(float(rng.exponential(mean_gap)), 1.0)
+        fault_id = next(_maintenance_ids)
+        signals = [
+            MonitoringSignal(
+                timestamp=window.start + index * MINUTE,
+                vpe=window.vpe,
+                signature="maintenance-window",
+                root_cause=RootCause.MAINTENANCE,
+                fault_id=fault_id,
+                clears_at=window.end,
+            )
+            for index in range(reoccurrence_count)
+        ]
+        return messages, signals

@@ -1,0 +1,163 @@
+"""Sequential (Markov) log generation.
+
+The LSTM's whole premise (section 4.2) is that syslogs "display
+sequential patterns" — router events follow one another in learnable
+chains (an SPF run follows a hello burst, a logout follows a login).
+A plain i.i.d. sampler would have no such structure and nothing for
+the LSTM to learn, so the generator draws each next template from a
+first-order Markov chain:
+
+* each template gets a few *preferred successors* (seeded, per
+  device), sampled with probability ``coherence``;
+* otherwise the next template is drawn from the device's stationary
+  weight distribution.
+
+``coherence`` therefore dials how predictable normal logs are.  Gaps
+between messages are exponential with the profile's base rate,
+stretched during quiet night hours to give the trace a diurnal shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.message import SyslogMessage
+from repro.synthesis.catalog import LogTemplateSpec
+from repro.timeutil import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class MarkovStructure:
+    """The sequential skeleton of one device's normal logs.
+
+    Attributes:
+        names: template names (states), in sampling order.
+        stationary: stationary probabilities per state.
+        successors: per state, the preferred successor indices.
+        successor_probs: per state, probabilities over its successors.
+    """
+
+    names: Tuple[str, ...]
+    stationary: np.ndarray
+    successors: Tuple[Tuple[int, ...], ...]
+    successor_probs: Tuple[Tuple[float, ...], ...]
+
+
+def build_structure(
+    weights: Dict[str, float],
+    rng: np.random.Generator,
+    n_successors: int = 3,
+) -> MarkovStructure:
+    """Derive a Markov structure from a stationary weight table.
+
+    Each state's preferred successors are drawn (seeded) from the
+    weight distribution, biased toward frequent templates so the chain
+    has realistic hub structure.
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    names = tuple(sorted(weights))
+    stationary = np.array([weights[name] for name in names])
+    stationary = stationary / stationary.sum()
+    n_states = len(names)
+    successors: List[Tuple[int, ...]] = []
+    successor_probs: List[Tuple[float, ...]] = []
+    for _ in range(n_states):
+        count = min(n_successors, n_states)
+        chosen = rng.choice(
+            n_states, size=count, replace=False, p=stationary
+        )
+        raw = rng.dirichlet(np.ones(count) * 2.0)
+        successors.append(tuple(int(index) for index in chosen))
+        successor_probs.append(tuple(float(p) for p in raw))
+    return MarkovStructure(
+        names=names,
+        stationary=stationary,
+        successors=tuple(successors),
+        successor_probs=tuple(successor_probs),
+    )
+
+
+def diurnal_rate_scale(timestamp: float) -> float:
+    """Rate multiplier for time of day: quieter nights, busier days."""
+    hour_of_day = (timestamp % DAY) / HOUR
+    return 0.6 + 0.4 * float(
+        np.sin(np.pi * (hour_of_day - 5.0) / 24.0) ** 2
+    ) * 2.0
+
+
+class MarkovLogGenerator:
+    """Generate a routine log stream for one device.
+
+    Args:
+        specs_by_name: renderable template specs keyed by name; must
+            cover every name in ``structure``.
+        structure: the device's Markov skeleton.
+        rate_per_hour: mean message rate.
+        coherence: probability of following a preferred successor
+            rather than resampling from the stationary distribution.
+    """
+
+    def __init__(
+        self,
+        specs_by_name: Dict[str, LogTemplateSpec],
+        structure: MarkovStructure,
+        rate_per_hour: float,
+        coherence: float = 0.7,
+    ) -> None:
+        missing = [
+            name for name in structure.names if name not in specs_by_name
+        ]
+        if missing:
+            raise ValueError(f"specs missing for templates: {missing}")
+        if rate_per_hour <= 0:
+            raise ValueError("rate_per_hour must be positive")
+        if not 0.0 <= coherence <= 1.0:
+            raise ValueError(f"coherence must be in [0, 1], got {coherence}")
+        self.specs_by_name = specs_by_name
+        self.structure = structure
+        self.rate_per_hour = rate_per_hour
+        self.coherence = coherence
+        # Cumulative distributions for fast inverse-CDF sampling (the
+        # per-message hot path).
+        self._stationary_cdf = np.cumsum(structure.stationary)
+        self._successor_cdfs = [
+            np.cumsum(probs) for probs in structure.successor_probs
+        ]
+
+    def generate(
+        self,
+        host: str,
+        start: float,
+        end: float,
+        rng: np.random.Generator,
+        rate_scale: float = 1.0,
+    ) -> List[SyslogMessage]:
+        """Generate the routine stream for ``[start, end)``."""
+        if end <= start:
+            return []
+        structure = self.structure
+        stationary_cdf = self._stationary_cdf
+        messages: List[SyslogMessage] = []
+        state = int(np.searchsorted(stationary_cdf, rng.random()))
+        mean_gap = HOUR / (self.rate_per_hour * rate_scale)
+        timestamp = start + float(rng.exponential(mean_gap))
+        while timestamp < end:
+            spec = self.specs_by_name[structure.names[state]]
+            messages.append(spec.render(timestamp, host, rng))
+            if rng.random() < self.coherence:
+                options = structure.successors[state]
+                cdf = self._successor_cdfs[state]
+                state = options[int(np.searchsorted(cdf, rng.random()))]
+            else:
+                state = int(
+                    np.searchsorted(stationary_cdf, rng.random())
+                )
+            gap = float(
+                rng.exponential(mean_gap / diurnal_rate_scale(timestamp))
+            )
+            timestamp += max(gap, 1e-3)
+        return messages

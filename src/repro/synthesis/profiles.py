@@ -1,0 +1,252 @@
+"""Per-device role profiles.
+
+Section 3.3 finds that syslog distributions vary across vPEs ("possibly
+due to differences in server roles, configurations and traffic") and
+that the variation clusters: K-means later finds 4 groups.  We model
+that directly: each vPE draws a *role* (four roles, mirroring the
+paper's four clusters) which reweights the routine template catalog,
+plus small per-device jitter so no two vPEs are identical.
+
+A :class:`VpeProfile` also fixes the device's base log rate.  The
+paired pPE profile adds the physical-layer templates and a higher rate,
+reproducing the section-2 observation that vPE syslogs have ~77% less
+volume than pPE syslogs with far fewer physical-layer messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.synthesis.catalog import (
+    PHYSICAL_TEMPLATES,
+    ROUTINE_TEMPLATES,
+    LogTemplateSpec,
+)
+
+#: The four vPE roles; chosen to produce four separable syslog
+#: distributions, matching the paper's K=4 clusters.
+ROLES: Tuple[str, ...] = (
+    "consumer-edge",
+    "business-edge",
+    "mobility-core",
+    "wholesale-peering",
+)
+
+#: Per-role multiplier applied to selected template names.  Templates
+#: not listed keep their catalog weight.
+_ROLE_EMPHASIS: Dict[str, Dict[str, float]] = {
+    "consumer-edge": {
+        "bgp_keepalive": 2.0,
+        "ospf_hello": 0.15,
+        "ospf_spf": 0.2,
+        "snmp_get": 3.0,
+        "vm_heartbeat": 3.0,
+        "firewall_match": 4.0,
+        "cos_queue": 0.2,
+        "rsvp_refresh": 0.15,
+        "ldp_session": 0.2,
+    },
+    "business-edge": {
+        "bgp_update": 3.0,
+        "ldp_session": 3.5,
+        "rsvp_refresh": 4.0,
+        "cos_queue": 4.0,
+        "vm_heartbeat": 0.4,
+        "snmp_get": 0.3,
+        "firewall_match": 0.3,
+        "ospf_hello": 0.4,
+    },
+    "mobility-core": {
+        "ospf_hello": 4.0,
+        "ospf_spf": 3.0,
+        "ntp_sync": 4.0,
+        "vnf_kpi": 4.0,
+        "mib2d_stats": 3.0,
+        "bgp_keepalive": 0.15,
+        "bgp_update": 0.2,
+        "firewall_match": 0.3,
+        "snmp_get": 0.5,
+    },
+    "wholesale-peering": {
+        "bgp_keepalive": 4.0,
+        "bgp_update": 5.0,
+        "bgp_session_established": 3.0,
+        "snmp_get": 0.2,
+        "vm_resource": 0.3,
+        "vm_heartbeat": 0.3,
+        "ospf_hello": 0.1,
+        "ospf_spf": 0.2,
+        "vnf_kpi": 0.3,
+    },
+}
+
+#: Per-role routine-rate multiplier: traffic differs by role, which
+#: skews the universal model's training mixture the way real fleets do.
+_ROLE_RATE: Dict[str, float] = {
+    "consumer-edge": 1.2,
+    "business-edge": 1.0,
+    "mobility-core": 0.8,
+    "wholesale-peering": 1.5,
+}
+
+
+@dataclass(frozen=True)
+class VpeProfile:
+    """Static description of one simulated device.
+
+    Attributes:
+        name: device hostname, e.g. ``"vpe07"``.
+        role: one of :data:`ROLES`.
+        base_rate_per_hour: mean routine log rate.
+        template_weights: relative frequency per routine template name
+            (role emphasis times per-device jitter, normalized).
+        is_physical: True for the pPE comparison profile, which also
+            emits :data:`PHYSICAL_TEMPLATES`.
+        fault_rate_scale: multiplies the fleet-wide fault intensity;
+            a few devices are lemons (Figure 2's skew).
+    """
+
+    name: str
+    role: str
+    base_rate_per_hour: float
+    template_weights: Dict[str, float]
+    is_physical: bool = False
+    fault_rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_per_hour <= 0:
+            raise ValueError("base_rate_per_hour must be positive")
+        if self.role not in ROLES:
+            raise ValueError(
+                f"unknown role {self.role!r}; choose from {ROLES}"
+            )
+        if self.fault_rate_scale < 0:
+            raise ValueError("fault_rate_scale must be non-negative")
+
+    @property
+    def templates(self) -> List[LogTemplateSpec]:
+        """The template specs this device can emit routinely."""
+        routine = list(ROUTINE_TEMPLATES)
+        if self.is_physical:
+            routine.extend(PHYSICAL_TEMPLATES)
+        return routine
+
+
+def role_base_weights(
+    role: str, include_physical: bool = False
+) -> Dict[str, float]:
+    """The un-jittered weight table of a role (catalog × emphasis).
+
+    Same-role devices share this table up to per-device jitter; the
+    fleet driver also derives each role's *transition skeleton* from
+    it, so devices in one role speak statistically compatible log
+    languages — the property that makes the paper's vPE grouping pay
+    off.
+    """
+    emphasis = _ROLE_EMPHASIS[role]
+    specs: List[LogTemplateSpec] = list(ROUTINE_TEMPLATES)
+    if include_physical:
+        specs.extend(PHYSICAL_TEMPLATES)
+    weights = {
+        spec.name: spec.weight * emphasis.get(spec.name, 1.0)
+        for spec in specs
+    }
+    total = sum(weights.values())
+    return {name: value / total for name, value in weights.items()}
+
+
+def _role_weights(
+    role: str,
+    rng: np.random.Generator,
+    jitter: float,
+    include_physical: bool,
+) -> Dict[str, float]:
+    """Build the jittered weight table for one device of a role."""
+    emphasis = _ROLE_EMPHASIS[role]
+    weights: Dict[str, float] = {}
+    specs: List[LogTemplateSpec] = list(ROUTINE_TEMPLATES)
+    if include_physical:
+        specs.extend(PHYSICAL_TEMPLATES)
+    for spec in specs:
+        base = spec.weight * emphasis.get(spec.name, 1.0)
+        noise = float(rng.lognormal(mean=0.0, sigma=jitter))
+        weights[spec.name] = base * noise
+    total = sum(weights.values())
+    return {name: value / total for name, value in weights.items()}
+
+
+def build_fleet_profiles(
+    n_vpes: int = 38,
+    seed: int = 7,
+    base_rate_per_hour: float = 40.0,
+    rate_spread: float = 0.25,
+    jitter: float = 0.18,
+    lemon_fraction: float = 0.15,
+) -> List[VpeProfile]:
+    """Build the fleet: ``n_vpes`` profiles across the four roles.
+
+    Roles are assigned round-robin with seeded shuffling so every role
+    appears, per-device weights are jittered, and a ``lemon_fraction``
+    of devices get elevated fault rates (the paper's "a few vPEs has
+    more tickets than others").
+    """
+    if n_vpes < 1:
+        raise ValueError(f"n_vpes must be >= 1, got {n_vpes}")
+    rng = np.random.default_rng(seed)
+    roles = [ROLES[index % len(ROLES)] for index in range(n_vpes)]
+    rng.shuffle(roles)
+    n_lemons = int(round(lemon_fraction * n_vpes))
+    lemon_indices = set(
+        rng.choice(n_vpes, size=n_lemons, replace=False).tolist()
+        if n_lemons
+        else []
+    )
+    profiles: List[VpeProfile] = []
+    for index in range(n_vpes):
+        role = roles[index]
+        rate = base_rate_per_hour * _ROLE_RATE[role] * float(
+            rng.lognormal(mean=0.0, sigma=rate_spread)
+        )
+        fault_scale = (
+            float(rng.uniform(3.0, 6.0))
+            if index in lemon_indices
+            else float(rng.uniform(0.5, 1.5))
+        )
+        profiles.append(
+            VpeProfile(
+                name=f"vpe{index:02d}",
+                role=role,
+                base_rate_per_hour=rate,
+                template_weights=_role_weights(
+                    role, rng, jitter, include_physical=False
+                ),
+                fault_rate_scale=fault_scale,
+            )
+        )
+    return profiles
+
+
+def build_ppe_profile(
+    name: str = "ppe00",
+    seed: int = 11,
+    vpe_rate_per_hour: float = 40.0,
+    volume_ratio: float = 1.0 / (1.0 - 0.77),
+) -> VpeProfile:
+    """Build the physical-PE comparison profile (section 2).
+
+    ``volume_ratio`` defaults so the vPE has 77% less volume than the
+    pPE; the pPE additionally emits the physical-layer templates.
+    """
+    rng = np.random.default_rng(seed)
+    return VpeProfile(
+        name=name,
+        role="business-edge",
+        base_rate_per_hour=vpe_rate_per_hour * volume_ratio,
+        template_weights=_role_weights(
+            "business-edge", rng, jitter=0.25, include_physical=True
+        ),
+        is_physical=True,
+    )

@@ -1,0 +1,152 @@
+"""Ticket analytics reproducing section 3.2 of the paper.
+
+Three analyses drive the paper's motivation:
+
+* Figure 1(a): monthly mix of ticket root causes (maintenance
+  dominates; duplicates and circuit next).
+* Figure 1(b): CDF of inter-arrival times of non-duplicated tickets
+  per vPE (all > 40 minutes; 80% > 10 hours; 25% > 1000 hours).
+* Figure 2: non-maintenance tickets scattered across time × vPE,
+  showing skew toward a few vPEs and rare fleet-wide events.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import HOUR, MONTH, TRACE_START, month_index
+
+
+def non_duplicated(
+    tickets: Sequence[TroubleTicket],
+) -> List[TroubleTicket]:
+    """Drop DUPLICATE follow-ups, keeping original tickets only."""
+    return [ticket for ticket in tickets if not ticket.is_duplicate]
+
+
+def tickets_per_vpe(
+    tickets: Sequence[TroubleTicket],
+) -> Dict[str, List[TroubleTicket]]:
+    """Group tickets by vPE, each group sorted by report time."""
+    grouped: Dict[str, List[TroubleTicket]] = defaultdict(list)
+    for ticket in tickets:
+        grouped[ticket.vpe].append(ticket)
+    for group in grouped.values():
+        group.sort(key=lambda ticket: ticket.report_time)
+    return dict(grouped)
+
+
+def monthly_type_mix(
+    tickets: Sequence[TroubleTicket],
+    n_months: int,
+    origin: float = TRACE_START,
+) -> Dict[RootCause, np.ndarray]:
+    """Monthly fraction of tickets per root cause — Figure 1(a).
+
+    Returns, per root cause, an array of length ``n_months`` whose entry
+    ``i`` is the fraction of month-``i`` tickets with that cause.
+    Months without tickets get all-zero rows.
+    """
+    counts = {cause: np.zeros(n_months) for cause in RootCause}
+    totals = np.zeros(n_months)
+    for ticket in tickets:
+        month = month_index(ticket.report_time, origin)
+        if month >= n_months:
+            continue
+        counts[ticket.root_cause][month] += 1
+        totals[month] += 1
+    safe_totals = np.where(totals > 0, totals, 1.0)
+    return {
+        cause: values / safe_totals for cause, values in counts.items()
+    }
+
+
+def interarrival_hours(
+    tickets: Sequence[TroubleTicket],
+) -> np.ndarray:
+    """Per-vPE inter-arrival times of non-duplicated tickets, in hours.
+
+    Consecutive gaps are computed within each vPE (the paper's
+    "inter-arrival time of non-duplicated tickets per vPE") and pooled.
+    """
+    gaps: List[float] = []
+    for group in tickets_per_vpe(non_duplicated(tickets)).values():
+        times = [ticket.report_time for ticket in group]
+        gaps.extend(
+            (later - earlier) / HOUR
+            for earlier, later in zip(times, times[1:])
+        )
+    return np.asarray(gaps, dtype=np.float64)
+
+
+def interarrival_cdf(
+    tickets: Sequence[TroubleTicket],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of non-duplicated inter-arrival times — Fig. 1(b).
+
+    Returns ``(hours, cdf)`` arrays; ``cdf[i]`` is the fraction of gaps
+    ``<= hours[i]``.
+    """
+    gaps = np.sort(interarrival_hours(tickets))
+    if gaps.size == 0:
+        return np.empty(0), np.empty(0)
+    cdf = np.arange(1, gaps.size + 1, dtype=np.float64) / gaps.size
+    return gaps, cdf
+
+
+def ticket_scatter(
+    tickets: Sequence[TroubleTicket],
+    origin: float = TRACE_START,
+    bin_width: float = MONTH / 30,
+) -> List[Tuple[int, int]]:
+    """Non-maintenance ticket occupancy as ``(time_bin, vpe_rank)`` — Fig. 2.
+
+    vPEs are ranked by their ticket volume (rank 0 = most tickets), as
+    in the figure's "sort by ticket #" y-axis.  Each returned pair marks
+    a (time bin, vPE) cell that contains at least one ticket.
+    """
+    relevant = [
+        ticket
+        for ticket in tickets
+        if ticket.root_cause is not RootCause.MAINTENANCE
+    ]
+    by_vpe = tickets_per_vpe(relevant)
+    ranked = sorted(
+        by_vpe, key=lambda vpe: len(by_vpe[vpe]), reverse=True
+    )
+    rank_of = {vpe: rank for rank, vpe in enumerate(ranked)}
+    cells = {
+        (
+            int((ticket.report_time - origin) // bin_width),
+            rank_of[ticket.vpe],
+        )
+        for ticket in relevant
+    }
+    return sorted(cells)
+
+
+def fleet_wide_events(
+    tickets: Sequence[TroubleTicket],
+    window: float = HOUR,
+    min_vpes: int = 4,
+) -> List[Tuple[float, int]]:
+    """Detect intervals where many vPEs ticketed together (Fig. 2 bars).
+
+    Returns ``(window_start, n_vpes)`` for every ``window``-sized bin in
+    which at least ``min_vpes`` distinct vPEs reported non-maintenance
+    tickets — the core-router disruptions the paper calls out as rare.
+    """
+    bins: Dict[int, set] = defaultdict(set)
+    for ticket in non_duplicated(tickets):
+        if ticket.root_cause is RootCause.MAINTENANCE:
+            continue
+        bins[int(ticket.report_time // window)].add(ticket.vpe)
+    return sorted(
+        (bin_index * window, len(vpes))
+        for bin_index, vpes in bins.items()
+        if len(vpes) >= min_vpes
+    )

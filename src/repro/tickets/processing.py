@@ -1,0 +1,211 @@
+"""Operations ticketing pipeline.
+
+Section 2: "trouble tickets are triggered by signals from various
+network monitoring systems matching against known problem signatures
+via a series of ticket processing logic, such as pattern matching,
+event correlation, reoccurrence and duration verification."  The flow
+adds delay between the first symptom and the ticket report time, and
+unresolved troubles spawn DUPLICATE follow-up tickets.
+
+:class:`TicketProcessor` models that flow over a stream of
+:class:`MonitoringSignal` events: signals are matched against known
+signatures, correlated within a window, verified for re-occurrence /
+minimum duration (which is where the report delay comes from), and
+then opened as tickets.  Unresolved faults re-enter the flow and come
+out as duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class MonitoringSignal:
+    """One event from a monitoring system feeding the ticket flow.
+
+    Attributes:
+        timestamp: when the monitoring system saw the symptom.
+        vpe: the device the symptom is attributed to.
+        signature: the known-problem signature the signal matched
+            (e.g. ``"circuit-down"``); the processor only opens tickets
+            for signatures in its policy table.
+        root_cause: ground-truth root cause carried by the simulator so
+            the opened ticket is labelled; a production flow infers it.
+        fault_id: groups signals belonging to one underlying fault.
+        clears_at: when the underlying condition clears (drives the
+            repair-finish time and duplicate generation).
+    """
+
+    timestamp: float
+    vpe: str
+    signature: str
+    root_cause: RootCause
+    fault_id: int
+    clears_at: float
+
+
+@dataclass(frozen=True)
+class TicketingPolicy:
+    """Tunable knobs of the ticket-processing flow.
+
+    Attributes:
+        verification_delay: intentional delay between matching a
+            signature and opening the ticket, used by operations to
+            suppress transients (section 5.3, scenario three).
+        reoccurrence_count: how many signals of one fault must be seen
+            before a ticket opens (re-occurrence verification).
+        correlation_window: signals of the same fault within this
+            window are correlated into one candidate ticket.
+        duplicate_interval: when a fault stays uncleared, a DUPLICATE
+            follow-up ticket opens every interval.
+        max_duplicates: cap on follow-ups per original ticket.
+        suppression_window: a new (non-duplicate) ticket on a device is
+            suppressed when it would open within this window of the
+            device's previous ticket — near-simultaneous symptoms are
+            correlated into the open ticket instead.  This is why the
+            paper observes no non-duplicated tickets closer than ~40
+            minutes (section 3.2).
+    """
+
+    verification_delay: float = 5 * MINUTE
+    reoccurrence_count: int = 2
+    correlation_window: float = 15 * MINUTE
+    duplicate_interval: float = 3 * HOUR
+    max_duplicates: int = 3
+    suppression_window: float = 45 * MINUTE
+
+    def __post_init__(self) -> None:
+        if self.verification_delay < 0:
+            raise ValueError("verification_delay must be non-negative")
+        if self.reoccurrence_count < 1:
+            raise ValueError("reoccurrence_count must be >= 1")
+        if self.correlation_window <= 0:
+            raise ValueError("correlation_window must be positive")
+        if self.duplicate_interval <= 0:
+            raise ValueError("duplicate_interval must be positive")
+        if self.max_duplicates < 0:
+            raise ValueError("max_duplicates must be non-negative")
+        if self.suppression_window < 0:
+            raise ValueError("suppression_window must be non-negative")
+
+
+@dataclass
+class _FaultState:
+    """Correlation state for one in-flight fault."""
+
+    signals: List[MonitoringSignal] = field(default_factory=list)
+    ticket_opened: bool = False
+
+
+class TicketProcessor:
+    """Turn monitoring signals into trouble tickets.
+
+    The processor is deterministic: given the same signal stream and
+    policy it emits the same tickets.  Signals must be fed in timestamp
+    order (as a batch via :meth:`process`).
+    """
+
+    def __init__(self, policy: Optional[TicketingPolicy] = None) -> None:
+        self.policy = policy or TicketingPolicy()
+
+    def process(
+        self, signals: Iterable[MonitoringSignal]
+    ) -> List[TroubleTicket]:
+        """Run the full flow over a signal stream, returning tickets.
+
+        Tickets are returned sorted by report time; duplicates carry
+        the original ticket id.
+        """
+        ordered = sorted(signals, key=lambda signal: signal.timestamp)
+        states: Dict[int, _FaultState] = {}
+        tickets: List[TroubleTicket] = []
+        for signal in ordered:
+            state = states.setdefault(signal.fault_id, _FaultState())
+            if state.ticket_opened:
+                continue
+            state.signals = [
+                seen
+                for seen in state.signals
+                if signal.timestamp - seen.timestamp
+                <= self.policy.correlation_window
+            ]
+            state.signals.append(signal)
+            if len(state.signals) >= self.policy.reoccurrence_count:
+                tickets.extend(self._open_ticket(state.signals))
+                state.ticket_opened = True
+        tickets.sort(key=lambda ticket: ticket.report_time)
+        return self._suppress_near_simultaneous(tickets)
+
+    def _suppress_near_simultaneous(
+        self, tickets: List[TroubleTicket]
+    ) -> List[TroubleTicket]:
+        """Drop per-device tickets opening inside the suppression window.
+
+        A suppressed original ticket takes its duplicate follow-ups
+        with it.  Duplicates of kept tickets are never suppressed (they
+        are intentional re-notifications of the same fault).
+        """
+        if self.policy.suppression_window == 0:
+            return tickets
+        kept: List[TroubleTicket] = []
+        last_report: Dict[str, float] = {}
+        suppressed_ids: set = set()
+        for ticket in tickets:
+            if ticket.is_duplicate:
+                if ticket.original_ticket_id not in suppressed_ids:
+                    kept.append(ticket)
+                continue
+            previous = last_report.get(ticket.vpe)
+            if (
+                previous is not None
+                and ticket.report_time - previous
+                < self.policy.suppression_window
+            ):
+                suppressed_ids.add(ticket.ticket_id)
+                continue
+            last_report[ticket.vpe] = ticket.report_time
+            kept.append(ticket)
+        return kept
+
+    def _open_ticket(
+        self, correlated: Sequence[MonitoringSignal]
+    ) -> List[TroubleTicket]:
+        """Open the original ticket plus any duplicate follow-ups."""
+        first = correlated[0]
+        trigger = correlated[-1]
+        report_time = trigger.timestamp + self.policy.verification_delay
+        repair_time = max(first.clears_at, report_time)
+        original = TroubleTicket(
+            vpe=first.vpe,
+            root_cause=first.root_cause,
+            report_time=report_time,
+            repair_time=repair_time,
+            fault_time=first.timestamp,
+        )
+        tickets = [original]
+        # Long-lived faults generate duplicate follow-ups while open
+        # (section 3.2: "duplicated tickets often arrive in bursts").
+        follow_up_time = report_time + self.policy.duplicate_interval
+        emitted = 0
+        while (
+            follow_up_time < repair_time
+            and emitted < self.policy.max_duplicates
+        ):
+            tickets.append(
+                TroubleTicket(
+                    vpe=first.vpe,
+                    root_cause=RootCause.DUPLICATE,
+                    report_time=follow_up_time,
+                    repair_time=repair_time,
+                    fault_time=first.timestamp,
+                    original_ticket_id=original.ticket_id,
+                )
+            )
+            emitted += 1
+            follow_up_time += self.policy.duplicate_interval
+        return tickets

@@ -1,0 +1,134 @@
+"""Trouble-ticket data model.
+
+Section 2 of the paper ("Network Trouble Tickets") defines the record:
+time of occurrence, root cause, duration, with six root-cause
+categories.  Section 4.1 adds the two evaluation windows anchored on a
+ticket — the *predictive period* before the report and the *infected
+period* between report and repair finish.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.timeutil import DAY
+
+
+class RootCause(enum.Enum):
+    """The paper's six trouble-ticket root-cause categories."""
+
+    MAINTENANCE = "maintenance"
+    CIRCUIT = "circuit"
+    CABLE = "cable"
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    DUPLICATE = "duplicate"
+
+    @property
+    def is_predictable_by_schedule(self) -> bool:
+        """Maintenance tickets are pre-scheduled, hence predictable."""
+        return self is RootCause.MAINTENANCE
+
+
+_ticket_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TroubleTicket:
+    """One trouble ticket.
+
+    Attributes:
+        vpe: name of the vPE the ticket is filed against.
+        root_cause: one of the six categories.
+        report_time: POSIX seconds when the ticket was opened.  Per the
+            paper this is *at or after* the first symptom, because the
+            ticketing flow adds verification latency.
+        repair_time: POSIX seconds when the repair finished.
+        fault_time: when the underlying fault actually began (known to
+            the simulator; production systems do not record it).  Used
+            only for diagnostics, never by the detector.
+        original_ticket_id: for DUPLICATE tickets, the id of the ticket
+            they follow up on.
+    """
+
+    vpe: str
+    root_cause: RootCause
+    report_time: float
+    repair_time: float
+    fault_time: Optional[float] = None
+    original_ticket_id: Optional[int] = None
+    ticket_id: int = field(
+        default_factory=lambda: next(_ticket_counter), compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.repair_time < self.report_time:
+            raise ValueError(
+                f"repair_time {self.repair_time} precedes report_time "
+                f"{self.report_time}"
+            )
+        if self.fault_time is not None and self.fault_time > self.report_time:
+            raise ValueError("fault_time must not follow report_time")
+        if (
+            self.root_cause is RootCause.DUPLICATE
+            and self.original_ticket_id is None
+        ):
+            raise ValueError("DUPLICATE tickets need original_ticket_id")
+
+    @property
+    def duration(self) -> float:
+        """Ticket duration: report to repair finish, in seconds."""
+        return self.repair_time - self.report_time
+
+    @property
+    def is_duplicate(self) -> bool:
+        return self.root_cause is RootCause.DUPLICATE
+
+    def timeline(self, predictive_period: float = DAY) -> "TicketTimeline":
+        """The evaluation windows anchored on this ticket (Figure 4)."""
+        return TicketTimeline(
+            ticket=self, predictive_period=predictive_period
+        )
+
+
+@dataclass(frozen=True)
+class TicketTimeline:
+    """Predictive / infected periods of a ticket (Figure 4).
+
+    * anomalies in ``[report - predictive_period, report)`` are *early
+      warnings*;
+    * anomalies in ``[report, repair]`` are *errors*;
+    * anomalies elsewhere are false alarms (relative to this ticket).
+    """
+
+    ticket: TroubleTicket
+    predictive_period: float = DAY
+
+    def __post_init__(self) -> None:
+        if self.predictive_period < 0:
+            raise ValueError("predictive_period must be non-negative")
+
+    @property
+    def predictive_start(self) -> float:
+        return self.ticket.report_time - self.predictive_period
+
+    def contains(self, timestamp: float) -> bool:
+        """Whether a timestamp falls in either evaluation window."""
+        return self.predictive_start <= timestamp <= self.ticket.repair_time
+
+    def is_early_warning(self, timestamp: float) -> bool:
+        return self.predictive_start <= timestamp < self.ticket.report_time
+
+    def is_error(self, timestamp: float) -> bool:
+        return self.ticket.report_time <= timestamp <= self.ticket.repair_time
+
+    def lead_time(self, timestamp: float) -> float:
+        """Seconds by which a detection precedes the ticket report.
+
+        Positive values mean the anomaly came first (an early signal),
+        negative values mean it trailed the report.
+        """
+        return self.ticket.report_time - timestamp

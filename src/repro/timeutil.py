@@ -1,0 +1,67 @@
+"""Time helpers shared across the library.
+
+All timestamps in :mod:`repro` are POSIX seconds stored as ``float``.
+Durations are plain seconds.  The constants below keep call sites
+readable (``3 * DAY`` instead of ``259200``) and are used everywhere a
+paper parameter is expressed in human units (e.g. the 3-day log scrub
+around a ticket, the 1-day predictive period).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+WEEK: float = 7 * DAY
+#: The paper slides monthly windows over the trace; we use a fixed-width
+#: 30-day month so that windows tile the trace exactly.
+MONTH: float = 30 * DAY
+
+#: Trace origin used by the fleet simulator.  The exact epoch value is
+#: arbitrary (the paper's trace starts October 2016); a round non-zero
+#: origin catches bugs that conflate "no timestamp" with "trace start".
+TRACE_START: float = 1_475_280_000.0  # 2016-10-01 00:00:00 UTC
+
+
+def month_index(timestamp: float, origin: float = TRACE_START) -> int:
+    """Return the zero-based month bucket a timestamp falls into."""
+    if timestamp < origin:
+        raise ValueError(
+            f"timestamp {timestamp} precedes trace origin {origin}"
+        )
+    return int((timestamp - origin) // MONTH)
+
+
+def month_bounds(
+    index: int, origin: float = TRACE_START
+) -> Tuple[float, float]:
+    """Return the ``[start, end)`` bounds of month ``index``."""
+    if index < 0:
+        raise ValueError(f"month index must be non-negative, got {index}")
+    start = origin + index * MONTH
+    return start, start + MONTH
+
+
+def iter_months(
+    n_months: int, origin: float = TRACE_START
+) -> Iterator[Tuple[int, float, float]]:
+    """Yield ``(index, start, end)`` for each of ``n_months`` months."""
+    for index in range(n_months):
+        start, end = month_bounds(index, origin)
+        yield index, start, end
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest sensible unit, for reports."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.0f}s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f}min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f}h"
+    return f"{seconds / DAY:.1f}d"

@@ -1,0 +1,3 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"

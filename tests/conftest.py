@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+The expensive fixtures (a simulated fleet trace, a fitted template
+store) are session-scoped and deliberately tiny: enough structure for
+every code path, small enough that the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.logs.message import Severity, SyslogMessage
+from repro.logs.templates import TemplateStore
+from repro.synthesis import FleetSimulator, SimulationConfig
+from repro.timeutil import HOUR, TRACE_START
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SimulationConfig:
+    """A 3-vPE, 2-month configuration with the update in month 1."""
+    return SimulationConfig(
+        n_vpes=3,
+        n_months=2,
+        seed=42,
+        base_rate_per_hour=6.0,
+        update_month=1,
+        update_fraction=0.5,
+        n_fleet_events=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config):
+    """A simulated trace shared by read-only tests."""
+    return FleetSimulator(small_config).run()
+
+
+@pytest.fixture(scope="session")
+def fitted_store(small_dataset) -> TemplateStore:
+    """A template store fitted on the first two weeks of normal logs."""
+    messages = small_dataset.aggregate_messages(
+        start=small_dataset.start,
+        end=small_dataset.start + 14 * 24 * HOUR,
+        normal_only=True,
+    )
+    return TemplateStore().fit(messages[:8000])
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def make_message(
+    timestamp: float = TRACE_START,
+    host: str = "vpe00",
+    process: str = "rpd",
+    text: str = "BGP_KEEPALIVE: keepalive received from peer 10.0.0.1",
+    severity: Severity = Severity.INFO,
+) -> SyslogMessage:
+    """Convenience constructor used across test modules."""
+    return SyslogMessage(
+        timestamp=timestamp,
+        host=host,
+        process=process,
+        text=text,
+        severity=severity,
+    )

@@ -1,0 +1,37 @@
+"""Tests for repro.core.base (ScoredStream)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ScoredStream
+
+
+class TestScoredStream:
+    def test_len(self):
+        stream = ScoredStream(np.arange(5.0), np.zeros(5))
+        assert len(stream) == 5
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ScoredStream(np.arange(5.0), np.zeros(4))
+
+    def test_one_dimensional_enforced(self):
+        with pytest.raises(ValueError):
+            ScoredStream(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_anomalies_strictly_above_threshold(self):
+        stream = ScoredStream(
+            np.array([1.0, 2.0, 3.0]), np.array([0.1, 0.5, 0.9])
+        )
+        assert list(stream.anomalies(0.5)) == [3.0]
+
+    def test_concatenate_sorts_by_time(self):
+        a = ScoredStream(np.array([10.0, 30.0]), np.array([1.0, 3.0]))
+        b = ScoredStream(np.array([20.0]), np.array([2.0]))
+        merged = ScoredStream.concatenate([a, b])
+        assert list(merged.times) == [10.0, 20.0, 30.0]
+        assert list(merged.scores) == [1.0, 2.0, 3.0]
+
+    def test_concatenate_empty_list(self):
+        merged = ScoredStream.concatenate([])
+        assert len(merged) == 0

@@ -1,0 +1,92 @@
+"""Tests for repro.core.grouping."""
+
+import pytest
+
+from repro.core.grouping import (
+    VpeGrouping,
+    fully_custom_grouping,
+    group_vpes,
+    universal_grouping,
+)
+from repro.logs.templates import TemplateStore
+from repro.timeutil import TRACE_START
+from tests.conftest import make_message
+
+
+def role_stream(texts, n=120, host="vpe00"):
+    return [
+        make_message(
+            timestamp=TRACE_START + i * 10.0,
+            host=host,
+            text=texts[i % len(texts)],
+        )
+        for i in range(n)
+    ]
+
+
+ROLE_A = ["AAA: alpha event", "BBB: beta event"]
+ROLE_B = ["CCC: gamma event", "DDD: delta event"]
+
+
+@pytest.fixture()
+def per_vpe_messages():
+    return {
+        "vpe00": role_stream(ROLE_A, host="vpe00"),
+        "vpe01": role_stream(ROLE_A, host="vpe01"),
+        "vpe02": role_stream(ROLE_B, host="vpe02"),
+        "vpe03": role_stream(ROLE_B, host="vpe03"),
+    }
+
+
+@pytest.fixture()
+def store(per_vpe_messages):
+    merged = [
+        m for stream in per_vpe_messages.values() for m in stream
+    ]
+    return TemplateStore().fit(merged)
+
+
+class TestGroupVpes:
+    def test_same_behaviour_same_group(self, per_vpe_messages, store):
+        grouping = group_vpes(per_vpe_messages, store, k=2)
+        assert grouping.group_of("vpe00") == grouping.group_of("vpe01")
+        assert grouping.group_of("vpe02") == grouping.group_of("vpe03")
+        assert grouping.group_of("vpe00") != grouping.group_of("vpe02")
+
+    def test_auto_k_selects_two(self, per_vpe_messages, store):
+        grouping = group_vpes(
+            per_vpe_messages, store, candidates=(2, 3)
+        )
+        assert grouping.k == 2
+
+    def test_k_capped_at_vpe_count(self, per_vpe_messages, store):
+        grouping = group_vpes(per_vpe_messages, store, k=10)
+        assert grouping.k <= 4
+
+    def test_groups_partition_fleet(self, per_vpe_messages, store):
+        grouping = group_vpes(per_vpe_messages, store, k=2)
+        members = [
+            vpe for group in grouping.groups.values() for vpe in group
+        ]
+        assert sorted(members) == sorted(per_vpe_messages)
+
+    def test_empty_rejected(self, store):
+        with pytest.raises(ValueError):
+            group_vpes({}, store)
+
+
+class TestTrivialGroupings:
+    def test_universal(self):
+        grouping = universal_grouping(["a", "b", "c"])
+        assert grouping.k == 1
+        assert grouping.members(0) == ["a", "b", "c"]
+
+    def test_fully_custom(self):
+        grouping = fully_custom_grouping(["a", "b"])
+        assert grouping.k == 2
+        assert grouping.group_of("a") != grouping.group_of("b")
+
+    def test_unknown_vpe(self):
+        grouping = universal_grouping(["a"])
+        with pytest.raises(KeyError):
+            grouping.group_of("z")

@@ -1,0 +1,207 @@
+"""Tests for repro.core.mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import (
+    AnomalyKind,
+    FIGURE8_OFFSETS_MINUTES,
+    detection_rate_by_offset,
+    map_anomalies,
+    warning_clusters,
+)
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, HOUR, MINUTE
+
+
+BASE = 100 * DAY
+
+
+def ticket(report=BASE, duration=2 * HOUR, vpe="vpe00",
+           cause=RootCause.CIRCUIT, **kwargs):
+    return TroubleTicket(
+        vpe=vpe, root_cause=cause, report_time=report,
+        repair_time=report + duration, **kwargs,
+    )
+
+
+class TestMapAnomalies:
+    def test_early_warning(self):
+        t = ticket()
+        result = map_anomalies(
+            {"vpe00": np.array([BASE - 2 * HOUR])}, [t],
+            predictive_period=DAY,
+        )
+        (record,) = result.records
+        assert record.kind is AnomalyKind.EARLY_WARNING
+        assert record.ticket.ticket_id == t.ticket_id
+        assert record.lead_time == pytest.approx(2 * HOUR)
+
+    def test_error_in_infected_period(self):
+        result = map_anomalies(
+            {"vpe00": np.array([BASE + HOUR])}, [ticket()]
+        )
+        assert result.records[0].kind is AnomalyKind.ERROR
+
+    def test_false_alarm_outside_periods(self):
+        result = map_anomalies(
+            {"vpe00": np.array([BASE - 10 * DAY])}, [ticket()]
+        )
+        record = result.records[0]
+        assert record.kind is AnomalyKind.FALSE_ALARM
+        assert record.ticket is None
+
+    def test_wrong_vpe_is_false_alarm(self):
+        result = map_anomalies(
+            {"vpe99": np.array([BASE + HOUR])}, [ticket(vpe="vpe00")]
+        )
+        assert result.records[0].kind is AnomalyKind.FALSE_ALARM
+
+    def test_predictive_period_boundary(self):
+        result = map_anomalies(
+            {"vpe00": np.array([BASE - DAY, BASE - DAY - 1])},
+            [ticket()],
+            predictive_period=DAY,
+        )
+        kinds = [r.kind for r in result.records]
+        assert AnomalyKind.EARLY_WARNING in kinds
+        assert AnomalyKind.FALSE_ALARM in kinds
+
+    def test_duplicate_nested_period_credited(self):
+        original = ticket(report=BASE, duration=8 * HOUR)
+        dup = ticket(
+            report=BASE + 2 * HOUR,
+            duration=6 * HOUR,
+            cause=RootCause.DUPLICATE,
+            original_ticket_id=original.ticket_id,
+        )
+        result = map_anomalies(
+            {"vpe00": np.array([BASE + 3 * HOUR])}, [original, dup]
+        )
+        # primary match is the earliest report (the original) ...
+        assert result.records[0].ticket.ticket_id == original.ticket_id
+        # ... but both tickets count as detected
+        assert result.counts.tickets_detected == 2
+
+    def test_counts(self):
+        t = ticket()
+        result = map_anomalies(
+            {
+                "vpe00": np.array(
+                    [BASE - HOUR, BASE + HOUR, BASE - 20 * DAY]
+                )
+            },
+            [t],
+        )
+        counts = result.counts
+        assert counts.true_anomalies == 2
+        assert counts.false_alarms == 1
+        assert counts.tickets_detected == 1
+        assert counts.tickets_total == 1
+
+    def test_false_alarm_rate(self):
+        result = map_anomalies(
+            {"vpe00": np.array([BASE - 20 * DAY, BASE - 21 * DAY])},
+            [ticket()],
+        )
+        assert result.false_alarms_per_day(10 * DAY) == pytest.approx(
+            0.2
+        )
+
+    def test_empty_everything(self):
+        result = map_anomalies({}, [])
+        assert result.counts.precision == 0.0
+        assert result.counts.recall == 0.0
+
+
+class TestWarningClusters:
+    def test_pair_forms_cluster(self):
+        clusters = warning_clusters(
+            np.array([100.0, 160.0]), min_size=2, max_gap=5 * MINUTE
+        )
+        assert list(clusters) == [100.0]
+
+    def test_singleton_filtered(self):
+        clusters = warning_clusters(
+            np.array([100.0, 10000.0]), min_size=2
+        )
+        assert clusters.size == 0
+
+    def test_min_size_one_keeps_all_starts(self):
+        clusters = warning_clusters(
+            np.array([100.0, 10000.0]), min_size=1
+        )
+        assert list(clusters) == [100.0, 10000.0]
+
+    def test_gap_splits_clusters(self):
+        times = np.array([0.0, 60.0, 7200.0, 7260.0])
+        clusters = warning_clusters(times, min_size=2,
+                                    max_gap=5 * MINUTE)
+        assert list(clusters) == [0.0, 7200.0]
+
+    def test_empty(self):
+        assert warning_clusters(np.array([])).size == 0
+
+    def test_unsorted_input_sorted_internally(self):
+        clusters = warning_clusters(np.array([160.0, 100.0]))
+        assert list(clusters) == [100.0]
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ValueError):
+            warning_clusters(np.array([1.0]), min_size=0)
+
+
+class TestDetectionRateByOffset:
+    def test_lead_time_thresholds(self):
+        t = ticket()
+        result = map_anomalies(
+            {"vpe00": np.array([BASE - 10 * MINUTE])}, [t]
+        )
+        rates = detection_rate_by_offset(result)
+        cause = t.root_cause.value
+        assert rates[cause][15.0] == 0.0   # not 15 min early
+        assert rates[cause][5.0] == 1.0    # is 5 min early
+        assert rates[cause][0.0] == 1.0
+        assert rates[cause][-15.0] == 1.0
+
+    def test_post_report_detection_counts_at_negative_offsets(self):
+        t = ticket()
+        result = map_anomalies(
+            {"vpe00": np.array([BASE + 10 * MINUTE])}, [t]
+        )
+        rates = detection_rate_by_offset(result)
+        cause = t.root_cause.value
+        assert rates[cause][0.0] == 0.0
+        assert rates[cause][-5.0] == 0.0
+        assert rates[cause][-15.0] == 1.0
+
+    def test_all_key_aggregates(self):
+        tickets = [
+            ticket(vpe="a", report=BASE),
+            ticket(vpe="b", report=BASE, cause=RootCause.SOFTWARE),
+        ]
+        result = map_anomalies(
+            {"a": np.array([BASE - HOUR]), "b": np.array([])}, tickets
+        )
+        rates = detection_rate_by_offset(result)
+        assert rates["all"][0.0] == pytest.approx(0.5)
+
+    def test_duplicates_excluded_by_default(self):
+        original = ticket()
+        dup = ticket(
+            report=BASE + HOUR,
+            cause=RootCause.DUPLICATE,
+            original_ticket_id=original.ticket_id,
+        )
+        result = map_anomalies(
+            {"vpe00": np.array([BASE - HOUR])}, [original, dup]
+        )
+        rates = detection_rate_by_offset(result)
+        assert "duplicate" not in rates
+        rates_with = detection_rate_by_offset(
+            result, include_duplicates=True
+        )
+        assert "duplicate" in rates_with
+
+    def test_offsets_match_figure8(self):
+        assert FIGURE8_OFFSETS_MINUTES == (15.0, 5.0, 0.0, -5.0, -15.0)

@@ -1,0 +1,158 @@
+"""Tests for repro.core.online (streaming monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.online import OnlineMonitor, WarningSignature
+from repro.logs.templates import TemplateStore
+from repro.timeutil import HOUR, MINUTE, TRACE_START
+from tests.conftest import make_message
+
+TEXTS = [
+    "ALPHA: phase one complete",
+    "BRAVO: phase two complete",
+    "CHARLIE: phase three complete",
+    "DELTA: phase four complete",
+]
+ANOMALY_TEXT = "ZULU: catastrophic meltdown imminent now"
+
+
+def cyclic_stream(n=600, start=TRACE_START, period=10.0, host="vpe00"):
+    return [
+        make_message(
+            timestamp=start + i * period,
+            host=host,
+            text=TEXTS[i % len(TEXTS)],
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def detector():
+    train = cyclic_stream()
+    store = TemplateStore().fit(train)
+    model = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=16,
+        window=4,
+        hidden=(12, 12),
+        id_dim=8,
+        epochs=6,
+        oversample_rounds=0,
+        seed=0,
+    ).fit(train)
+    return model
+
+
+@pytest.fixture()
+def threshold(detector):
+    scores = detector.score(cyclic_stream(300)).scores
+    return float(np.quantile(scores, 0.999)) + 0.5
+
+
+class TestObserve:
+    def test_quiet_on_normal_stream(self, detector, threshold):
+        monitor = OnlineMonitor(detector, threshold)
+        warnings = monitor.run(cyclic_stream(300))
+        assert warnings == []
+        assert monitor.n_observed == 300
+
+    def test_burst_raises_exactly_one_warning(self, detector,
+                                              threshold):
+        monitor = OnlineMonitor(
+            detector, threshold, cooldown=30 * MINUTE
+        )
+        stream = cyclic_stream(200)
+        burst_at = 100
+        for offset in range(4):
+            index = burst_at + offset
+            stream[index] = make_message(
+                timestamp=stream[index].timestamp, text=ANOMALY_TEXT
+            )
+        warnings = monitor.run(stream)
+        assert len(warnings) == 1
+        warning = warnings[0]
+        assert warning.vpe == "vpe00"
+        assert warning.n_anomalies >= 2
+        assert (
+            stream[burst_at].timestamp
+            <= warning.time
+            <= stream[burst_at + 4].timestamp
+        )
+        assert warning.peak_score > threshold
+
+    def test_cooldown_expires(self, detector, threshold):
+        monitor = OnlineMonitor(
+            detector, threshold, cooldown=10 * MINUTE
+        )
+        stream = cyclic_stream(1000)
+        # two bursts two hours apart (period 10s -> 720 steps = 2h)
+        for start in (100, 100 + 720):
+            for offset in range(4):
+                index = start + offset
+                stream[index] = make_message(
+                    timestamp=stream[index].timestamp,
+                    text=ANOMALY_TEXT,
+                )
+        warnings = monitor.run(stream)
+        assert len(warnings) == 2
+
+    def test_singleton_anomaly_no_warning(self, detector, threshold):
+        monitor = OnlineMonitor(detector, threshold,
+                                cluster_min_size=2)
+        stream = cyclic_stream(200)
+        stream[100] = make_message(
+            timestamp=stream[100].timestamp, text=ANOMALY_TEXT
+        )
+        assert monitor.run(stream) == []
+        assert monitor.n_anomalies >= 1
+
+    def test_devices_isolated(self, detector, threshold):
+        monitor = OnlineMonitor(detector, threshold)
+        a = cyclic_stream(120, host="vpe00")
+        b = cyclic_stream(120, host="vpe01")
+        # anomalies split across devices never cluster
+        a[60] = make_message(
+            timestamp=a[60].timestamp, host="vpe00",
+            text=ANOMALY_TEXT,
+        )
+        b[60] = make_message(
+            timestamp=b[60].timestamp, host="vpe01",
+            text=ANOMALY_TEXT,
+        )
+        merged = sorted(a + b, key=lambda m: m.timestamp)
+        assert monitor.run(merged) == []
+
+    def test_out_of_order_rejected(self, detector, threshold):
+        monitor = OnlineMonitor(detector, threshold)
+        monitor.observe(make_message(timestamp=TRACE_START + 100))
+        with pytest.raises(ValueError):
+            monitor.observe(make_message(timestamp=TRACE_START))
+
+    def test_invalid_params(self, detector, threshold):
+        with pytest.raises(ValueError):
+            OnlineMonitor(detector, threshold, cluster_min_size=0)
+        with pytest.raises(ValueError):
+            OnlineMonitor(detector, threshold, cluster_max_gap=0)
+
+
+class TestOnlineOfflineConsistency:
+    def test_scores_match_offline(self, detector, threshold):
+        """The streaming scorer must reproduce the offline scores."""
+        stream = cyclic_stream(100)
+        offline = detector.score(stream)
+        monitor = OnlineMonitor(detector, threshold=float("inf"))
+        online_scores = []
+        for message in stream:
+            monitor.observe(message)
+            score = monitor._devices["vpe00"].last_score
+            if score is not None:
+                online_scores.append(score)
+        # offline skips the first `window` messages; the online path
+        # scores exactly the same suffix with identical values
+        assert len(online_scores) == len(offline)
+        assert np.allclose(
+            online_scores, offline.scores, atol=1e-9
+        )

@@ -1,0 +1,114 @@
+"""Tests for repro.core.thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ScoredStream
+from repro.core.thresholds import candidate_thresholds, sweep_thresholds
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, HOUR, MINUTE
+
+
+BASE = 50 * DAY
+
+
+def ticket(report, vpe="vpe00", duration=HOUR):
+    return TroubleTicket(
+        vpe=vpe, root_cause=RootCause.CIRCUIT, report_time=report,
+        repair_time=report + duration,
+    )
+
+
+def stream_with_anomaly_at(times_scores):
+    times = np.array([t for t, _ in times_scores])
+    scores = np.array([s for _, s in times_scores])
+    return ScoredStream(times, scores)
+
+
+class TestCandidateThresholds:
+    def test_within_score_range(self):
+        stream = ScoredStream(
+            np.arange(100.0), np.linspace(0, 10, 100)
+        )
+        thresholds = candidate_thresholds({"v": stream})
+        assert np.all(thresholds >= 0)
+        assert np.all(thresholds <= 10)
+
+    def test_concentrated_in_upper_tail(self):
+        stream = ScoredStream(
+            np.arange(1000.0), np.linspace(0, 1, 1000)
+        )
+        thresholds = candidate_thresholds({"v": stream}, 20)
+        assert np.median(thresholds) > 0.9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            candidate_thresholds(
+                {"v": ScoredStream(np.empty(0), np.empty(0))}
+            )
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            candidate_thresholds({}, 0)
+
+
+class TestSweepThresholds:
+    def test_precision_recall_tradeoff(self):
+        """Low thresholds catch the ticket but fire false alarms;
+        high thresholds miss everything."""
+        t = ticket(BASE)
+        # two clustered anomalies in the predictive period (score 5),
+        # plus clustered noise far away (score 2)
+        stream = stream_with_anomaly_at([
+            (BASE - HOUR, 5.0),
+            (BASE - HOUR + MINUTE, 5.0),
+            (BASE - 20 * DAY, 2.0),
+            (BASE - 20 * DAY + MINUTE, 2.0),
+            (BASE - 10 * DAY, 1.0),
+        ])
+        curve = sweep_thresholds(
+            {"vpe00": stream}, [t],
+            thresholds=np.array([0.5, 3.0, 10.0]),
+        )
+        assert curve[0].precision == pytest.approx(0.5)
+        assert curve[0].recall == 1.0
+        assert curve[1].precision == 1.0
+        assert curve[1].recall == 1.0
+        assert curve[2].recall == 0.0
+
+    def test_cluster_filter_drops_singletons(self):
+        t = ticket(BASE)
+        stream = stream_with_anomaly_at([
+            (BASE - 20 * DAY, 5.0),  # lone false alarm
+            (BASE - HOUR, 5.0),
+            (BASE - HOUR + MINUTE, 5.0),
+        ])
+        curve = sweep_thresholds(
+            {"vpe00": stream}, [t],
+            thresholds=np.array([1.0]),
+            cluster_min_size=2,
+        )
+        assert curve[0].precision == 1.0
+
+    def test_cluster_disabled(self):
+        t = ticket(BASE)
+        stream = stream_with_anomaly_at([
+            (BASE - 20 * DAY, 5.0),
+            (BASE - HOUR, 5.0),
+        ])
+        curve = sweep_thresholds(
+            {"vpe00": stream}, [t],
+            thresholds=np.array([1.0]),
+            cluster_min_size=1,
+        )
+        assert curve[0].precision == pytest.approx(0.5)
+        assert curve[0].recall == 1.0
+
+    def test_one_point_per_threshold(self):
+        t = ticket(BASE)
+        stream = stream_with_anomaly_at([(BASE - HOUR, 5.0)])
+        thresholds = np.array([0.1, 0.5, 2.0, 9.0])
+        curve = sweep_thresholds(
+            {"vpe00": stream}, [t], thresholds=thresholds
+        )
+        assert [p.threshold for p in curve] == list(thresholds)

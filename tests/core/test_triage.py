@@ -1,0 +1,132 @@
+"""Tests for repro.core.triage (section 5.3 scenario categorization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import map_anomalies
+from repro.core.triage import TriageScenario, triage
+from repro.logs.templates import TemplateStore
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, HOUR, MINUTE
+from tests.conftest import make_message
+
+BASE = 200 * DAY
+
+PREDICTIVE_TEXT = (
+    "CHASSISD_IPC: invalid response from peer chassis-control "
+    "connection 3"
+)
+STORM_TEXT = "BGP_UNUSABLE_ASPATH: bgp reject path from peer 10.0.0.1"
+NOISE_TEXT = "SNMP_AUTH_FAIL: authentication failure from 10.9.9.9"
+FILLER_TEXT = "NTP_SYNC: clock synchronized to 10.1.1.1 offset 5 ms"
+
+
+def build_world():
+    """One vPE with three conditions: a predictive storm 30 min before
+    a ticket, an in-ticket storm, and an unrelated noise cluster."""
+    ticket = TroubleTicket(
+        vpe="vpe00",
+        root_cause=RootCause.HARDWARE,
+        report_time=BASE,
+        repair_time=BASE + 2 * HOUR,
+    )
+    messages = []
+    anomaly_times = []
+    # predictive condition: 30 minutes before the report
+    for offset in range(3):
+        t = BASE - 30 * MINUTE + offset * 20
+        messages.append(make_message(timestamp=t,
+                                     text=PREDICTIVE_TEXT))
+        anomaly_times.append(t)
+    # in-ticket condition
+    for offset in range(3):
+        t = BASE + 10 * MINUTE + offset * 20
+        messages.append(make_message(timestamp=t, text=STORM_TEXT))
+        anomaly_times.append(t)
+    # coincidental condition, far away from any ticket
+    for offset in range(3):
+        t = BASE - 20 * DAY + offset * 20
+        messages.append(make_message(timestamp=t, text=NOISE_TEXT))
+        anomaly_times.append(t)
+    # filler so the store has normal templates too
+    messages.extend(
+        make_message(timestamp=BASE - 40 * DAY + i * 60,
+                     text=FILLER_TEXT)
+        for i in range(5)
+    )
+    messages.sort(key=lambda m: m.timestamp)
+    store = TemplateStore().fit(messages)
+    mapping = map_anomalies(
+        {"vpe00": np.asarray(sorted(anomaly_times))}, [ticket]
+    )
+    return mapping, {"vpe00": messages}, store
+
+
+class TestTriage:
+    def test_scenarios_assigned(self):
+        mapping, messages, store = build_world()
+        findings = triage(mapping, messages, store)
+        by_scenario = {f.scenario for f in findings}
+        assert TriageScenario.PREDICTIVE_SIGNAL in by_scenario
+        assert TriageScenario.TICKETING_FLOW_EVENT in by_scenario
+        assert TriageScenario.COINCIDENTAL in by_scenario
+
+    def test_predictive_condition_named_correctly(self):
+        mapping, messages, store = build_world()
+        findings = triage(mapping, messages, store)
+        predictive = [
+            f for f in findings
+            if f.scenario is TriageScenario.PREDICTIVE_SIGNAL
+        ]
+        assert len(predictive) == 1
+        assert "chassis-control" in predictive[0].condition
+        assert predictive[0].median_lead == pytest.approx(
+            30 * MINUTE - 20, abs=60
+        )
+        assert predictive[0].tickets_involved == 1
+
+    def test_coincidental_has_no_lead(self):
+        mapping, messages, store = build_world()
+        findings = triage(mapping, messages, store)
+        coincidental = [
+            f for f in findings
+            if f.scenario is TriageScenario.COINCIDENTAL
+        ]
+        assert len(coincidental) == 1
+        assert coincidental[0].median_lead is None
+        assert "SNMP_AUTH_FAIL" in coincidental[0].condition
+
+    def test_ordering_predictive_first(self):
+        mapping, messages, store = build_world()
+        findings = triage(mapping, messages, store)
+        assert findings[0].scenario is TriageScenario.PREDICTIVE_SIGNAL
+        assert findings[-1].scenario is TriageScenario.COINCIDENTAL
+
+    def test_short_lead_is_early_detection_not_predictive(self):
+        ticket = TroubleTicket(
+            vpe="vpe00",
+            root_cause=RootCause.CIRCUIT,
+            report_time=BASE,
+            repair_time=BASE + HOUR,
+        )
+        messages = [
+            make_message(timestamp=BASE - 2 * MINUTE + i * 10,
+                         text=STORM_TEXT)
+            for i in range(4)
+        ]
+        store = TemplateStore().fit(messages)
+        mapping = map_anomalies(
+            {"vpe00": np.asarray(
+                [m.timestamp for m in messages]
+            )},
+            [ticket],
+        )
+        findings = triage(mapping, {"vpe00": messages}, store)
+        assert findings[0].scenario is (
+            TriageScenario.EARLY_DETECTION_SIGNATURE
+        )
+
+    def test_empty_mapping(self):
+        mapping = map_anomalies({}, [])
+        store = TemplateStore().fit([make_message(text=FILLER_TEXT)])
+        assert triage(mapping, {}, store) == []

@@ -1,0 +1,102 @@
+"""Tests for repro.evaluation.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import map_anomalies
+from repro.evaluation.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_detection_metrics,
+)
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, HOUR
+
+BASE = 300 * DAY
+
+
+def make_mapping(n_tickets=20, detected=15, extra_false_alarms=5):
+    """A mapping with known precision/recall structure."""
+    tickets = [
+        TroubleTicket(
+            vpe="vpe00",
+            root_cause=RootCause.CIRCUIT,
+            report_time=BASE + i * 5 * DAY,
+            repair_time=BASE + i * 5 * DAY + HOUR,
+        )
+        for i in range(n_tickets)
+    ]
+    anomaly_times = [
+        tickets[i].report_time - HOUR for i in range(detected)
+    ]
+    anomaly_times += [
+        BASE - (i + 2) * 10 * DAY for i in range(extra_false_alarms)
+    ]
+    return map_anomalies(
+        {"vpe00": np.asarray(sorted(anomaly_times))}, tickets
+    )
+
+
+class TestConfidenceInterval:
+    def test_str(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6)
+        assert str(ci) == "0.500 [0.400, 0.600]"
+
+    def test_bracket_enforced(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.9, 0.4, 0.6)
+
+
+class TestBootstrap:
+    def test_intervals_bracket_points(self):
+        mapping = make_mapping()
+        out = bootstrap_detection_metrics(mapping, n_boot=300)
+        counts = mapping.counts
+        assert out["precision"].low <= counts.precision <= (
+            out["precision"].high
+        )
+        assert out["recall"].low <= counts.recall <= (
+            out["recall"].high
+        )
+        assert out["f_measure"].low <= counts.f_measure <= (
+            out["f_measure"].high
+        )
+
+    def test_interval_width_shrinks_with_sample_size(self):
+        small = bootstrap_detection_metrics(
+            make_mapping(n_tickets=10, detected=7,
+                         extra_false_alarms=3),
+            n_boot=400,
+        )["recall"]
+        large = bootstrap_detection_metrics(
+            make_mapping(n_tickets=160, detected=112,
+                         extra_false_alarms=48),
+            n_boot=400,
+        )["recall"]
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_perfect_detection_degenerate_interval(self):
+        mapping = make_mapping(
+            n_tickets=10, detected=10, extra_false_alarms=0
+        )
+        out = bootstrap_detection_metrics(mapping, n_boot=100)
+        assert out["precision"].low == 1.0
+        assert out["recall"].high == 1.0
+
+    def test_empty_mapping(self):
+        mapping = map_anomalies({}, [])
+        out = bootstrap_detection_metrics(mapping, n_boot=10)
+        assert out["f_measure"].point == 0.0
+
+    def test_deterministic_with_rng(self):
+        mapping = make_mapping()
+        a = bootstrap_detection_metrics(
+            mapping, n_boot=100, rng=np.random.default_rng(7)
+        )
+        b = bootstrap_detection_metrics(
+            mapping, n_boot=100, rng=np.random.default_rng(7)
+        )
+        assert str(a["f_measure"]) == str(b["f_measure"])
+
+    def test_invalid_n_boot(self):
+        with pytest.raises(ValueError):
+            bootstrap_detection_metrics(make_mapping(), n_boot=0)

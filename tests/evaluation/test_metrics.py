@@ -1,0 +1,111 @@
+"""Tests for repro.evaluation.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evaluation.metrics import (
+    DetectionCounts,
+    PrecisionRecallPoint,
+    auc_pr,
+    best_operating_point,
+    f_measure,
+)
+
+
+class TestDetectionCounts:
+    def test_precision(self):
+        counts = DetectionCounts(8, 2, 5, 10)
+        assert counts.precision == pytest.approx(0.8)
+
+    def test_recall(self):
+        counts = DetectionCounts(8, 2, 5, 10)
+        assert counts.recall == pytest.approx(0.5)
+
+    def test_no_detections_zero_precision(self):
+        assert DetectionCounts(0, 0, 0, 10).precision == 0.0
+
+    def test_no_tickets_zero_recall(self):
+        assert DetectionCounts(5, 0, 0, 0).recall == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionCounts(-1, 0, 0, 0)
+
+    def test_detected_beyond_total_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionCounts(0, 0, 5, 4)
+
+    def test_f_measure_consistent(self):
+        counts = DetectionCounts(8, 2, 8, 10)
+        assert counts.f_measure == pytest.approx(
+            f_measure(0.8, 0.8)
+        )
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            f_measure(-0.1, 0.5)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_bounded_by_min_and_max(self, p, r):
+        f = f_measure(p, r)
+        assert f <= max(p, r) + 1e-12
+        assert f >= 0
+
+
+class TestOperatingPoint:
+    def test_max_f(self):
+        curve = [
+            PrecisionRecallPoint(0.1, 0.5, 1.0),
+            PrecisionRecallPoint(0.2, 0.9, 0.9),
+            PrecisionRecallPoint(0.3, 1.0, 0.1),
+        ]
+        assert best_operating_point(curve).threshold == 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_operating_point([])
+
+
+class TestAucPr:
+    def test_perfect_curve(self):
+        curve = [
+            PrecisionRecallPoint(0.0, 1.0, 0.0),
+            PrecisionRecallPoint(1.0, 1.0, 1.0),
+        ]
+        assert auc_pr(curve) == pytest.approx(1.0)
+
+    def test_half_precision(self):
+        curve = [
+            PrecisionRecallPoint(0.0, 0.5, 0.0),
+            PrecisionRecallPoint(1.0, 0.5, 1.0),
+        ]
+        assert auc_pr(curve) == pytest.approx(0.5)
+
+    def test_duplicate_recalls_keep_max_precision(self):
+        curve = [
+            PrecisionRecallPoint(0.0, 0.2, 1.0),
+            PrecisionRecallPoint(0.1, 0.9, 1.0),
+            PrecisionRecallPoint(0.2, 0.8, 0.0),
+        ]
+        value = auc_pr(curve)
+        assert value == pytest.approx((0.8 + 0.9) / 2)
+
+    def test_empty(self):
+        assert auc_pr([]) == 0.0
+
+    def test_single_point(self):
+        assert auc_pr(
+            [PrecisionRecallPoint(0.0, 0.8, 0.5)]
+        ) == pytest.approx(0.4)

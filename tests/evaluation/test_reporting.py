@@ -1,0 +1,41 @@
+"""Tests for repro.evaluation.reporting."""
+
+import pytest
+
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 22.5]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[2].index("1.000")
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456]])
+        assert "0.123" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        line = format_series("f", [0.5, 0.25])
+        assert line == "f: [0.500, 0.250]"
+
+    def test_precision(self):
+        assert format_series("x", [0.123456], precision=1) == "x: [0.1]"

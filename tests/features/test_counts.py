@@ -1,0 +1,80 @@
+"""Tests for repro.features.counts."""
+
+import numpy as np
+import pytest
+
+from repro.features.counts import (
+    distribution_matrix,
+    sliding_distributions,
+    template_distribution,
+)
+from repro.timeutil import DAY, TRACE_START
+from tests.conftest import make_message
+
+
+def annotated(template_id, offset=0.0):
+    return make_message(
+        timestamp=TRACE_START + offset
+    ).with_template(template_id)
+
+
+class TestTemplateDistribution:
+    def test_normalized(self):
+        messages = [annotated(1), annotated(1), annotated(2)]
+        dist = template_distribution(messages, vocabulary_size=4)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[1] == pytest.approx(2 / 3)
+        assert dist[2] == pytest.approx(1 / 3)
+
+    def test_empty_gives_zeros(self):
+        dist = template_distribution([], vocabulary_size=3)
+        assert not dist.any()
+
+    def test_unannotated_rejected(self):
+        with pytest.raises(ValueError):
+            template_distribution([make_message()], vocabulary_size=3)
+
+    def test_out_of_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            template_distribution([annotated(9)], vocabulary_size=3)
+
+
+class TestSlidingDistributions:
+    def test_window_alignment(self):
+        messages = [
+            annotated(1, offset=0.0),
+            annotated(2, offset=DAY * 1.5),
+            annotated(2, offset=DAY * 2.5),
+        ]
+        windows = sliding_distributions(
+            messages, vocabulary_size=3, window=DAY, step=DAY,
+            start=TRACE_START, end=TRACE_START + 3 * DAY,
+        )
+        assert len(windows) == 3
+        assert windows[0][1][1] == pytest.approx(1.0)
+        assert windows[1][1][2] == pytest.approx(1.0)
+        assert windows[2][1][2] == pytest.approx(1.0)
+
+    def test_empty_window_zero_vector(self):
+        messages = [annotated(1, offset=0.0)]
+        windows = sliding_distributions(
+            messages, vocabulary_size=2, window=DAY, step=DAY,
+            start=TRACE_START, end=TRACE_START + 2 * DAY,
+        )
+        assert len(windows) == 2
+        assert not windows[1][1].any()
+
+    def test_no_messages(self):
+        assert sliding_distributions([], vocabulary_size=2) == []
+
+
+class TestDistributionMatrix:
+    def test_rows_per_entity(self):
+        per_entity = [
+            [annotated(1)],
+            [annotated(2), annotated(2)],
+        ]
+        matrix = distribution_matrix(per_entity, vocabulary_size=3)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[1, 2] == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.features.tfidf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.features.tfidf import TfidfVectorizer, window_documents
+
+
+class TestTfidfVectorizer:
+    def test_vectors_l2_normalized(self):
+        docs = [[1, 1, 2], [2, 3], [1, 3, 3]]
+        vectors = TfidfVectorizer(5).fit_transform(docs)
+        norms = np.linalg.norm(vectors, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_rare_term_weighted_higher(self):
+        # term 1 appears in every doc, term 2 in one
+        docs = [[1, 2], [1], [1], [1]]
+        vectors = TfidfVectorizer(4).fit_transform(docs)
+        assert vectors[0, 2] > vectors[0, 1]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer(3).transform([[0]])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(3).fit([])
+
+    def test_out_of_vocab_term_raises(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(3).fit([[5]])
+
+    def test_empty_document_zero_vector(self):
+        vectorizer = TfidfVectorizer(3).fit([[1], [2]])
+        vectors = vectorizer.transform([[]])
+        assert not vectors.any()
+
+    def test_idf_stable_across_transform(self):
+        vectorizer = TfidfVectorizer(4).fit([[1, 2], [2, 3]])
+        idf_before = vectorizer.idf_.copy()
+        vectorizer.transform([[1], [3]])
+        assert np.array_equal(idf_before, vectorizer.idf_)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 9), min_size=1, max_size=10),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_output_shape_property(self, docs):
+        vectors = TfidfVectorizer(10).fit_transform(docs)
+        assert vectors.shape == (len(docs), 10)
+        assert np.all(np.isfinite(vectors))
+
+
+class TestWindowDocuments:
+    def test_non_overlapping_default(self):
+        docs = window_documents(list(range(10)), window=3)
+        assert docs == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_overlapping_stride(self):
+        docs = window_documents(list(range(6)), window=3, stride=2)
+        assert docs == [[0, 1, 2], [2, 3, 4]]
+
+    def test_short_stream(self):
+        assert window_documents([1, 2], window=5) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            window_documents([1], window=0)
+        with pytest.raises(ValueError):
+            window_documents([1], window=1, stride=0)

@@ -1,0 +1,78 @@
+"""Tests for repro.logs.message."""
+
+import pytest
+
+from repro.logs.message import (
+    Facility,
+    Severity,
+    SyslogMessage,
+    decode_priority,
+    encode_priority,
+)
+from tests.conftest import make_message
+
+
+class TestSeverity:
+    def test_ordering_matches_rfc(self):
+        assert Severity.EMERGENCY < Severity.DEBUG
+
+    def test_actionable_boundary(self):
+        assert Severity.WARNING.is_actionable
+        assert Severity.ERROR.is_actionable
+        assert not Severity.NOTICE.is_actionable
+        assert not Severity.INFO.is_actionable
+
+
+class TestPriority:
+    def test_encode_known_value(self):
+        # daemon(3) * 8 + error(3) = 27
+        assert encode_priority(Facility.DAEMON, Severity.ERROR) == 27
+
+    def test_roundtrip_all_combinations(self):
+        for facility in Facility:
+            for severity in Severity:
+                pri = encode_priority(facility, severity)
+                assert decode_priority(pri) == (facility, severity)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_priority(192)
+        with pytest.raises(ValueError):
+            decode_priority(-1)
+
+
+class TestSyslogMessage:
+    def test_str_contains_pri_host_process(self):
+        message = make_message()
+        rendered = str(message)
+        assert rendered.startswith("<30>")
+        assert "vpe00" in rendered
+        assert "rpd:" in rendered
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            make_message(timestamp=-1.0)
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            make_message(host="")
+
+    def test_empty_process_rejected(self):
+        with pytest.raises(ValueError):
+            make_message(process="")
+
+    def test_with_template_preserves_fields(self):
+        message = make_message()
+        annotated = message.with_template(7)
+        assert annotated.template_id == 7
+        assert annotated.text == message.text
+        assert annotated.timestamp == message.timestamp
+
+    def test_template_id_excluded_from_equality(self):
+        message = make_message()
+        assert message.with_template(1) == message.with_template(2)
+
+    def test_frozen(self):
+        message = make_message()
+        with pytest.raises(AttributeError):
+            message.text = "changed"

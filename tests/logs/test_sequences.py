@@ -1,0 +1,113 @@
+"""Tests for repro.logs.sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logs.sequences import (
+    N_GAP_BUCKETS,
+    SequenceWindower,
+    events_from_messages,
+    gap_bucket,
+)
+from repro.timeutil import TRACE_START
+from tests.conftest import make_message
+
+
+class TestGapBucket:
+    def test_boundaries(self):
+        assert gap_bucket(0.0) == 0
+        assert gap_bucket(0.99) == 0
+        assert gap_bucket(1.0) == 1
+        assert gap_bucket(59.0) == 2
+        assert gap_bucket(599.0) == 3
+        assert gap_bucket(3599.0) == 4
+        assert gap_bucket(3600.0) == N_GAP_BUCKETS - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gap_bucket(-1.0)
+
+    @given(st.floats(min_value=0, max_value=1e7, allow_nan=False))
+    def test_monotone(self, gap):
+        assert 0 <= gap_bucket(gap) < N_GAP_BUCKETS
+
+
+def annotated_stream(n=20, spacing=5.0):
+    return [
+        make_message(timestamp=TRACE_START + i * spacing).with_template(
+            (i % 3) + 1
+        )
+        for i in range(n)
+    ]
+
+
+class TestEventsFromMessages:
+    def test_first_event_gets_max_gap(self):
+        events = events_from_messages(annotated_stream())
+        assert events[0].gap_bucket == N_GAP_BUCKETS - 1
+
+    def test_gaps_reflect_spacing(self):
+        events = events_from_messages(annotated_stream(spacing=5.0))
+        assert all(e.gap_bucket == 1 for e in events[1:])
+
+    def test_unannotated_rejected(self):
+        with pytest.raises(ValueError):
+            events_from_messages([make_message()])
+
+    def test_unsorted_rejected(self):
+        messages = [
+            make_message(timestamp=TRACE_START + 10).with_template(1),
+            make_message(timestamp=TRACE_START).with_template(1),
+        ]
+        with pytest.raises(ValueError):
+            events_from_messages(messages)
+
+
+class TestSequenceWindower:
+    def test_shapes(self):
+        windower = SequenceWindower(window=5)
+        contexts, targets, times = windower.windows_from_messages(
+            annotated_stream(n=20)
+        )
+        assert contexts.shape == (15, 5, 2)
+        assert targets.shape == (15,)
+        assert times.shape == (15,)
+
+    def test_target_is_next_template(self):
+        windower = SequenceWindower(window=3)
+        stream = annotated_stream(n=10)
+        contexts, targets, _ = windower.windows_from_messages(stream)
+        ids = [m.template_id for m in stream]
+        for i in range(len(targets)):
+            assert list(contexts[i, :, 0]) == ids[i:i + 3]
+            assert targets[i] == ids[i + 3]
+
+    def test_target_times_align(self):
+        windower = SequenceWindower(window=3)
+        stream = annotated_stream(n=10)
+        _, _, times = windower.windows_from_messages(stream)
+        expected = [m.timestamp for m in stream[3:]]
+        assert list(times) == expected
+
+    def test_too_short_stream_yields_empty(self):
+        windower = SequenceWindower(window=10)
+        contexts, targets, times = windower.windows_from_messages(
+            annotated_stream(n=5)
+        )
+        assert contexts.shape == (0, 10, 2)
+        assert targets.size == 0 and times.size == 0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SequenceWindower(window=0)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=40))
+    def test_count_property(self, window, n):
+        windower = SequenceWindower(window=window)
+        contexts, targets, _ = windower.windows_from_messages(
+            annotated_stream(n=n)
+        )
+        assert contexts.shape[0] == max(n - window, 0)
+        assert targets.shape[0] == max(n - window, 0)

@@ -1,0 +1,74 @@
+"""Tests for repro.logs.syslog_format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logs.message import Facility, Severity, SyslogMessage
+from repro.logs.syslog_format import format_rfc3164, parse_rfc3164
+from repro.timeutil import TRACE_START
+from tests.conftest import make_message
+
+
+class TestFormat:
+    def test_known_line(self):
+        message = SyslogMessage(
+            timestamp=TRACE_START,  # 2016-10-01 00:00:00 UTC
+            host="vpe07",
+            process="rpd",
+            text="BGP_KEEPALIVE: hello",
+            severity=Severity.INFO,
+            facility=Facility.DAEMON,
+        )
+        line = format_rfc3164(message)
+        assert line == "<30>Oct  1 00:00:00 vpe07 rpd: BGP_KEEPALIVE: hello"
+
+    def test_single_digit_day_space_padded(self):
+        message = make_message(timestamp=TRACE_START)
+        assert "Oct  1" in format_rfc3164(message)
+
+
+class TestParse:
+    def test_roundtrip(self):
+        message = make_message(timestamp=TRACE_START + 3600)
+        parsed = parse_rfc3164(format_rfc3164(message), year_origin=2016)
+        assert parsed.timestamp == message.timestamp
+        assert parsed.host == message.host
+        assert parsed.process == message.process
+        assert parsed.text == message.text
+        assert parsed.severity == message.severity
+        assert parsed.facility == message.facility
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_rfc3164("not a syslog line")
+
+    def test_rejects_missing_pri(self):
+        with pytest.raises(ValueError):
+            parse_rfc3164("Oct  1 00:00:00 vpe07 rpd: hello")
+
+    def test_rejects_bad_month(self):
+        with pytest.raises(ValueError):
+            parse_rfc3164("<30>Xyz  1 00:00:00 vpe07 rpd: hello")
+
+    @given(
+        # TRACE_START is 2016-10-01; stay inside 2016 so the year_origin
+        # hint recovers the exact timestamp.
+        offset=st.integers(min_value=0, max_value=80 * 24 * 3600),
+        severity=st.sampled_from(list(Severity)),
+        facility=st.sampled_from(list(Facility)),
+    )
+    def test_roundtrip_property(self, offset, severity, facility):
+        message = SyslogMessage(
+            timestamp=float(TRACE_START + offset),
+            host="vpe01",
+            process="chassisd",
+            text="CHASSISD_POLL: ok",
+            severity=severity,
+            facility=facility,
+        )
+        parsed = parse_rfc3164(format_rfc3164(message), year_origin=2016)
+        # RFC 3164 timestamps have second resolution and no year, so
+        # within one origin year the roundtrip must be exact.
+        assert parsed.timestamp == message.timestamp
+        assert parsed.severity == severity
+        assert parsed.facility == facility

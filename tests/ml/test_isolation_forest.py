@@ -1,0 +1,88 @@
+"""Tests for repro.ml.isolation_forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.isolation_forest import (
+    IsolationForest,
+    average_path_length,
+)
+
+
+def cluster(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 3)) * 0.5
+
+
+class TestAveragePathLength:
+    def test_small_values(self):
+        assert average_path_length(0) == 0.0
+        assert average_path_length(1) == 0.0
+        assert average_path_length(2) == 1.0
+
+    def test_grows_logarithmically(self):
+        assert average_path_length(256) > average_path_length(64)
+        assert average_path_length(256) < 2 * np.log2(256)
+
+
+class TestIsolationForest:
+    def test_outliers_score_higher(self):
+        forest = IsolationForest(
+            n_trees=50, rng=np.random.default_rng(1)
+        ).fit(cluster())
+        inliers = forest.score_samples(cluster(seed=2)[:50])
+        outliers = forest.score_samples(np.full((10, 3), 6.0))
+        assert outliers.mean() > inliers.mean() + 0.1
+
+    def test_scores_in_unit_interval(self):
+        forest = IsolationForest(
+            n_trees=25, rng=np.random.default_rng(1)
+        ).fit(cluster())
+        scores = forest.score_samples(cluster(seed=3)[:100])
+        assert np.all((scores > 0) & (scores < 1))
+
+    def test_predict_threshold(self):
+        forest = IsolationForest(
+            n_trees=50, rng=np.random.default_rng(1)
+        ).fit(cluster())
+        labels = forest.predict(np.full((5, 3), 8.0), threshold=0.55)
+        assert np.all(labels == -1)
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError):
+            IsolationForest().score_samples(np.zeros((2, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_trees=0)
+        with pytest.raises(ValueError):
+            IsolationForest(sample_size=1)
+        with pytest.raises(ValueError):
+            IsolationForest().fit(np.zeros((1, 3)))
+
+    def test_deterministic(self):
+        data = cluster()
+        probes = cluster(seed=9)[:20]
+        scores = []
+        for _ in range(2):
+            forest = IsolationForest(
+                n_trees=20, rng=np.random.default_rng(5)
+            ).fit(data)
+            scores.append(forest.score_samples(probes))
+        assert np.allclose(scores[0], scores[1])
+
+    def test_small_sample_size_capped(self):
+        data = cluster(n=20)
+        forest = IsolationForest(
+            n_trees=10, sample_size=256,
+            rng=np.random.default_rng(0),
+        ).fit(data)
+        assert forest.score_samples(data).shape == (20,)
+
+    def test_constant_features_handled(self):
+        data = np.ones((50, 3))
+        forest = IsolationForest(
+            n_trees=10, rng=np.random.default_rng(0)
+        ).fit(data)
+        scores = forest.score_samples(data)
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,110 @@
+"""Tests for repro.ml.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import KMeans, choose_k, partition_modularity
+
+
+def blobs(k=3, per=20, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-5, 5, size=(k, 4))
+    points = np.concatenate([
+        center + spread * rng.standard_normal((per, 4))
+        for center in centers
+    ])
+    labels = np.repeat(np.arange(k), per)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = blobs(k=3)
+        labels = KMeans(3, rng=np.random.default_rng(1)).fit(
+            points
+        ).labels_
+        # cluster labels are permutation-invariant: check purity
+        for cluster in range(3):
+            members = truth[labels == cluster]
+            assert members.size > 0
+            counts = np.bincount(members, minlength=3)
+            assert counts.max() == members.size
+
+    def test_k1_single_cluster(self):
+        points, _ = blobs(k=2)
+        model = KMeans(1).fit(points)
+        assert set(model.labels_) == {0}
+        assert np.allclose(model.centroids_[0], points.mean(axis=0))
+
+    def test_predict_assigns_nearest(self):
+        points, _ = blobs(k=2, seed=3)
+        model = KMeans(2, rng=np.random.default_rng(0)).fit(points)
+        predicted = model.predict(points)
+        assert np.array_equal(predicted, model.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_deterministic_with_seed(self):
+        points, _ = blobs(k=3, seed=4)
+        a = KMeans(3, rng=np.random.default_rng(7)).fit(points)
+        b = KMeans(3, rng=np.random.default_rng(7)).fit(points)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_inertia_decreases_with_k(self):
+        points, _ = blobs(k=4, seed=5)
+        inertias = [
+            KMeans(k, rng=np.random.default_rng(0)).fit(points).inertia_
+            for k in (1, 2, 4)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((10, 3))
+        model = KMeans(2, rng=np.random.default_rng(0)).fit(points)
+        assert model.inertia_ == pytest.approx(0.0)
+
+
+class TestModularity:
+    def test_perfect_partition_positive(self):
+        sims = np.array([
+            [1.0, 0.9, 0.0, 0.0],
+            [0.9, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.9],
+            [0.0, 0.0, 0.9, 1.0],
+        ])
+        good = partition_modularity(sims, np.array([0, 0, 1, 1]))
+        bad = partition_modularity(sims, np.array([0, 1, 0, 1]))
+        assert good > bad
+        assert good > 0
+
+    def test_empty_graph_zero(self):
+        assert partition_modularity(
+            np.zeros((3, 3)), np.array([0, 1, 2])
+        ) == 0.0
+
+
+class TestChooseK:
+    def test_finds_true_cluster_count(self):
+        # Blob directions are what cosine similarity sees; use
+        # direction-separated blobs.
+        rng = np.random.default_rng(0)
+        centers = np.eye(4)[:3] * 10
+        points = np.concatenate([
+            center + 0.1 * rng.standard_normal((15, 4))
+            for center in centers
+        ])
+        assert choose_k(points, candidates=(2, 3, 4, 5)) == 3
+
+    def test_infeasible_candidates_raise(self):
+        with pytest.raises(ValueError):
+            choose_k(np.zeros((2, 2)), candidates=(5,))

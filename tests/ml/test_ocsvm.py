@@ -1,0 +1,91 @@
+"""Tests for repro.ml.ocsvm."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ocsvm import OneClassSVM, RandomFourierFeatures
+
+
+def normal_cloud(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 4)) * 0.5
+
+
+class TestRandomFourierFeatures:
+    def test_output_shape(self):
+        rff = RandomFourierFeatures(4, n_components=32)
+        assert rff.transform(np.zeros((5, 4))).shape == (5, 32)
+
+    def test_approximates_rbf_kernel(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((30, 3))
+        gamma = 0.7
+        rff = RandomFourierFeatures(
+            3, n_components=4096, gamma=gamma, rng=rng
+        )
+        phi = rff.transform(x)
+        approx = phi @ phi.T
+        sq = ((x[:, None, :] - x[None, :, :]) ** 2).sum(-1)
+        exact = np.exp(-gamma * sq)
+        assert np.max(np.abs(approx - exact)) < 0.15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(3, n_components=0)
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(3, gamma=0.0)
+
+
+class TestOneClassSVM:
+    def test_inliers_score_above_outliers(self):
+        train = normal_cloud()
+        svm = OneClassSVM(
+            nu=0.1, gamma=0.5, rng=np.random.default_rng(1)
+        ).fit(train)
+        inlier_scores = svm.score_samples(normal_cloud(seed=2))
+        outliers = np.full((50, 4), 6.0)
+        outlier_scores = svm.score_samples(outliers)
+        assert inlier_scores.mean() > outlier_scores.mean()
+
+    def test_predict_labels_far_points_negative(self):
+        svm = OneClassSVM(
+            nu=0.05, gamma=0.5, rng=np.random.default_rng(1)
+        ).fit(normal_cloud())
+        far = np.full((10, 4), 8.0)
+        assert np.all(svm.predict(far) == -1)
+
+    def test_training_outlier_fraction_bounded(self):
+        train = normal_cloud(n=500)
+        nu = 0.1
+        svm = OneClassSVM(
+            nu=nu, gamma=0.5, rng=np.random.default_rng(3)
+        ).fit(train)
+        fraction = float((svm.predict(train) == -1).mean())
+        # nu upper-bounds the expected training outlier fraction;
+        # allow slack for the SGD approximation.
+        assert fraction <= 3 * nu + 0.05
+
+    def test_linear_kernel_path(self):
+        train = normal_cloud()
+        svm = OneClassSVM(
+            kernel="linear", nu=0.1, rng=np.random.default_rng(0)
+        ).fit(train)
+        assert svm.score_samples(train).shape == (train.shape[0],)
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneClassSVM().score_samples(np.zeros((2, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(kernel="poly")
+
+    def test_deterministic(self):
+        train = normal_cloud()
+        scores = []
+        for _ in range(2):
+            svm = OneClassSVM(rng=np.random.default_rng(9)).fit(train)
+            scores.append(svm.score_samples(train[:10]))
+        assert np.allclose(scores[0], scores[1])

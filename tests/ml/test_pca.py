@@ -1,0 +1,69 @@
+"""Tests for repro.ml.pca."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCADetector
+
+
+_BASIS = np.random.default_rng(1234).standard_normal((2, 5))
+
+
+def low_rank_data(n=200, seed=0):
+    """Points living (noisily) on one fixed 2-D plane inside R^5."""
+    rng = np.random.default_rng(seed)
+    coords = rng.standard_normal((n, 2)) * 3.0
+    return coords @ _BASIS + 0.01 * rng.standard_normal((n, 5))
+
+
+class TestPCADetector:
+    def test_on_plane_low_residual(self):
+        data = low_rank_data()
+        detector = PCADetector(variance_retained=0.95).fit(data)
+        scores = detector.score_samples(low_rank_data(seed=1))
+        assert np.median(scores) < 0.01
+
+    def test_off_plane_high_residual(self):
+        data = low_rank_data()
+        detector = PCADetector().fit(data)
+        on_plane = detector.score_samples(low_rank_data(seed=1))
+        off_plane = detector.score_samples(
+            low_rank_data(seed=1) + np.full(5, 4.0)
+        )
+        assert off_plane.mean() > 10 * on_plane.mean()
+
+    def test_explicit_components(self):
+        data = low_rank_data()
+        detector = PCADetector(n_components=2).fit(data)
+        assert detector.components_.shape == (2, 5)
+
+    def test_variance_threshold_picks_plane_rank(self):
+        data = low_rank_data()
+        detector = PCADetector(variance_retained=0.99).fit(data)
+        assert detector.components_.shape[0] == 2
+
+    def test_full_variance_keeps_all(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((50, 4))
+        detector = PCADetector(variance_retained=1.0).fit(data)
+        scores = detector.score_samples(data)
+        assert np.allclose(scores, 0.0, atol=1e-18)
+
+    def test_predict_threshold(self):
+        data = low_rank_data()
+        detector = PCADetector().fit(data)
+        labels = detector.predict(
+            np.concatenate([data[:5], data[:5] + 5.0]), threshold=0.1
+        )
+        assert list(labels[:5]) == [1] * 5
+        assert list(labels[5:]) == [-1] * 5
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PCADetector().score_samples(np.zeros((2, 3)))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PCADetector(variance_retained=0.0)
+        with pytest.raises(ValueError):
+            PCADetector().fit(np.zeros((1, 3)))

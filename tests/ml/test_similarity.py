@@ -1,0 +1,84 @@
+"""Tests for repro.ml.similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.similarity import cosine_similarity, pairwise_cosine
+
+vectors = arrays(
+    np.float64,
+    (6,),
+    elements=st.floats(min_value=-100, max_value=100),
+)
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        v = np.array([1.0, 1.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_scale_invariant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([0.5, 0.1, 0.9])
+        assert cosine_similarity(a, b) == pytest.approx(
+            cosine_similarity(10 * a, 0.01 * b)
+        )
+
+    def test_zero_vector_defined_as_zero(self):
+        assert cosine_similarity(
+            np.zeros(3), np.array([1.0, 0, 0])
+        ) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(3), np.zeros(4))
+
+    @given(vectors, vectors)
+    def test_bounded(self, a, b):
+        value = cosine_similarity(a, b)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(vectors, vectors)
+    def test_symmetric(self, a, b):
+        assert cosine_similarity(a, b) == pytest.approx(
+            cosine_similarity(b, a)
+        )
+
+
+class TestPairwiseCosine:
+    def test_diagonal_ones(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((5, 4))
+        sims = pairwise_cosine(matrix)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_matches_scalar_version(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((4, 3))
+        sims = pairwise_cosine(matrix)
+        for i in range(4):
+            for j in range(4):
+                assert sims[i, j] == pytest.approx(
+                    cosine_similarity(matrix[i], matrix[j])
+                )
+
+    def test_zero_row_isolated(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 0.0]])
+        sims = pairwise_cosine(matrix)
+        assert sims[1, 0] == 0.0 and sims[0, 1] == 0.0
+        assert sims[1, 1] == 0.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            pairwise_cosine(np.zeros(3))

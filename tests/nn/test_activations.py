@@ -1,0 +1,91 @@
+"""Tests for repro.nn.activations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.activations import (
+    get_activation,
+    log_softmax,
+    relu,
+    relu_grad,
+    sigmoid,
+    sigmoid_grad,
+    softmax,
+    tanh,
+    tanh_grad,
+)
+
+finite_arrays = arrays(
+    np.float64,
+    (7,),
+    elements=st.floats(min_value=-50, max_value=50),
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(out))
+
+    @given(finite_arrays)
+    def test_range_and_monotonicity(self, x):
+        out = sigmoid(np.sort(x))
+        assert np.all((out >= 0) & (out <= 1))
+        assert np.all(np.diff(out) >= 0)
+
+    def test_gradient_matches_numerical(self):
+        x = np.linspace(-3, 3, 11)
+        eps = 1e-6
+        numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        assert np.allclose(sigmoid_grad(sigmoid(x)), numeric, atol=1e-8)
+
+
+class TestTanhRelu:
+    def test_tanh_gradient(self):
+        x = np.linspace(-2, 2, 9)
+        eps = 1e-6
+        numeric = (tanh(x + eps) - tanh(x - eps)) / (2 * eps)
+        assert np.allclose(tanh_grad(tanh(x)), numeric, atol=1e-8)
+
+    def test_relu_values(self):
+        assert list(relu(np.array([-1.0, 0.0, 2.0]))) == [0.0, 0.0, 2.0]
+
+    def test_relu_grad_from_output(self):
+        out = relu(np.array([-1.0, 3.0]))
+        assert list(relu_grad(out)) == [0.0, 1.0]
+
+
+class TestSoftmax:
+    @given(finite_arrays)
+    def test_sums_to_one(self, x):
+        assert softmax(x).sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_large_logits_stable(self):
+        out = softmax(np.array([1e4, 0.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_log_softmax_consistent(self):
+        x = np.array([[0.5, -1.0, 2.0]])
+        assert np.allclose(log_softmax(x), np.log(softmax(x)))
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("sigmoid", "tanh", "relu", "linear"):
+            fn, grad = get_activation(name)
+            assert callable(fn) and callable(grad)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_activation("swish")

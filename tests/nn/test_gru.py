@@ -1,0 +1,152 @@
+"""Tests for repro.nn.gru, including full BPTT gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRU
+
+
+def build(layer, shape, seed=0):
+    return layer.build(shape, np.random.default_rng(seed))
+
+
+class TestShapes:
+    def test_last_state_output(self):
+        layer = GRU(6)
+        assert build(layer, (5, 3)) == (6,)
+        assert layer.forward(np.zeros((2, 5, 3))).shape == (2, 6)
+
+    def test_sequence_output(self):
+        layer = GRU(6, return_sequences=True)
+        assert build(layer, (5, 3)) == (5, 6)
+        assert layer.forward(np.zeros((2, 5, 3))).shape == (2, 5, 6)
+
+    def test_rejects_bad_input(self):
+        layer = GRU(6)
+        build(layer, (5, 3))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            build(GRU(6), (3,))
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            GRU(0)
+
+    def test_fewer_parameters_than_lstm(self):
+        from repro.nn.lstm import LSTM
+        gru = GRU(8)
+        lstm = LSTM(8)
+        build(gru, (5, 4))
+        build(lstm, (5, 4))
+        gru_params = sum(p.size for p in gru.params.values())
+        lstm_params = sum(p.size for p in lstm.params.values())
+        assert gru_params == pytest.approx(0.75 * lstm_params, rel=0.01)
+
+
+class TestForwardSemantics:
+    def test_zero_everything_gives_zero_state(self):
+        """With zero input, zero bias and zero initial state, the
+        candidate is 0 and h stays 0."""
+        layer = GRU(4)
+        build(layer, (6, 3))
+        out = layer.forward(np.zeros((1, 6, 3)))
+        assert np.allclose(out, 0.0)
+
+    def test_state_bounded(self):
+        layer = GRU(4)
+        build(layer, (20, 3))
+        rng = np.random.default_rng(0)
+        out = layer.forward(rng.standard_normal((2, 20, 3)) * 5)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_batch_independence(self):
+        layer = GRU(4)
+        build(layer, (5, 3))
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((1, 5, 3))
+        b = rng.standard_normal((1, 5, 3))
+        together = layer.forward(np.concatenate([a, b]))
+        alone = layer.forward(a)
+        assert np.allclose(together[0], alone[0])
+
+
+def _numeric_check(return_sequences):
+    rng = np.random.default_rng(1)
+    layer = GRU(5, return_sequences=return_sequences)
+    build(layer, (4, 3), seed=2)
+    x = rng.standard_normal((2, 4, 3))
+    if return_sequences:
+        grad_out = rng.standard_normal((2, 4, 5))
+    else:
+        grad_out = rng.standard_normal((2, 5))
+
+    layer.zero_grads()
+    layer.forward(x)
+    grad_in = layer.backward(grad_out)
+
+    eps = 1e-6
+
+    def objective():
+        return float(np.sum(layer.forward(x) * grad_out))
+
+    for key in ("W", "U", "b"):
+        param = layer.params[key].reshape(-1)
+        grads = layer.grads[key].reshape(-1)
+        for index in range(0, param.size, max(param.size // 25, 1)):
+            orig = param[index]
+            param[index] = orig + eps
+            up = objective()
+            param[index] = orig - eps
+            down = objective()
+            param[index] = orig
+            assert grads[index] == pytest.approx(
+                (up - down) / (2 * eps), rel=1e-4, abs=1e-7
+            ), f"{key}[{index}]"
+
+    flat_x = x.reshape(-1)
+    flat_grad_in = grad_in.reshape(-1)
+    for index in range(0, flat_x.size, 3):
+        orig = flat_x[index]
+        flat_x[index] = orig + eps
+        up = objective()
+        flat_x[index] = orig - eps
+        down = objective()
+        flat_x[index] = orig
+        assert flat_grad_in[index] == pytest.approx(
+            (up - down) / (2 * eps), rel=1e-4, abs=1e-7
+        )
+
+
+class TestBackward:
+    def test_gradients_last_state(self):
+        _numeric_check(return_sequences=False)
+
+    def test_gradients_sequences(self):
+        _numeric_check(return_sequences=True)
+
+    def test_backward_before_forward_raises(self):
+        layer = GRU(3)
+        build(layer, (4, 2))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 3)))
+
+
+class TestLearning:
+    def test_learns_a_simple_sequence_task(self):
+        """GRU + Dense learns to classify by last input sign."""
+        from repro.nn import Adam, Dense, Sequential, SoftmaxCrossEntropy
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((400, 6, 2))
+        y = (x[:, -1, 0] > 0).astype(np.int64)
+        model = Sequential(
+            [GRU(8, name="gru"), Dense(2, name="out")],
+            rng=np.random.default_rng(1),
+        ).build((6, 2))
+        history = model.fit(
+            x, y, SoftmaxCrossEntropy(), Adam(0.01), epochs=10,
+        )
+        assert history[-1] < history[0] * 0.5
+        accuracy = (model.predict(x).argmax(axis=1) == y).mean()
+        assert accuracy > 0.9

@@ -1,0 +1,44 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+
+from repro.nn.initializers import (
+    glorot_uniform,
+    orthogonal,
+    uniform_scaled,
+    zeros,
+)
+
+
+class TestZeros:
+    def test_all_zero(self):
+        assert not zeros((3, 4)).any()
+
+
+class TestGlorot:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_deterministic_given_seed(self):
+        a = glorot_uniform((5, 5), np.random.default_rng(3))
+        b = glorot_uniform((5, 5), np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self):
+        q = orthogonal((16, 16), np.random.default_rng(1))
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-10)
+
+    def test_rectangular_columns_orthonormal(self):
+        q = orthogonal((20, 8), np.random.default_rng(1))
+        assert np.allclose(q.T @ q, np.eye(8), atol=1e-10)
+
+
+class TestUniformScaled:
+    def test_scale_respected(self):
+        w = uniform_scaled((50, 10), np.random.default_rng(2), scale=0.1)
+        assert np.all(np.abs(w) <= 0.1)

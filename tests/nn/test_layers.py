@@ -1,0 +1,168 @@
+"""Tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, Embedding, TupleEmbedding
+
+
+def build(layer, shape, seed=0):
+    out_shape = layer.build(shape, np.random.default_rng(seed))
+    return out_shape
+
+
+class TestDense:
+    def test_output_shape_2d(self):
+        layer = Dense(7)
+        assert build(layer, (4,)) == (7,)
+        out = layer.forward(np.ones((3, 4)))
+        assert out.shape == (3, 7)
+
+    def test_output_shape_3d(self):
+        layer = Dense(5)
+        assert build(layer, (9, 4)) == (9, 5)
+        out = layer.forward(np.ones((2, 9, 4)))
+        assert out.shape == (2, 9, 5)
+
+    def test_linear_forward_exact(self):
+        layer = Dense(2)
+        build(layer, (3,))
+        layer.params["W"][...] = np.arange(6).reshape(3, 2)
+        layer.params["b"][...] = [1.0, -1.0]
+        out = layer.forward(np.array([[1.0, 0.0, 1.0]]))
+        # x @ W = [0+4, 1+5]; plus b = [5, 5]
+        assert np.allclose(out, [[5.0, 5.0]])
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2)
+        build(layer, (3,))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, activation="tanh")
+        build(layer, (3,))
+        x = rng.standard_normal((5, 3))
+        grad_out = rng.standard_normal((5, 4))
+
+        layer.zero_grads()
+        out = layer.forward(x)
+        grad_in = layer.backward(grad_out)
+
+        eps = 1e-6
+        for key in ("W", "b"):
+            param = layer.params[key]
+            flat = param.reshape(-1)
+            for index in range(flat.size):
+                orig = flat[index]
+                flat[index] = orig + eps
+                up = float(np.sum(layer.forward(x) * grad_out))
+                flat[index] = orig - eps
+                down = float(np.sum(layer.forward(x) * grad_out))
+                flat[index] = orig
+                numeric = (up - down) / (2 * eps)
+                assert layer.grads[key].reshape(-1)[index] == (
+                    pytest.approx(numeric, abs=1e-5)
+                )
+        # input gradient
+        for index in range(x.size):
+            orig = x.reshape(-1)[index]
+            x.reshape(-1)[index] = orig + eps
+            up = float(np.sum(layer.forward(x) * grad_out))
+            x.reshape(-1)[index] = orig - eps
+            down = float(np.sum(layer.forward(x) * grad_out))
+            x.reshape(-1)[index] = orig
+            assert grad_in.reshape(-1)[index] == pytest.approx(
+                (up - down) / (2 * eps), abs=1e-5
+            )
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        layer = Embedding(10, 4)
+        build(layer, (3,))
+        ids = np.array([[1, 2, 1]])
+        out = layer.forward(ids)
+        assert out.shape == (1, 3, 4)
+        assert np.array_equal(out[0, 0], out[0, 2])
+
+    def test_out_of_range_rejected(self):
+        layer = Embedding(5, 2)
+        build(layer, (2,))
+        with pytest.raises(ValueError):
+            layer.forward(np.array([[0, 5]]))
+
+    def test_gradient_accumulates_per_row(self):
+        layer = Embedding(6, 3)
+        build(layer, (2,))
+        layer.zero_grads()
+        ids = np.array([[2, 2]])
+        layer.forward(ids)
+        layer.backward(np.ones((1, 2, 3)))
+        # row 2 referenced twice -> gradient 2, others 0
+        assert np.allclose(layer.grads["E"][2], 2.0)
+        assert np.allclose(layer.grads["E"][0], 0.0)
+
+
+class TestTupleEmbedding:
+    def test_output_concatenates(self):
+        layer = TupleEmbedding(8, 4, id_dim=5, gap_dim=3)
+        assert build(layer, (6, 2)) == (6, 8)
+        out = layer.forward(np.zeros((2, 6, 2), dtype=np.int64))
+        assert out.shape == (2, 6, 8)
+
+    def test_rejects_wrong_trailing_dim(self):
+        layer = TupleEmbedding(8, 4)
+        with pytest.raises(ValueError):
+            build(layer, (6, 3))
+
+    def test_grad_buffers_shared_with_children(self):
+        layer = TupleEmbedding(8, 4, id_dim=5, gap_dim=3)
+        build(layer, (6, 2))
+        layer.zero_grads()
+        x = np.zeros((1, 6, 2), dtype=np.int64)
+        x[..., 0] = 3
+        layer.forward(x)
+        layer.backward(np.ones((1, 6, 8)))
+        assert layer.grads["ids.E"][3].sum() != 0.0
+        assert layer.grads["ids.E"] is layer.id_embedding.grads["E"]
+
+    def test_params_shared_with_children(self):
+        layer = TupleEmbedding(8, 4)
+        build(layer, (6, 2))
+        layer.params["ids.E"][0, 0] = 123.0
+        assert layer.id_embedding.params["E"][0, 0] == 123.0
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5)
+        build(layer, (4,))
+        x = np.ones((3, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_scaling_preserves_expectation(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        build(layer, (1000,))
+        x = np.ones((20, 1000))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        build(layer, (50,))
+        x = np.ones((4, 50))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

@@ -1,0 +1,139 @@
+"""Tests for repro.nn.lstm, including full BPTT gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lstm import LSTM
+
+
+def build(layer, shape, seed=0):
+    return layer.build(shape, np.random.default_rng(seed))
+
+
+class TestShapes:
+    def test_last_state_output(self):
+        layer = LSTM(6)
+        assert build(layer, (5, 3)) == (6,)
+        out = layer.forward(np.zeros((2, 5, 3)))
+        assert out.shape == (2, 6)
+
+    def test_sequence_output(self):
+        layer = LSTM(6, return_sequences=True)
+        assert build(layer, (5, 3)) == (5, 6)
+        out = layer.forward(np.zeros((2, 5, 3)))
+        assert out.shape == (2, 5, 6)
+
+    def test_rejects_2d_input(self):
+        layer = LSTM(6)
+        build(layer, (5, 3))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 3)))
+
+    def test_rejects_bad_build_shape(self):
+        with pytest.raises(ValueError):
+            build(LSTM(6), (3,))
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            LSTM(0)
+
+
+class TestForwardSemantics:
+    def test_forget_bias_initialized_to_one(self):
+        layer = LSTM(4)
+        build(layer, (2, 3))
+        bias = layer.params["b"]
+        assert np.all(bias[4:8] == 1.0)
+        assert np.all(bias[:4] == 0.0)
+
+    def test_zero_input_zero_recurrent_state_bounded(self):
+        layer = LSTM(4)
+        build(layer, (10, 3))
+        out = layer.forward(np.zeros((1, 10, 3)))
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_state_evolves_over_time(self):
+        layer = LSTM(4, return_sequences=True)
+        build(layer, (6, 2))
+        x = np.ones((1, 6, 2))
+        out = layer.forward(x)
+        # hidden state should change step to step on constant input
+        assert not np.allclose(out[0, 0], out[0, -1])
+
+    def test_batch_independence(self):
+        layer = LSTM(4)
+        build(layer, (5, 3))
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((1, 5, 3))
+        b = rng.standard_normal((1, 5, 3))
+        together = layer.forward(np.concatenate([a, b]))
+        alone = layer.forward(a)
+        assert np.allclose(together[0], alone[0])
+
+
+def _numeric_check(return_sequences):
+    rng = np.random.default_rng(1)
+    layer = LSTM(5, return_sequences=return_sequences)
+    build(layer, (4, 3), seed=2)
+    x = rng.standard_normal((2, 4, 3))
+    if return_sequences:
+        grad_out = rng.standard_normal((2, 4, 5))
+    else:
+        grad_out = rng.standard_normal((2, 5))
+
+    layer.zero_grads()
+    layer.forward(x)
+    grad_in = layer.backward(grad_out)
+
+    eps = 1e-6
+
+    def objective():
+        return float(np.sum(layer.forward(x) * grad_out))
+
+    for key in ("W", "U", "b"):
+        param = layer.params[key].reshape(-1)
+        grads = layer.grads[key].reshape(-1)
+        for index in range(0, param.size, max(param.size // 25, 1)):
+            orig = param[index]
+            param[index] = orig + eps
+            up = objective()
+            param[index] = orig - eps
+            down = objective()
+            param[index] = orig
+            assert grads[index] == pytest.approx(
+                (up - down) / (2 * eps), rel=1e-4, abs=1e-7
+            ), f"{key}[{index}]"
+
+    flat_x = x.reshape(-1)
+    flat_grad_in = grad_in.reshape(-1)
+    for index in range(0, flat_x.size, 3):
+        orig = flat_x[index]
+        flat_x[index] = orig + eps
+        up = objective()
+        flat_x[index] = orig - eps
+        down = objective()
+        flat_x[index] = orig
+        assert flat_grad_in[index] == pytest.approx(
+            (up - down) / (2 * eps), rel=1e-4, abs=1e-7
+        )
+
+
+class TestBackward:
+    def test_gradients_last_state(self):
+        _numeric_check(return_sequences=False)
+
+    def test_gradients_sequences(self):
+        _numeric_check(return_sequences=True)
+
+    def test_backward_before_forward_raises(self):
+        layer = LSTM(3)
+        build(layer, (4, 2))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 3)))
+
+    def test_backward_shape_mismatch_raises(self):
+        layer = LSTM(3)
+        build(layer, (4, 2))
+        layer.forward(np.zeros((2, 4, 2)))
+        with pytest.raises(ValueError):
+            layer.backward(np.zeros((2, 5)))

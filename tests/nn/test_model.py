@@ -1,0 +1,203 @@
+"""Tests for repro.nn.model (Sequential container)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Adam,
+    Dense,
+    MeanSquaredError,
+    Sequential,
+    SGD,
+    SoftmaxCrossEntropy,
+    TupleEmbedding,
+)
+from repro.nn.model import batches
+
+
+def small_classifier(seed=0):
+    model = Sequential(
+        [
+            Dense(16, activation="tanh", name="hidden"),
+            Dense(3, name="out"),
+        ],
+        rng=np.random.default_rng(seed),
+    )
+    return model.build((4,))
+
+
+def toy_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64) + (
+        x[:, 2] > 1.0
+    ).astype(np.int64)
+    return x, y
+
+
+class TestBatches:
+    def test_covers_everything_once(self):
+        seen = np.concatenate(list(batches(10, 3)))
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffled_with_rng(self):
+        a = np.concatenate(list(batches(100, 7, np.random.default_rng(0))))
+        assert sorted(a) == list(range(100))
+        assert not np.array_equal(a, np.arange(100))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batches(10, 0))
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([Dense(2, name="a"), Dense(2, name="a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_before_build_raises(self):
+        model = Sequential([Dense(2)])
+        with pytest.raises(RuntimeError):
+            model.forward(np.zeros((1, 3)))
+
+    def test_n_parameters(self):
+        model = small_classifier()
+        # 4*16+16 + 16*3+3
+        assert model.n_parameters == 80 + 51
+
+
+class TestTraining:
+    def test_fit_reduces_loss(self):
+        model = small_classifier()
+        x, y = toy_data()
+        history = model.fit(
+            x, y, SoftmaxCrossEntropy(), Adam(0.01), epochs=15,
+            batch_size=32,
+        )
+        assert history[-1] < history[0] * 0.7
+
+    def test_fit_shape_mismatch(self):
+        model = small_classifier()
+        with pytest.raises(ValueError):
+            model.fit(
+                np.zeros((5, 4)), np.zeros(4), SoftmaxCrossEntropy(),
+                SGD(0.1),
+            )
+
+    def test_sample_weights_zero_freeze_learning(self):
+        model = small_classifier()
+        x, y = toy_data(50)
+        before = model.get_weights()
+        model.fit(
+            x, y, SoftmaxCrossEntropy(), SGD(0.5), epochs=2,
+            sample_weight=np.zeros(50),
+        )
+        after = model.get_weights()
+        for key in before:
+            assert np.allclose(before[key], after[key])
+
+    def test_predict_batches_consistent(self):
+        model = small_classifier()
+        x, _ = toy_data(100)
+        full = model.predict(x, batch_size=100)
+        chunked = model.predict(x, batch_size=7)
+        assert np.allclose(full, chunked)
+
+    def test_deterministic_given_seed(self):
+        x, y = toy_data(100)
+        outs = []
+        for _ in range(2):
+            model = small_classifier(seed=5)
+            model.fit(
+                x, y, SoftmaxCrossEntropy(), Adam(0.01), epochs=3
+            )
+            outs.append(model.predict(x[:5]))
+        assert np.allclose(outs[0], outs[1])
+
+
+class TestFreezing:
+    def test_frozen_layer_not_updated(self):
+        model = small_classifier()
+        x, y = toy_data(50)
+        model.freeze(["hidden"])
+        before = model.get_weights()
+        model.fit(x, y, SoftmaxCrossEntropy(), SGD(0.5), epochs=2)
+        after = model.get_weights()
+        assert np.allclose(before["hidden.W"], after["hidden.W"])
+        assert not np.allclose(before["out.W"], after["out.W"])
+
+    def test_unfreeze_restores_training(self):
+        model = small_classifier()
+        x, y = toy_data(50)
+        model.freeze(["hidden"])
+        model.unfreeze(["hidden"])
+        before = model.get_weights()["hidden.W"].copy()
+        model.fit(x, y, SoftmaxCrossEntropy(), SGD(0.5), epochs=2)
+        assert not np.allclose(before, model.get_weights()["hidden.W"])
+
+    def test_unknown_layer_name(self):
+        model = small_classifier()
+        with pytest.raises(KeyError):
+            model.freeze(["nope"])
+
+
+class TestCloneAndPersistence:
+    def test_clone_is_independent(self):
+        model = small_classifier()
+        x, y = toy_data(50)
+        twin = model.clone()
+        model.fit(x, y, SoftmaxCrossEntropy(), SGD(0.5), epochs=2)
+        # twin unchanged by teacher training
+        assert not np.allclose(
+            model.get_weights()["out.W"], twin.get_weights()["out.W"]
+        )
+
+    def test_clone_same_predictions(self):
+        model = small_classifier()
+        x, _ = toy_data(10)
+        twin = model.clone()
+        assert np.allclose(model.predict(x), twin.predict(x))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = small_classifier()
+        x, y = toy_data(50)
+        model.fit(x, y, SoftmaxCrossEntropy(), Adam(0.01), epochs=2)
+        path = str(tmp_path / "weights.npz")
+        model.save(path)
+        fresh = small_classifier(seed=99)
+        assert not np.allclose(fresh.predict(x), model.predict(x))
+        fresh.load(path)
+        assert np.allclose(fresh.predict(x), model.predict(x))
+
+    def test_set_weights_missing_key(self):
+        model = small_classifier()
+        with pytest.raises(KeyError):
+            model.set_weights({})
+
+    def test_set_weights_shape_mismatch(self):
+        model = small_classifier()
+        weights = model.get_weights()
+        weights["out.W"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)
+
+    def test_tuple_embedding_save_load_keeps_sharing(self, tmp_path):
+        model = Sequential(
+            [
+                TupleEmbedding(6, 3, id_dim=4, gap_dim=2,
+                               name="embedding"),
+                LSTM(5, name="lstm"),
+                Dense(6, name="out"),
+            ],
+            rng=np.random.default_rng(0),
+        ).build((4, 2))
+        path = str(tmp_path / "w.npz")
+        model.save(path)
+        model.load(path)
+        layer = model.layers[0]
+        assert layer.params["ids.E"] is layer.id_embedding.params["E"]

@@ -1,0 +1,103 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, RMSprop
+
+
+def quadratic_descend(optimizer, steps=200, start=5.0):
+    """Minimize f(x) = x^2 with the given optimizer."""
+    x = np.array([start])
+    for _ in range(steps):
+        grad = 2.0 * x
+        optimizer.step([("x", x, grad.copy())])
+    return float(x[0])
+
+
+class TestSGD:
+    def test_plain_descends_quadratic(self):
+        assert abs(quadratic_descend(SGD(0.1))) < 1e-3
+
+    def test_momentum_descends_quadratic(self):
+        assert abs(quadratic_descend(SGD(0.05, momentum=0.9))) < 1e-2
+
+    def test_single_step_exact(self):
+        x = np.array([1.0])
+        SGD(0.5).step([("x", x, np.array([2.0]))])
+        assert x[0] == pytest.approx(0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        with pytest.raises(ValueError):
+            SGD(0.1, momentum=1.0)
+
+    def test_reset_clears_velocity(self):
+        optimizer = SGD(0.1, momentum=0.9)
+        x = np.array([1.0])
+        optimizer.step([("x", x, np.array([1.0]))])
+        optimizer.reset()
+        assert optimizer._velocity == {}
+
+
+class TestRMSprop:
+    def test_descends_quadratic(self):
+        # RMSprop normalizes gradient magnitude, so near the optimum it
+        # hovers within roughly one learning-rate of it.
+        assert abs(quadratic_descend(RMSprop(0.05), steps=500)) < 0.05
+
+    def test_slot_state_per_key(self):
+        optimizer = RMSprop(0.01)
+        a, b = np.array([1.0]), np.array([1.0])
+        optimizer.step([("a", a, np.array([1.0]))])
+        optimizer.step([("b", b, np.array([1.0]))])
+        assert set(optimizer._second_moment) == {"a", "b"}
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        assert abs(quadratic_descend(Adam(0.1), steps=500)) < 1e-3
+
+    def test_bias_correction_first_step(self):
+        # With bias correction, the first Adam step is ~learning_rate
+        # regardless of gradient magnitude.
+        for scale in (1e-3, 1.0, 1e3):
+            x = np.array([0.0])
+            Adam(0.01, clip_norm=1e12).step(
+                [("x", x, np.array([scale]))]
+            )
+            assert x[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_reset_clears_state(self):
+        optimizer = Adam(0.01)
+        x = np.array([1.0])
+        optimizer.step([("x", x, np.array([1.0]))])
+        optimizer.reset()
+        assert optimizer._steps == {}
+
+
+class TestClipping:
+    def test_large_gradient_clipped(self):
+        optimizer = SGD(1.0, clip_norm=1.0)
+        x = np.array([0.0])
+        optimizer.step([("x", x, np.array([100.0]))])
+        # gradient clipped to norm 1 -> step of exactly -1
+        assert x[0] == pytest.approx(-1.0, rel=1e-6)
+
+    def test_small_gradient_untouched(self):
+        optimizer = SGD(1.0, clip_norm=10.0)
+        x = np.array([0.0])
+        optimizer.step([("x", x, np.array([0.5]))])
+        assert x[0] == pytest.approx(-0.5)
+
+    def test_clip_is_global_across_params(self):
+        optimizer = SGD(1.0, clip_norm=1.0)
+        a, b = np.array([0.0]), np.array([0.0])
+        optimizer.step([
+            ("a", a, np.array([3.0])),
+            ("b", b, np.array([4.0])),
+        ])
+        # ||(3,4)|| = 5 -> scaled by 1/5
+        assert a[0] == pytest.approx(-0.6)
+        assert b[0] == pytest.approx(-0.8)

@@ -1,0 +1,190 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module suites: each property here encodes an
+invariant that evaluation correctness depends on, checked over
+hypothesis-generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import (
+    AnomalyKind,
+    map_anomalies,
+    warning_clusters,
+)
+from repro.evaluation.metrics import DetectionCounts
+from repro.logs.templates import TemplateStore
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, HOUR
+from tests.conftest import make_message
+
+BASE = 500 * DAY
+
+times_strategy = st.lists(
+    st.floats(min_value=BASE - 40 * DAY, max_value=BASE + 40 * DAY,
+              allow_nan=False),
+    max_size=60,
+)
+
+
+class TestWarningClusterProperties:
+    @given(times_strategy, st.integers(1, 4))
+    def test_output_bounded_and_sorted(self, times, min_size):
+        clusters = warning_clusters(
+            np.asarray(times), min_size=min_size
+        )
+        assert clusters.size <= len(times)
+        assert np.all(np.diff(clusters) >= 0)
+        # every cluster start is one of the input times
+        assert set(clusters.tolist()) <= set(
+            np.asarray(times, dtype=np.float64).tolist()
+        )
+
+    @given(times_strategy)
+    def test_min_size_monotone(self, times):
+        """Raising min_size can only reduce the cluster count."""
+        sizes = [
+            warning_clusters(np.asarray(times), min_size=k).size
+            for k in (1, 2, 3)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    @given(times_strategy, st.floats(min_value=1.0, max_value=3600.0))
+    def test_gap_monotone(self, times, gap):
+        """A wider merge gap can only reduce the cluster count."""
+        few = warning_clusters(
+            np.asarray(times), min_size=1, max_gap=gap
+        ).size
+        fewer = warning_clusters(
+            np.asarray(times), min_size=1, max_gap=gap * 2
+        ).size
+        assert fewer <= few
+
+
+def tickets_strategy():
+    def build(offsets):
+        return [
+            TroubleTicket(
+                vpe="vpe00",
+                root_cause=RootCause.CIRCUIT,
+                report_time=BASE + offset * HOUR,
+                repair_time=BASE + offset * HOUR + 2 * HOUR,
+            )
+            for offset in offsets
+        ]
+    return st.lists(
+        st.floats(min_value=-200, max_value=200, allow_nan=False),
+        max_size=8,
+        unique=True,
+    ).map(build)
+
+
+class TestMappingProperties:
+    @settings(max_examples=50)
+    @given(times_strategy, tickets_strategy())
+    def test_every_anomaly_classified_once(self, times, tickets):
+        mapping = map_anomalies(
+            {"vpe00": np.asarray(times)}, tickets
+        )
+        assert len(mapping.records) == len(times)
+        counts = mapping.counts
+        assert (
+            counts.true_anomalies + counts.false_alarms
+            == len(times)
+        )
+
+    @settings(max_examples=50)
+    @given(times_strategy, tickets_strategy())
+    def test_detected_tickets_bounded(self, times, tickets):
+        mapping = map_anomalies(
+            {"vpe00": np.asarray(times)}, tickets
+        )
+        counts = mapping.counts
+        assert 0 <= counts.tickets_detected <= len(tickets)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.f_measure <= 1.0
+
+    @settings(max_examples=50)
+    @given(times_strategy, tickets_strategy())
+    def test_hits_only_for_contained_times(self, times, tickets):
+        mapping = map_anomalies(
+            {"vpe00": np.asarray(times)}, tickets
+        )
+        by_id = {t.ticket_id: t for t in tickets}
+        for ticket_id, hits in mapping.ticket_hits.items():
+            timeline = by_id[ticket_id].timeline(
+                mapping.predictive_period
+            )
+            for hit in hits:
+                assert timeline.contains(hit.time)
+
+    @settings(max_examples=30)
+    @given(times_strategy, tickets_strategy())
+    def test_widening_window_never_reduces_recall(self, times,
+                                                  tickets):
+        narrow = map_anomalies(
+            {"vpe00": np.asarray(times)}, tickets,
+            predictive_period=HOUR,
+        ).counts
+        wide = map_anomalies(
+            {"vpe00": np.asarray(times)}, tickets,
+            predictive_period=DAY,
+        ).counts
+        assert wide.tickets_detected >= narrow.tickets_detected
+        assert wide.false_alarms <= narrow.false_alarms
+
+
+class TestTemplateStoreProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from([
+                "ALPHA: event one fired",
+                "BETA: event two fired",
+                "GAMMA: event three fired now",
+                "DELTA: something else happened here",
+            ]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_match_is_stable_and_consistent(self, texts):
+        messages = [
+            make_message(timestamp=BASE + i, text=text)
+            for i, text in enumerate(texts)
+        ]
+        store = TemplateStore().fit(messages)
+        first = [store.match(m) for m in messages]
+        second = [store.match(m) for m in messages]
+        assert first == second
+        annotated = store.transform(messages)
+        assert [m.template_id for m in annotated] == first
+        # identical texts always share an id
+        by_text = {}
+        for message, template_id in zip(messages, first):
+            by_text.setdefault(message.text, set()).add(template_id)
+        assert all(len(ids) == 1 for ids in by_text.values())
+
+
+class TestDetectionCountsProperties:
+    @given(
+        st.integers(0, 100),
+        st.integers(0, 100),
+        st.integers(0, 100),
+    )
+    def test_f_between_precision_and_recall_bounds(
+        self, true_anomalies, false_alarms, detected
+    ):
+        counts = DetectionCounts(
+            true_anomalies=true_anomalies,
+            false_alarms=false_alarms,
+            tickets_detected=min(detected, 100),
+            tickets_total=100,
+        )
+        assert counts.f_measure <= max(
+            counts.precision, counts.recall
+        ) + 1e-12
+        assert counts.f_measure >= 0.0

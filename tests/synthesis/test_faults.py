@@ -1,0 +1,196 @@
+"""Tests for repro.synthesis.faults."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.faults import (
+    DEFAULT_FAULT_MODELS,
+    FaultEvent,
+    FaultInjector,
+    FaultTypeModel,
+    fleet_wide_circuit_event,
+)
+from repro.synthesis.profiles import build_fleet_profiles
+from repro.tickets.ticket import RootCause
+from repro.timeutil import HOUR, MINUTE, MONTH, TRACE_START
+
+
+@pytest.fixture()
+def profile():
+    return build_fleet_profiles(n_vpes=1)[0]
+
+
+def circuit_model(**overrides):
+    base = next(
+        m for m in DEFAULT_FAULT_MODELS
+        if m.root_cause is RootCause.CIRCUIT
+    )
+    if not overrides:
+        return base
+    from dataclasses import replace
+    return replace(base, **overrides)
+
+
+class TestFaultTypeModel:
+    def test_defaults_cover_four_causes(self):
+        causes = {m.root_cause for m in DEFAULT_FAULT_MODELS}
+        assert causes == {
+            RootCause.CIRCUIT, RootCause.SOFTWARE,
+            RootCause.CABLE, RootCause.HARDWARE,
+        }
+
+    def test_figure8_visibility_ordering(self):
+        """Circuit > software > cable > hardware in pre-report
+        syslog visibility — the Figure 8 ordering."""
+        by_cause = {m.root_cause: m for m in DEFAULT_FAULT_MODELS}
+        visibility = {
+            cause: model.symptom_emission_probability
+            * model.pre_symptom_probability
+            for cause, model in by_cause.items()
+        }
+        assert (
+            visibility[RootCause.CIRCUIT]
+            > visibility[RootCause.SOFTWARE]
+            > visibility[RootCause.CABLE]
+            > visibility[RootCause.HARDWARE]
+        )
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            circuit_model(pre_symptom_probability=1.5)
+        with pytest.raises(ValueError):
+            circuit_model(symptom_emission_probability=-0.1)
+
+    def test_symptom_templates_resolve(self):
+        for model in DEFAULT_FAULT_MODELS:
+            assert model.symptom_templates
+
+
+class TestDrawFaults:
+    def test_rate_scales_with_intensity(self, profile):
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        events = injector.draw_faults(
+            profile, TRACE_START, TRACE_START + 24 * MONTH, rng
+        )
+        expected = sum(
+            m.rate_per_vpe_month for m in DEFAULT_FAULT_MODELS
+        ) * 24 * profile.fault_rate_scale
+        assert 0.4 * expected < len(events) < 2.0 * expected
+
+    def test_sorted_by_onset(self, profile):
+        rng = np.random.default_rng(1)
+        events = FaultInjector().draw_faults(
+            profile, TRACE_START, TRACE_START + 12 * MONTH, rng
+        )
+        onsets = [e.onset for e in events]
+        assert onsets == sorted(onsets)
+
+    def test_empty_interval(self, profile):
+        rng = np.random.default_rng(0)
+        assert FaultInjector().draw_faults(
+            profile, TRACE_START, TRACE_START, rng
+        ) == []
+
+    def test_fault_ids_unique(self, profile):
+        rng = np.random.default_rng(2)
+        events = FaultInjector().draw_faults(
+            profile, TRACE_START, TRACE_START + 24 * MONTH, rng
+        )
+        ids = [e.fault_id for e in events]
+        assert len(ids) == len(set(ids))
+
+
+def make_event(model, onset=TRACE_START, duration=2 * HOUR):
+    return FaultEvent(
+        fault_id=99999, vpe="vpe00", model=model, onset=onset,
+        clears_at=onset + duration,
+    )
+
+
+class TestMaterialize:
+    def test_signal_count_matches_reoccurrence(self):
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        _, signals = injector.materialize(
+            make_event(circuit_model()), rng, reoccurrence_count=3
+        )
+        assert len(signals) == 3
+        assert all(s.fault_id == 99999 for s in signals)
+
+    def test_signals_after_onset(self):
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        event = make_event(circuit_model())
+        _, signals = injector.materialize(event, rng)
+        assert all(s.timestamp > event.onset for s in signals)
+
+    def test_always_emitting_model_produces_burst(self):
+        model = circuit_model(symptom_emission_probability=1.0,
+                              pre_symptom_probability=1.0)
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        event = make_event(model)
+        messages, _ = injector.materialize(event, rng)
+        assert messages
+        assert messages[0].timestamp == pytest.approx(event.onset)
+        assert all(m.host == "vpe00" for m in messages)
+
+    def test_never_emitting_model_silent(self):
+        model = circuit_model(symptom_emission_probability=0.0)
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        messages, signals = injector.materialize(
+            make_event(model), rng
+        )
+        assert messages == []
+        assert signals  # monitors still fire -> ticket still opens
+
+    def test_post_symptom_mode_starts_after_signal(self):
+        model = circuit_model(
+            symptom_emission_probability=1.0,
+            pre_symptom_probability=0.0,
+        )
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        event = make_event(model, duration=6 * HOUR)
+        messages, signals = injector.materialize(event, rng)
+        assert messages[0].timestamp > signals[0].timestamp
+
+    def test_symptoms_span_infected_period(self):
+        model = circuit_model(
+            symptom_emission_probability=1.0,
+            pre_symptom_probability=1.0,
+        )
+        injector = FaultInjector()
+        rng = np.random.default_rng(3)
+        event = make_event(model, duration=5 * HOUR)
+        messages, _ = injector.materialize(event, rng)
+        assert messages[-1].timestamp > event.onset + 2 * HOUR
+        assert all(m.timestamp <= event.clears_at for m in messages)
+
+    def test_symptom_templates_match_cause(self):
+        model = circuit_model(symptom_emission_probability=1.0)
+        injector = FaultInjector()
+        rng = np.random.default_rng(0)
+        messages, _ = injector.materialize(make_event(model), rng)
+        allowed = {
+            spec.process for spec in model.symptom_templates
+        }
+        assert {m.process for m in messages} <= allowed
+
+
+class TestFleetWideEvent:
+    def test_hits_many_vpes_simultaneously(self):
+        profiles = build_fleet_profiles(n_vpes=10)
+        rng = np.random.default_rng(0)
+        events = fleet_wide_circuit_event(
+            profiles, TRACE_START + MONTH, rng, min_fraction=0.5
+        )
+        assert len(events) == 5
+        assert len({e.vpe for e in events}) == 5
+        onsets = [e.onset for e in events]
+        assert max(onsets) - min(onsets) <= 5 * MINUTE
+        assert all(
+            e.root_cause is RootCause.CIRCUIT for e in events
+        )

@@ -1,0 +1,170 @@
+"""Tests for repro.synthesis.fleet and repro.synthesis.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis import FleetSimulator, SimulationConfig
+from repro.tickets.ticket import RootCause
+from repro.timeutil import DAY, HOUR, MONTH, TRACE_START
+
+
+class TestSimulationConfig:
+    def test_defaults_are_paper_scale(self):
+        config = SimulationConfig()
+        assert config.n_vpes == 38
+        assert config.n_months == 18
+
+    def test_update_time(self):
+        config = SimulationConfig(n_months=6, update_month=4)
+        assert config.update_time == TRACE_START + 4 * MONTH
+
+    def test_update_disabled(self):
+        config = SimulationConfig(update_month=None)
+        assert config.update_time is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_vpes": 0},
+            {"n_months": 0},
+            {"update_fraction": 1.5},
+            {"n_months": 4, "update_month": 4},
+            {"n_months": 4, "update_month": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+
+class TestFleetSimulator:
+    def test_streams_per_vpe_sorted(self, small_dataset):
+        for vpe, stream in small_dataset.messages.items():
+            times = [m.timestamp for m in stream]
+            assert times == sorted(times)
+            assert all(m.host == vpe for m in stream)
+
+    def test_every_vpe_has_messages(self, small_dataset):
+        assert set(small_dataset.messages) == set(
+            small_dataset.vpe_names
+        )
+        assert all(
+            len(stream) > 100
+            for stream in small_dataset.messages.values()
+        )
+
+    def test_tickets_sorted_and_in_range(self, small_dataset):
+        reports = [t.report_time for t in small_dataset.tickets]
+        assert reports == sorted(reports)
+        assert all(r >= small_dataset.start for r in reports)
+
+    def test_ticket_mix_has_maintenance_and_faults(self, small_dataset):
+        causes = {t.root_cause for t in small_dataset.tickets}
+        assert RootCause.MAINTENANCE in causes
+        assert causes & {
+            RootCause.CIRCUIT, RootCause.SOFTWARE,
+            RootCause.CABLE, RootCause.HARDWARE,
+        }
+
+    def test_deterministic(self, small_config):
+        a = FleetSimulator(small_config).run()
+        b = FleetSimulator(small_config).run()
+        assert a.n_messages == b.n_messages
+        assert len(a.tickets) == len(b.tickets)
+        assert [m.text for m in a.messages["vpe00"][:50]] == [
+            m.text for m in b.messages["vpe00"][:50]
+        ]
+
+    def test_update_changes_distribution(self, small_dataset,
+                                         small_config):
+        update = small_dataset.updates[0]
+        affected = sorted(update.affected_vpes)[0]
+        before = {
+            m.process
+            for m in small_dataset.messages_between(
+                affected, update.time - 5 * DAY, update.time
+            )
+        }
+        after = {
+            m.process
+            for m in small_dataset.messages_between(
+                affected, update.time, update.time + 5 * DAY
+            )
+        }
+        assert "telemetryd" not in before
+        assert "telemetryd" in after
+
+    def test_unaffected_vpes_unchanged(self, small_dataset):
+        update = small_dataset.updates[0]
+        unaffected = [
+            v for v in small_dataset.vpe_names
+            if v not in update.affected_vpes
+        ]
+        assert unaffected
+        processes = {
+            m.process
+            for m in small_dataset.messages_between(
+                unaffected[0], update.time, small_dataset.end
+            )
+        }
+        assert "telemetryd" not in processes
+
+
+class TestFleetDataset:
+    def test_messages_between_bounds(self, small_dataset):
+        start = small_dataset.start + 5 * DAY
+        end = start + DAY
+        window = small_dataset.messages_between("vpe00", start, end)
+        assert all(start <= m.timestamp < end for m in window)
+
+    def test_messages_between_unknown_vpe(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset.messages_between("nope", 0, 1)
+
+    def test_tickets_for_filters(self, small_dataset):
+        vpe = small_dataset.tickets[0].vpe
+        tickets = small_dataset.tickets_for(vpe=vpe)
+        assert all(t.vpe == vpe for t in tickets)
+        no_dup = small_dataset.tickets_for(include_duplicates=False)
+        assert all(not t.is_duplicate for t in no_dup)
+
+    def test_scrub_intervals_merged_and_sorted(self, small_dataset):
+        for vpe in small_dataset.vpe_names:
+            intervals = small_dataset.scrub_intervals(vpe)
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(
+                intervals, intervals[1:]
+            ):
+                assert a_hi < b_lo
+
+    def test_normal_messages_avoid_ticket_periods(self, small_dataset):
+        vpe = small_dataset.tickets[0].vpe
+        normal = small_dataset.normal_messages(vpe)
+        tickets = small_dataset.tickets_for(vpe=vpe)
+        for message in normal[:2000]:
+            for ticket in tickets:
+                assert not (
+                    ticket.report_time - 3 * DAY
+                    <= message.timestamp
+                    <= ticket.repair_time
+                )
+
+    def test_normal_messages_subset_of_all(self, small_dataset):
+        vpe = small_dataset.vpe_names[0]
+        normal = len(small_dataset.normal_messages(vpe))
+        total = len(small_dataset.messages[vpe])
+        assert 0 < normal <= total
+
+    def test_aggregate_merges_sorted(self, small_dataset):
+        merged = small_dataset.aggregate_messages(
+            start=small_dataset.start,
+            end=small_dataset.start + 2 * DAY,
+        )
+        times = [m.timestamp for m in merged]
+        assert times == sorted(times)
+        assert {m.host for m in merged} == set(small_dataset.vpe_names)
+
+    def test_profile_lookup(self, small_dataset):
+        profile = small_dataset.profile("vpe00")
+        assert profile.name == "vpe00"
+        with pytest.raises(KeyError):
+            small_dataset.profile("missing")

@@ -1,0 +1,136 @@
+"""Tests for repro.synthesis.kpi."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.faults import DEFAULT_FAULT_MODELS, FaultEvent
+from repro.synthesis.kpi import (
+    KpiSeriesConfig,
+    KpiSimulator,
+    KpiThresholdDetector,
+)
+from repro.tickets.ticket import RootCause
+from repro.timeutil import DAY, HOUR, MINUTE, TRACE_START
+
+
+def make_fault(onset, duration=4 * HOUR):
+    model = next(
+        m for m in DEFAULT_FAULT_MODELS
+        if m.root_cause is RootCause.CIRCUIT
+    )
+    return FaultEvent(
+        fault_id=123456,
+        vpe="vpe00",
+        model=model,
+        onset=onset,
+        clears_at=onset + duration,
+    )
+
+
+@pytest.fixture()
+def simulator():
+    return KpiSimulator()
+
+
+class TestGenerate:
+    def test_cadence_and_bounds(self, simulator, rng):
+        samples = simulator.generate(
+            TRACE_START, TRACE_START + DAY, [], rng
+        )
+        assert len(samples) == int(DAY // (5 * MINUTE))
+        gaps = np.diff([s.timestamp for s in samples])
+        assert np.allclose(gaps, 5 * MINUTE)
+        for sample in samples:
+            assert 0 <= sample.cpu_utilization <= 100
+            assert 0 <= sample.packet_loss <= 1
+            assert sample.session_count >= 0
+
+    def test_empty_interval(self, simulator, rng):
+        assert simulator.generate(
+            TRACE_START, TRACE_START, [], rng
+        ) == []
+
+    def test_fault_degrades_kpis(self, simulator, rng):
+        fault = make_fault(TRACE_START + 12 * HOUR)
+        samples = simulator.generate(
+            TRACE_START, TRACE_START + DAY, [fault], rng
+        )
+        during = [
+            s for s in samples
+            if fault.onset + HOUR <= s.timestamp <= fault.clears_at
+        ]
+        before = [
+            s for s in samples if s.timestamp < fault.onset
+        ]
+        assert np.mean([s.packet_loss for s in during]) > 10 * np.mean(
+            [s.packet_loss for s in before]
+        )
+        assert np.mean([s.cpu_utilization for s in during]) > np.mean(
+            [s.cpu_utilization for s in before]
+        ) + 10
+
+    def test_impact_ramps_up(self, simulator):
+        fault = make_fault(TRACE_START)
+        early = simulator._impact(TRACE_START + 5 * MINUTE, fault)
+        late = simulator._impact(TRACE_START + HOUR, fault)
+        assert 0 < early < 1
+        assert late == 1.0
+
+    def test_impact_zero_outside(self, simulator):
+        fault = make_fault(TRACE_START + HOUR)
+        assert simulator._impact(TRACE_START, fault) == 0.0
+        assert simulator._impact(
+            fault.clears_at + 1.0, fault
+        ) == 0.0
+
+
+class TestKpiThresholdDetector:
+    def test_quiet_on_normal_series(self, simulator, rng):
+        normal = simulator.generate(
+            TRACE_START, TRACE_START + 7 * DAY, [], rng
+        )
+        detector = KpiThresholdDetector(z_threshold=6.0).fit(normal)
+        fresh = simulator.generate(
+            TRACE_START + 7 * DAY,
+            TRACE_START + 9 * DAY,
+            [],
+            np.random.default_rng(1),
+        )
+        alarms = detector.detect(fresh)
+        assert alarms.size / len(fresh) < 0.02
+
+    def test_detects_fault_after_lag(self, simulator, rng):
+        normal = simulator.generate(
+            TRACE_START, TRACE_START + 7 * DAY, [], rng
+        )
+        detector = KpiThresholdDetector(z_threshold=6.0).fit(normal)
+        fault = make_fault(TRACE_START + 8 * DAY)
+        series = simulator.generate(
+            TRACE_START + 7 * DAY,
+            TRACE_START + 9 * DAY,
+            [fault],
+            np.random.default_rng(2),
+        )
+        alarms = detector.detect(series)
+        in_fault = alarms[
+            (alarms >= fault.onset) & (alarms <= fault.clears_at)
+        ]
+        assert in_fault.size > 0
+        # the first alarm lags the onset: service-level visibility
+        # waits for the impact to build up
+        assert in_fault[0] >= fault.onset + 10 * MINUTE
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KpiThresholdDetector().score([])
+
+    def test_too_little_training_data(self, simulator, rng):
+        samples = simulator.generate(
+            TRACE_START, TRACE_START + 30 * MINUTE, [], rng
+        )
+        with pytest.raises(ValueError):
+            KpiThresholdDetector().fit(samples[:5])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            KpiThresholdDetector(z_threshold=0.0)

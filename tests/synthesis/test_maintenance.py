@@ -1,0 +1,90 @@
+"""Tests for repro.synthesis.maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.maintenance import (
+    MaintenanceScheduler,
+    MaintenanceWindow,
+)
+from repro.synthesis.profiles import build_fleet_profiles
+from repro.tickets.ticket import RootCause
+from repro.timeutil import DAY, HOUR, MONTH, TRACE_START
+
+
+@pytest.fixture()
+def profile():
+    return build_fleet_profiles(n_vpes=1)[0]
+
+
+class TestSchedule:
+    def test_cadence(self, profile):
+        scheduler = MaintenanceScheduler(interval_days=21.0)
+        rng = np.random.default_rng(0)
+        windows = scheduler.schedule(
+            profile, TRACE_START, TRACE_START + 12 * MONTH, rng
+        )
+        # ~ 360/21 ≈ 17 windows; allow wide slack for jitter
+        assert 8 <= len(windows) <= 30
+
+    def test_windows_inside_trace(self, profile):
+        scheduler = MaintenanceScheduler()
+        rng = np.random.default_rng(1)
+        end = TRACE_START + 6 * MONTH
+        for window in scheduler.schedule(
+            profile, TRACE_START, end, rng
+        ):
+            assert window.start >= TRACE_START
+            assert window.start < end
+
+    def test_windows_at_night(self, profile):
+        scheduler = MaintenanceScheduler(night_hour=2.0)
+        rng = np.random.default_rng(2)
+        for window in scheduler.schedule(
+            profile, TRACE_START, TRACE_START + 12 * MONTH, rng
+        ):
+            hour_of_day = (window.start % DAY) / HOUR
+            assert 1.0 <= hour_of_day <= 3.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MaintenanceScheduler(interval_days=0)
+        with pytest.raises(ValueError):
+            MaintenanceWindow(vpe="x", start=10.0, end=10.0)
+
+
+class TestMaterialize:
+    def test_storm_and_signals(self, profile):
+        scheduler = MaintenanceScheduler()
+        rng = np.random.default_rng(0)
+        window = MaintenanceWindow(
+            vpe="vpe00",
+            start=TRACE_START,
+            end=TRACE_START + 2 * HOUR,
+        )
+        messages, signals = scheduler.materialize(
+            window, rng, reoccurrence_count=2
+        )
+        assert messages
+        assert all(
+            window.start <= m.timestamp < window.end for m in messages
+        )
+        assert len(signals) == 2
+        assert all(
+            s.root_cause is RootCause.MAINTENANCE for s in signals
+        )
+        assert all(s.clears_at == window.end for s in signals)
+
+    def test_distinct_windows_distinct_fault_ids(self, profile):
+        scheduler = MaintenanceScheduler()
+        rng = np.random.default_rng(0)
+        ids = set()
+        for offset in (0.0, DAY):
+            window = MaintenanceWindow(
+                vpe="vpe00",
+                start=TRACE_START + offset,
+                end=TRACE_START + offset + HOUR,
+            )
+            _, signals = scheduler.materialize(window, rng)
+            ids.add(signals[0].fault_id)
+        assert len(ids) == 2

@@ -1,0 +1,98 @@
+"""Tests for repro.synthesis.profiles."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.profiles import (
+    ROLES,
+    VpeProfile,
+    build_fleet_profiles,
+    build_ppe_profile,
+)
+
+
+class TestBuildFleetProfiles:
+    def test_count_and_names(self):
+        profiles = build_fleet_profiles(n_vpes=10)
+        assert len(profiles) == 10
+        assert [p.name for p in profiles] == [
+            f"vpe{i:02d}" for i in range(10)
+        ]
+
+    def test_all_roles_present_in_large_fleet(self):
+        profiles = build_fleet_profiles(n_vpes=38)
+        assert {p.role for p in profiles} == set(ROLES)
+
+    def test_weights_normalized(self):
+        for profile in build_fleet_profiles(n_vpes=8):
+            total = sum(profile.template_weights.values())
+            assert total == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = build_fleet_profiles(n_vpes=6, seed=3)
+        b = build_fleet_profiles(n_vpes=6, seed=3)
+        assert [p.template_weights for p in a] == [
+            p.template_weights for p in b
+        ]
+
+    def test_lemons_have_elevated_fault_rates(self):
+        profiles = build_fleet_profiles(n_vpes=38, lemon_fraction=0.15)
+        scales = sorted(p.fault_rate_scale for p in profiles)
+        # ~15% of 38 ≈ 5-6 lemons with scale >= 3
+        assert sum(1 for s in scales if s >= 3.0) >= 4
+        assert scales[0] < 2.0
+
+    def test_same_role_profiles_similar_not_identical(self):
+        profiles = build_fleet_profiles(n_vpes=38, seed=0)
+        same_role = [
+            p for p in profiles if p.role == profiles[0].role
+        ]
+        assert len(same_role) >= 2
+        first, second = same_role[0], same_role[1]
+        assert first.template_weights != second.template_weights
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            build_fleet_profiles(n_vpes=0)
+
+
+class TestVpeProfile:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            VpeProfile(
+                name="x", role=ROLES[0], base_rate_per_hour=0.0,
+                template_weights={"a": 1.0},
+            )
+
+    def test_invalid_role(self):
+        with pytest.raises(ValueError):
+            VpeProfile(
+                name="x", role="database", base_rate_per_hour=1.0,
+                template_weights={"a": 1.0},
+            )
+
+    def test_templates_exclude_physical_for_vpe(self):
+        profile = build_fleet_profiles(n_vpes=1)[0]
+        names = {spec.name for spec in profile.templates}
+        assert "optics_power" not in names
+
+
+class TestPpeProfile:
+    def test_rate_reflects_volume_ratio(self):
+        ppe = build_ppe_profile(vpe_rate_per_hour=40.0)
+        # vPE volume is 77% lower => pPE rate ≈ 40 / 0.23
+        assert ppe.base_rate_per_hour == pytest.approx(40.0 / 0.23)
+
+    def test_ppe_emits_physical_layer(self):
+        ppe = build_ppe_profile()
+        names = {spec.name for spec in ppe.templates}
+        assert "optics_power" in names
+        assert ppe.is_physical
+        physical_weight = sum(
+            w for name, w in ppe.template_weights.items()
+            if name in names and name in (
+                "optics_power", "fpc_status", "pic_poll",
+                "sonet_alarm", "power_supply", "backplane_crc",
+            )
+        )
+        assert physical_weight > 0.1

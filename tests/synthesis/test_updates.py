@@ -1,0 +1,75 @@
+"""Tests for repro.synthesis.updates."""
+
+import pytest
+
+from repro.synthesis.catalog import UPDATE_TEMPLATES
+from repro.synthesis.profiles import build_fleet_profiles
+from repro.synthesis.updates import SoftwareUpdate
+from repro.timeutil import MONTH, TRACE_START
+
+
+def update(new_share=0.5, vpes=("vpe00",)):
+    return SoftwareUpdate(
+        time=TRACE_START + 3 * MONTH,
+        affected_vpes=frozenset(vpes),
+        new_share=new_share,
+    )
+
+
+class TestAppliesTo:
+    def test_affected_after_rollout(self):
+        u = update()
+        assert u.applies_to("vpe00", u.time)
+        assert u.applies_to("vpe00", u.time + 1)
+
+    def test_not_before_rollout(self):
+        u = update()
+        assert not u.applies_to("vpe00", u.time - 1)
+
+    def test_unaffected_vpe(self):
+        u = update()
+        assert not u.applies_to("vpe99", u.time + 1)
+
+
+class TestRewriteWeights:
+    def test_normalized(self):
+        profile = build_fleet_profiles(n_vpes=1)[0]
+        rewritten = update().rewrite_weights(profile.template_weights)
+        assert sum(rewritten.values()) == pytest.approx(1.0)
+
+    def test_new_templates_take_requested_share(self):
+        profile = build_fleet_profiles(n_vpes=1)[0]
+        rewritten = update(new_share=0.5).rewrite_weights(
+            profile.template_weights
+        )
+        new_names = {spec.name for spec in UPDATE_TEMPLATES}
+        new_mass = sum(
+            w for name, w in rewritten.items() if name in new_names
+        )
+        assert new_mass == pytest.approx(0.5)
+
+    def test_replaced_templates_suppressed(self):
+        profile = build_fleet_profiles(n_vpes=1)[0]
+        before = profile.template_weights["bgp_keepalive"]
+        rewritten = update().rewrite_weights(profile.template_weights)
+        assert rewritten["bgp_keepalive"] < 0.1 * before
+
+    def test_distribution_shift_is_large(self):
+        """The rewrite must push cosine similarity below the paper's
+        0.4 threshold so the drift trigger fires."""
+        import numpy as np
+        from repro.ml.similarity import cosine_similarity
+
+        profile = build_fleet_profiles(n_vpes=1)[0]
+        old = profile.template_weights
+        new = update().rewrite_weights(old)
+        names = sorted(set(old) | set(new))
+        a = np.array([old.get(n, 0.0) for n in names])
+        b = np.array([new.get(n, 0.0) for n in names])
+        assert cosine_similarity(a, b) < 0.4
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            update(new_share=0.0)
+        with pytest.raises(ValueError):
+            update(new_share=1.0)

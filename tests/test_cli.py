@@ -1,0 +1,127 @@
+"""Tests for the repro CLI (simulate → mine → train → detect → report).
+
+The full workflow runs once per module on a tiny trace; individual
+tests assert on the artifacts each stage produces.
+"""
+
+import csv
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main, read_trace
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory, capsys_disabled=None):
+    root = tmp_path_factory.mktemp("cli")
+    trace = root / "trace"
+    templates = root / "templates.json"
+    model = root / "model"
+    anomalies = root / "anomalies.csv"
+    assert main([
+        "simulate", "--out", str(trace), "--vpes", "3",
+        "--months", "2", "--rate", "6", "--seed", "4",
+    ]) == 0
+    assert main([
+        "mine", "--trace", str(trace), "--out", str(templates),
+        "--max-messages", "8000",
+    ]) == 0
+    assert main([
+        "train", "--trace", str(trace), "--templates",
+        str(templates), "--out", str(model),
+        "--epochs", "1", "--hidden", "12", "--window", "6",
+        "--max-samples", "2000",
+    ]) == 0
+    assert main([
+        "detect", "--trace", str(trace), "--model", str(model),
+        "--out", str(anomalies),
+    ]) == 0
+    return {
+        "trace": trace,
+        "templates": templates,
+        "model": model,
+        "anomalies": anomalies,
+    }
+
+
+class TestSimulate:
+    def test_trace_layout(self, workflow):
+        trace = workflow["trace"]
+        meta = json.loads((trace / "meta.json").read_text())
+        assert len(meta["vpes"]) == 3
+        for vpe in meta["vpes"]:
+            assert (trace / f"{vpe}.jsonl").exists()
+        assert (trace / "tickets.csv").exists()
+
+    def test_trace_roundtrip(self, workflow):
+        meta, messages, tickets = read_trace(workflow["trace"])
+        assert set(messages) == set(meta["vpes"])
+        assert all(
+            stream == sorted(stream, key=lambda m: m.timestamp)
+            for stream in messages.values()
+        )
+        assert tickets
+        assert all(
+            meta["start"] <= t.report_time for t in tickets
+        )
+
+
+class TestMine:
+    def test_templates_json(self, workflow):
+        payload = json.loads(workflow["templates"].read_text())
+        assert payload["version"] == 1
+        assert len(payload["templates"]) > 10
+
+
+class TestTrain:
+    def test_model_artifacts(self, workflow):
+        model = workflow["model"]
+        assert (model / "weights.npz").exists()
+        config = json.loads((model / "config.json").read_text())
+        assert config["window"] == 6
+
+
+class TestDetect:
+    def test_anomaly_rows(self, workflow):
+        with open(workflow["anomalies"]) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows, "the trace contains faults; detection can't be empty"
+        meta, _, _ = read_trace(workflow["trace"])
+        for row in rows:
+            assert row["vpe"] in meta["vpes"]
+            assert float(row["score"]) > 0
+            assert meta["start"] <= float(row["time"]) <= meta["end"]
+
+    def test_explicit_threshold(self, workflow, tmp_path):
+        out = tmp_path / "a.csv"
+        assert main([
+            "detect", "--trace", str(workflow["trace"]),
+            "--model", str(workflow["model"]),
+            "--out", str(out), "--threshold", "1e9",
+        ]) == 0
+        with open(out) as handle:
+            assert len(list(csv.DictReader(handle))) == 0
+
+
+class TestReport:
+    def test_report_prints_metrics(self, workflow, capsys):
+        assert main([
+            "report", "--trace", str(workflow["trace"]),
+            "--anomalies", str(workflow["anomalies"]),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "recall" in out
+        assert "false alarms / day" in out
+
+
+class TestParser:
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

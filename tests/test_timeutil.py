@@ -1,0 +1,83 @@
+"""Tests for repro.timeutil."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    MONTH,
+    TRACE_START,
+    format_duration,
+    iter_months,
+    month_bounds,
+    month_index,
+)
+
+
+class TestMonthIndex:
+    def test_origin_is_month_zero(self):
+        assert month_index(TRACE_START) == 0
+
+    def test_last_second_of_month_zero(self):
+        assert month_index(TRACE_START + MONTH - 1) == 0
+
+    def test_first_second_of_month_one(self):
+        assert month_index(TRACE_START + MONTH) == 1
+
+    def test_before_origin_raises(self):
+        with pytest.raises(ValueError):
+            month_index(TRACE_START - 1)
+
+    def test_custom_origin(self):
+        assert month_index(100.0 + 2 * MONTH, origin=100.0) == 2
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_index_consistent_with_bounds(self, offset):
+        index = month_index(TRACE_START + offset)
+        start, end = month_bounds(index)
+        assert start <= TRACE_START + offset < end
+
+
+class TestMonthBounds:
+    def test_width_is_one_month(self):
+        start, end = month_bounds(3)
+        assert end - start == MONTH
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            month_bounds(-1)
+
+    def test_months_tile_without_gaps(self):
+        previous_end = None
+        for _, start, end in iter_months(5):
+            if previous_end is not None:
+                assert start == previous_end
+            previous_end = end
+
+
+class TestIterMonths:
+    def test_count(self):
+        assert len(list(iter_months(18))) == 18
+
+    def test_indices_ascending(self):
+        indices = [index for index, _, _ in iter_months(4)]
+        assert indices == [0, 1, 2, 3]
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(30) == "30s"
+
+    def test_minutes(self):
+        assert format_duration(5 * MINUTE) == "5.0min"
+
+    def test_hours(self):
+        assert format_duration(3 * HOUR) == "3.0h"
+
+    def test_days(self):
+        assert format_duration(2 * DAY) == "2.0d"
+
+    def test_negative(self):
+        assert format_duration(-30) == "-30s"

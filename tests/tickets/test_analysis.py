@@ -1,0 +1,137 @@
+"""Tests for repro.tickets.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.tickets.analysis import (
+    fleet_wide_events,
+    interarrival_cdf,
+    interarrival_hours,
+    monthly_type_mix,
+    non_duplicated,
+    ticket_scatter,
+    tickets_per_vpe,
+)
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import HOUR, MONTH, TRACE_START
+
+
+def ticket(offset_hours, cause=RootCause.CIRCUIT, vpe="vpe00",
+           duration=HOUR, **kwargs):
+    report = TRACE_START + offset_hours * HOUR
+    return TroubleTicket(
+        vpe=vpe,
+        root_cause=cause,
+        report_time=report,
+        repair_time=report + duration,
+        **kwargs,
+    )
+
+
+class TestNonDuplicated:
+    def test_filters_duplicates(self):
+        tickets = [
+            ticket(1),
+            ticket(2, cause=RootCause.DUPLICATE, original_ticket_id=1),
+        ]
+        assert len(non_duplicated(tickets)) == 1
+
+
+class TestTicketsPerVpe:
+    def test_grouping_and_sorting(self):
+        tickets = [
+            ticket(5, vpe="b"),
+            ticket(1, vpe="a"),
+            ticket(3, vpe="a"),
+        ]
+        grouped = tickets_per_vpe(tickets)
+        assert set(grouped) == {"a", "b"}
+        reports = [t.report_time for t in grouped["a"]]
+        assert reports == sorted(reports)
+
+
+class TestMonthlyTypeMix:
+    def test_fractions_sum_to_one_where_tickets_exist(self):
+        tickets = [
+            ticket(1, cause=RootCause.MAINTENANCE),
+            ticket(2, cause=RootCause.CIRCUIT),
+            ticket(24 * 35, cause=RootCause.SOFTWARE),
+        ]
+        mix = monthly_type_mix(tickets, n_months=2)
+        month0 = sum(values[0] for values in mix.values())
+        month1 = sum(values[1] for values in mix.values())
+        assert month0 == pytest.approx(1.0)
+        assert month1 == pytest.approx(1.0)
+
+    def test_empty_month_is_zero(self):
+        mix = monthly_type_mix([ticket(1)], n_months=3)
+        assert all(values[2] == 0.0 for values in mix.values())
+
+    def test_tickets_beyond_horizon_ignored(self):
+        mix = monthly_type_mix([ticket(24 * 65)], n_months=2)
+        assert all(np.all(values == 0) for values in mix.values())
+
+
+class TestInterarrival:
+    def test_gaps_within_vpe_only(self):
+        tickets = [
+            ticket(0, vpe="a"),
+            ticket(10, vpe="a"),
+            ticket(5, vpe="b"),
+        ]
+        gaps = interarrival_hours(tickets)
+        assert list(gaps) == [10.0]
+
+    def test_duplicates_excluded(self):
+        tickets = [
+            ticket(0),
+            ticket(1, cause=RootCause.DUPLICATE, original_ticket_id=1),
+            ticket(10),
+        ]
+        assert list(interarrival_hours(tickets)) == [10.0]
+
+    def test_cdf_monotone_and_bounded(self):
+        tickets = [ticket(h, vpe="a") for h in (0, 5, 50, 51, 500)]
+        hours, cdf = interarrival_cdf(tickets)
+        assert np.all(np.diff(hours) >= 0)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_empty(self):
+        hours, cdf = interarrival_cdf([ticket(0)])
+        assert hours.size == 0 and cdf.size == 0
+
+
+class TestTicketScatter:
+    def test_maintenance_excluded(self):
+        cells = ticket_scatter([ticket(1, cause=RootCause.MAINTENANCE)])
+        assert cells == []
+
+    def test_rank_zero_is_busiest_vpe(self):
+        tickets = [
+            ticket(1, vpe="busy"),
+            ticket(100, vpe="busy"),
+            ticket(200, vpe="busy"),
+            ticket(50, vpe="quiet"),
+        ]
+        cells = ticket_scatter(tickets)
+        ranks = {rank for _, rank in cells}
+        assert ranks == {0, 1}
+        busy_cells = [c for c in cells if c[1] == 0]
+        assert len(busy_cells) == 3
+
+
+class TestFleetWideEvents:
+    def test_detects_simultaneous_tickets(self):
+        tickets = [
+            ticket(10, vpe=f"vpe{i:02d}") for i in range(5)
+        ]
+        events = fleet_wide_events(tickets, min_vpes=4)
+        assert len(events) == 1
+        assert events[0][1] == 5
+
+    def test_spread_tickets_not_flagged(self):
+        tickets = [
+            ticket(10 + 100 * i, vpe=f"vpe{i:02d}") for i in range(5)
+        ]
+        assert fleet_wide_events(tickets, min_vpes=4) == []

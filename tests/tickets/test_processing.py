@@ -1,0 +1,165 @@
+"""Tests for repro.tickets.processing."""
+
+import pytest
+
+from repro.tickets.processing import (
+    MonitoringSignal,
+    TicketingPolicy,
+    TicketProcessor,
+)
+from repro.tickets.ticket import RootCause
+from repro.timeutil import HOUR, MINUTE
+
+
+def signal(t, fault_id=1, clears=None, cause=RootCause.CIRCUIT,
+           vpe="vpe00"):
+    return MonitoringSignal(
+        timestamp=t,
+        vpe=vpe,
+        signature=f"{cause.value}-signature",
+        root_cause=cause,
+        fault_id=fault_id,
+        clears_at=clears if clears is not None else t + HOUR,
+    )
+
+
+class TestTicketingPolicy:
+    def test_defaults_valid(self):
+        TicketingPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"verification_delay": -1},
+            {"reoccurrence_count": 0},
+            {"correlation_window": 0},
+            {"duplicate_interval": 0},
+            {"max_duplicates": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TicketingPolicy(**kwargs)
+
+
+class TestTicketProcessor:
+    def test_single_signal_insufficient(self):
+        processor = TicketProcessor(
+            TicketingPolicy(reoccurrence_count=2)
+        )
+        assert processor.process([signal(1000.0)]) == []
+
+    def test_reoccurrence_opens_ticket(self):
+        processor = TicketProcessor(
+            TicketingPolicy(reoccurrence_count=2, max_duplicates=0)
+        )
+        tickets = processor.process(
+            [signal(1000.0), signal(1060.0)]
+        )
+        assert len(tickets) == 1
+        assert tickets[0].root_cause is RootCause.CIRCUIT
+
+    def test_report_time_includes_verification_delay(self):
+        policy = TicketingPolicy(
+            reoccurrence_count=2,
+            verification_delay=5 * MINUTE,
+            max_duplicates=0,
+        )
+        tickets = TicketProcessor(policy).process(
+            [signal(1000.0), signal(1060.0)]
+        )
+        assert tickets[0].report_time == 1060.0 + 5 * MINUTE
+
+    def test_report_always_after_first_symptom(self):
+        tickets = TicketProcessor().process(
+            [signal(1000.0), signal(1060.0)]
+        )
+        assert tickets[0].report_time >= 1000.0
+        assert tickets[0].fault_time == 1000.0
+
+    def test_signals_outside_correlation_window_dont_accumulate(self):
+        policy = TicketingPolicy(
+            reoccurrence_count=2, correlation_window=10 * MINUTE
+        )
+        tickets = TicketProcessor(policy).process(
+            [signal(0.0), signal(3 * HOUR)]
+        )
+        assert tickets == []
+
+    def test_one_ticket_per_fault(self):
+        processor = TicketProcessor(
+            TicketingPolicy(reoccurrence_count=2, max_duplicates=0)
+        )
+        tickets = processor.process(
+            [signal(1000.0 + 30 * i) for i in range(10)]
+        )
+        assert len(tickets) == 1
+
+    def test_distinct_faults_distinct_tickets(self):
+        processor = TicketProcessor(
+            TicketingPolicy(reoccurrence_count=2, max_duplicates=0)
+        )
+        stream = [
+            signal(1000.0, fault_id=1),
+            signal(1030.0, fault_id=1),
+            signal(5000.0, fault_id=2),
+            signal(5030.0, fault_id=2),
+        ]
+        assert len(processor.process(stream)) == 2
+
+    def test_long_fault_spawns_duplicates(self):
+        policy = TicketingPolicy(
+            reoccurrence_count=1,
+            duplicate_interval=HOUR,
+            max_duplicates=3,
+        )
+        tickets = TicketProcessor(policy).process(
+            [signal(0.0, clears=10 * HOUR)]
+        )
+        original = tickets[0]
+        duplicates = [t for t in tickets if t.is_duplicate]
+        assert len(duplicates) == 3
+        assert all(
+            d.original_ticket_id == original.ticket_id
+            for d in duplicates
+        )
+        assert all(
+            d.report_time > original.report_time for d in duplicates
+        )
+
+    def test_short_fault_no_duplicates(self):
+        policy = TicketingPolicy(
+            reoccurrence_count=1, duplicate_interval=2 * HOUR
+        )
+        tickets = TicketProcessor(policy).process(
+            [signal(0.0, clears=30 * MINUTE)]
+        )
+        assert len(tickets) == 1
+
+    def test_output_sorted_by_report_time(self):
+        processor = TicketProcessor(
+            TicketingPolicy(reoccurrence_count=1, max_duplicates=2)
+        )
+        stream = [
+            signal(9000.0, fault_id=2, clears=9000.0 + 9 * HOUR),
+            signal(0.0, fault_id=1, clears=9 * HOUR),
+        ]
+        tickets = processor.process(stream)
+        reports = [t.report_time for t in tickets]
+        assert reports == sorted(reports)
+
+    def test_repair_time_is_clear_time(self):
+        processor = TicketProcessor(
+            TicketingPolicy(reoccurrence_count=1, max_duplicates=0)
+        )
+        tickets = processor.process([signal(0.0, clears=HOUR)])
+        assert tickets[0].repair_time == HOUR
+
+    def test_deterministic(self):
+        stream = [signal(1000.0 + i * 40, fault_id=i // 2)
+                  for i in range(8)]
+        first = TicketProcessor().process(list(stream))
+        second = TicketProcessor().process(list(stream))
+        assert [t.report_time for t in first] == [
+            t.report_time for t in second
+        ]

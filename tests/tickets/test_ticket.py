@@ -1,0 +1,86 @@
+"""Tests for repro.tickets.ticket."""
+
+import pytest
+
+from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.timeutil import DAY, HOUR, TRACE_START
+
+
+def ticket(
+    report=TRACE_START + 10 * HOUR,
+    repair=None,
+    cause=RootCause.CIRCUIT,
+    vpe="vpe00",
+    **kwargs,
+):
+    return TroubleTicket(
+        vpe=vpe,
+        root_cause=cause,
+        report_time=report,
+        repair_time=repair if repair is not None else report + 2 * HOUR,
+        **kwargs,
+    )
+
+
+class TestTroubleTicket:
+    def test_duration(self):
+        t = ticket(report=100.0, repair=150.0)
+        assert t.duration == 50.0
+
+    def test_repair_before_report_rejected(self):
+        with pytest.raises(ValueError):
+            ticket(report=100.0, repair=50.0)
+
+    def test_fault_after_report_rejected(self):
+        with pytest.raises(ValueError):
+            ticket(report=100.0, repair=200.0, fault_time=150.0)
+
+    def test_duplicate_requires_original(self):
+        with pytest.raises(ValueError):
+            ticket(cause=RootCause.DUPLICATE)
+
+    def test_duplicate_with_original_ok(self):
+        dup = ticket(cause=RootCause.DUPLICATE, original_ticket_id=5)
+        assert dup.is_duplicate
+
+    def test_ids_are_unique(self):
+        assert ticket().ticket_id != ticket().ticket_id
+
+    def test_maintenance_is_schedule_predictable(self):
+        assert RootCause.MAINTENANCE.is_predictable_by_schedule
+        assert not RootCause.CIRCUIT.is_predictable_by_schedule
+
+
+class TestTicketTimeline:
+    def test_early_warning_window(self):
+        t = ticket(report=1000.0 * DAY, repair=1000.0 * DAY + HOUR)
+        timeline = t.timeline(predictive_period=DAY)
+        assert timeline.is_early_warning(1000.0 * DAY - HOUR)
+        assert not timeline.is_early_warning(1000.0 * DAY)
+        assert not timeline.is_early_warning(999.0 * DAY - 1)
+
+    def test_error_window(self):
+        t = ticket(report=1000.0 * DAY, repair=1000.0 * DAY + HOUR)
+        timeline = t.timeline()
+        assert timeline.is_error(1000.0 * DAY)
+        assert timeline.is_error(1000.0 * DAY + HOUR)
+        assert not timeline.is_error(1000.0 * DAY + HOUR + 1)
+
+    def test_contains_is_union(self):
+        t = ticket(report=1000.0 * DAY, repair=1000.0 * DAY + HOUR)
+        timeline = t.timeline(predictive_period=DAY)
+        assert timeline.contains(999.5 * DAY)
+        assert timeline.contains(1000.0 * DAY + 0.5 * HOUR)
+        assert not timeline.contains(998.0 * DAY)
+        assert not timeline.contains(1001.0 * DAY)
+
+    def test_lead_time_sign(self):
+        t = ticket(report=1000.0, repair=2000.0)
+        timeline = t.timeline()
+        assert timeline.lead_time(400.0) == 600.0   # before report
+        assert timeline.lead_time(1500.0) == -500.0  # after report
+
+    def test_negative_predictive_period_rejected(self):
+        t = ticket()
+        with pytest.raises(ValueError):
+            t.timeline(predictive_period=-1.0)
