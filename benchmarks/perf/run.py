@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Run the hot-path microbenchmarks and append to BENCH_hotpath.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py                # default scale
+    PYTHONPATH=src python benchmarks/perf/run.py --scale reduced  # <60 s
+
+Each invocation appends one run record — timestamped, with before
+(frozen legacy implementations) and after (live code) numbers — to
+``BENCH_hotpath.json`` at the repository root, building the
+performance trajectory later PRs must beat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+ROOT = HERE.parent.parent
+
+# Make `import legacy/hotpath` and `import repro` work regardless of
+# the caller's cwd/PYTHONPATH.
+sys.path.insert(0, str(HERE))
+sys.path.insert(0, str(ROOT / "src"))
+
+RESULTS_PATH = ROOT / "BENCH_hotpath.json"
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    """Read and validate the trajectory file (before the slow run)."""
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise SystemExit(
+                f"{path} is not valid JSON ({error}); move it aside "
+                "or pass a different --output"
+            )
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("runs", []), list
+    ):
+        raise SystemExit(
+            f"{path} does not look like a benchmark trajectory "
+            '(expected {"runs": [...]}); move it aside or pass a '
+            "different --output"
+        )
+    return payload
+
+
+def append_record(record: dict, path: pathlib.Path = RESULTS_PATH) -> dict:
+    """Append one run record to the JSON trajectory file."""
+    payload = load_payload(path)
+    payload.setdefault("runs", []).append(record)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("default", "reduced"),
+        default="default",
+        help="benchmark operating point (reduced finishes in <60 s)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(RESULTS_PATH),
+        help="JSON trajectory file to append to",
+    )
+    args = parser.parse_args(argv)
+    output = pathlib.Path(args.output)
+    load_payload(output)  # reject a bad trajectory file up front
+
+    import hotpath
+
+    record = hotpath.run(args.scale)
+    append_record(record, output)
+
+    bench = record["benchmarks"]
+    lstm = bench["lstm_step_throughput"]
+    template = bench["template_transform"]
+    fit = bench["detector_fit_score"]
+    print(f"scale: {record['scale']}")
+    print(
+        f"lstm fwd+bwd:  {lstm['before_steps_per_s']:>12.0f} -> "
+        f"{lstm['after_steps_per_s']:>12.0f} steps/s "
+        f"({lstm['speedup']:.2f}x)"
+    )
+    print(
+        f"transform:     {template['before_msgs_per_s']:>12.0f} -> "
+        f"{template['after_msgs_per_s']:>12.0f} msgs/s "
+        f"({template['speedup']:.2f}x, "
+        f"hit rate {template['hit_rate']:.3f})"
+    )
+    print(
+        f"detector fit:  {fit['before_fit_s']:>11.2f}s -> "
+        f"{fit['after_fit_s']:>11.2f}s ({fit['fit_speedup']:.2f}x)"
+    )
+    print(
+        f"detector score:{fit['before_score_s']:>11.2f}s -> "
+        f"{fit['after_score_s']:>11.2f}s ({fit['score_speedup']:.2f}x)"
+    )
+    print(f"appended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

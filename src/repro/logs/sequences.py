@@ -99,17 +99,6 @@ class SequenceWindower:
         the timestamp of each predicted message so detections can be
         placed on the trace timeline.
         """
-        n = len(events) - self.window
-        if n <= 0:
-            empty_ctx = np.empty((0, self.window, 2), dtype=np.int64)
-            return (
-                empty_ctx,
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.float64),
-            )
-        contexts = np.empty((n, self.window, 2), dtype=np.int64)
-        targets = np.empty(n, dtype=np.int64)
-        target_times = np.empty(n, dtype=np.float64)
         ids = np.fromiter(
             (event.template_id for event in events),
             dtype=np.int64,
@@ -125,11 +114,61 @@ class SequenceWindower:
             dtype=np.float64,
             count=len(events),
         )
-        for offset in range(self.window):
-            contexts[:, offset, 0] = ids[offset:offset + n]
-            contexts[:, offset, 1] = gaps[offset:offset + n]
-        targets[:] = ids[self.window:]
-        target_times[:] = times[self.window:]
+        return self._assemble(ids, gaps, times)
+
+    def windows_from_arrays(
+        self, ids: np.ndarray, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-first fast path: window ``(ids, timestamps)`` directly.
+
+        Equivalent to :meth:`windows_from_messages` on an annotated
+        stream, but without constructing per-message event objects:
+        gap buckets are computed for all messages in one
+        ``searchsorted`` over the timestamp deltas.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        if ids.shape != times.shape or ids.ndim != 1:
+            raise ValueError(
+                "ids and times must be equal-length 1-d arrays"
+            )
+        gaps = np.empty(ids.size, dtype=np.int64)
+        if ids.size:
+            deltas = np.diff(times)
+            if deltas.size and deltas.min() < 0:
+                raise ValueError("messages must be sorted by timestamp")
+            # First message follows "nothing": largest bucket.
+            gaps[0] = N_GAP_BUCKETS - 1
+            # searchsorted(edges, gap, side="right") == index of the
+            # first edge with gap < edge, i.e. gap_bucket() vectorized.
+            gaps[1:] = np.searchsorted(
+                GAP_BUCKET_EDGES, deltas, side="right"
+            )
+        return self._assemble(ids, gaps, times)
+
+    def _assemble(
+        self, ids: np.ndarray, gaps: np.ndarray, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = ids.size - self.window
+        if n <= 0:
+            empty_ctx = np.empty((0, self.window, 2), dtype=np.int64)
+            return (
+                empty_ctx,
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        # All windows as one strided view over the (len, 2) event
+        # pairs, then a single bulk copy into a fresh writable array
+        # (callers clamp ids in place).  The last window is dropped:
+        # its target would lie past the end of the stream.
+        pairs = np.column_stack((ids, gaps))
+        contexts = np.ascontiguousarray(
+            np.lib.stride_tricks.sliding_window_view(
+                pairs, (self.window, 2)
+            )[:n, 0]
+        )
+        targets = ids[self.window:].copy()
+        target_times = times[self.window:].copy()
         return contexts, targets, target_times
 
     def windows_from_messages(

@@ -9,14 +9,19 @@ store was fitted — exactly the situation after a software update).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.logs.message import SyslogMessage
 from repro.logs.signature_tree import (
     Signature,
     SignatureTree,
+    _presignature,
     render_signature,
+    tokenize,
 )
 
 #: Template id reserved for messages that match no known signature.
@@ -59,11 +64,36 @@ class TemplateStore:
     new message types introduced by software updates.
     """
 
-    def __init__(self, merge_threshold: float = 0.7) -> None:
+    #: Default capacity of the exact-string match memo.
+    MEMO_CAPACITY = 100_000
+
+    def __init__(
+        self,
+        merge_threshold: float = 0.7,
+        memo_capacity: int = MEMO_CAPACITY,
+    ) -> None:
+        if memo_capacity < 0:
+            raise ValueError(
+                f"memo_capacity must be >= 0, got {memo_capacity}"
+            )
         self._tree = SignatureTree(merge_threshold=merge_threshold)
         self._templates: List[Template] = []
         self._index: Dict[Tuple[str, Signature], int] = {}
         self._fitted = False
+        # Router logs repeat heavily (~99% of lines are re-emissions of
+        # a recent (process, text) pair), so an exact-string LRU in
+        # front of the signature-tree walk turns almost every match
+        # into one dict hit.  Invalidated whenever mining mutates the
+        # tree (fit/extend), since merging may re-route old strings.
+        self._memo_capacity = memo_capacity
+        self._memo: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
+        # Second-level memo keyed by (process, presignature).  Raw
+        # texts differ in their variable tokens, but the presignature
+        # collapses those to wildcards, so distinct keys here track the
+        # (small) template vocabulary rather than the message stream.
+        self._presig_memo: Dict[Tuple[str, Signature], int] = {}
 
     @property
     def fitted(self) -> bool:
@@ -132,6 +162,8 @@ class TemplateStore:
                     support=support,
                 )
             )
+        self._memo.clear()
+        self._presig_memo.clear()
         rebuilt.sort(key=lambda template: template.template_id)
         # Re-number densely so vocabulary size equals template count + 1.
         self._templates = [
@@ -149,14 +181,64 @@ class TemplateStore:
         }
 
     def match(self, message: SyslogMessage) -> int:
-        """Map a message to its template id (0 when unknown)."""
+        """Map a message to its template id (0 when unknown).
+
+        Matching is memoized twice in front of the signature-tree
+        walk: an exact ``(process, text)`` LRU for verbatim re-logs,
+        then a ``(process, presignature)`` memo that collapses the
+        variable tokens and therefore hits on every re-instantiation
+        of a known template.  Both memos are dropped whenever
+        :meth:`fit`/:meth:`extend` mutate the tree.
+        """
         if not self._fitted:
             raise RuntimeError("TemplateStore.match called before fit")
-        signature = self._tree.lookup(message)
-        if signature is None:
-            return UNKNOWN_TEMPLATE_ID
-        return self._index.get(
-            (message.process, signature), UNKNOWN_TEMPLATE_ID
+        memo = self._memo
+        key = (message.process, message.text)
+        cached = memo.get(key)
+        if cached is not None:
+            self._memo_hits += 1
+            memo.move_to_end(key)
+            return cached
+        self._memo_misses += 1
+        presig = _presignature(tokenize(message.text))
+        presig_key = (message.process, presig)
+        template_id = self._presig_memo.get(presig_key)
+        if template_id is None:
+            signature = self._tree.lookup_presig(message.process, presig)
+            if signature is None:
+                template_id = UNKNOWN_TEMPLATE_ID
+            else:
+                template_id = self._index.get(
+                    (message.process, signature), UNKNOWN_TEMPLATE_ID
+                )
+            if self._memo_capacity:
+                if len(self._presig_memo) >= self._memo_capacity:
+                    self._presig_memo.clear()
+                self._presig_memo[presig_key] = template_id
+        if self._memo_capacity:
+            memo[key] = template_id
+            if len(memo) > self._memo_capacity:
+                memo.popitem(last=False)
+        return template_id
+
+    @property
+    def memo_stats(self) -> Tuple[int, int]:
+        """Lifetime ``(hits, misses)`` of the match memo."""
+        return self._memo_hits, self._memo_misses
+
+    def match_ids(
+        self, messages: Sequence[SyslogMessage]
+    ) -> np.ndarray:
+        """Template ids of a whole stream as one int64 array.
+
+        The array-first counterpart of :meth:`transform` for callers
+        that only need ids (windowing, scoring): no per-message
+        annotated copies are built.
+        """
+        return np.fromiter(
+            (self.match(message) for message in messages),
+            dtype=np.int64,
+            count=len(messages),
         )
 
     def transform(

@@ -10,13 +10,20 @@ import numpy as np
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out
+    """Numerically stable logistic sigmoid (dtype-preserving).
+
+    ``exp(-|x|)`` never overflows, and both branch expressions reduce
+    to the same per-element arithmetic as the classic masked
+    formulation, so results are bitwise identical to it — without the
+    fancy-index gather/scatter that dominated LSTM forward time.
+    """
+    x = np.asarray(x)
+    if x.dtype not in (np.float32, np.float64):
+        x = x.astype(np.float64)
+    exp_neg = np.exp(-np.abs(x))
+    return np.where(
+        x >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg)
+    )
 
 
 def sigmoid_grad(output: np.ndarray) -> np.ndarray:
@@ -39,7 +46,7 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 def relu_grad(output: np.ndarray) -> np.ndarray:
     """d relu / dx expressed via the relu output."""
-    return (output > 0).astype(np.float64)
+    return (output > 0).astype(output.dtype)
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -57,11 +64,21 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     )
 
 
+def linear(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def linear_grad(output: np.ndarray) -> np.ndarray:
+    return np.ones_like(output)
+
+
+# Named functions only (no lambdas): layers cache these pairs, and
+# trained models must stay picklable for parallel per-group training.
 _ACTIVATIONS = {
     "sigmoid": (sigmoid, sigmoid_grad),
     "tanh": (tanh, tanh_grad),
     "relu": (relu, relu_grad),
-    "linear": (lambda x: x, lambda out: np.ones_like(out)),
+    "linear": (linear, linear_grad),
 }
 
 

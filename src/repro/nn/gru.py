@@ -16,16 +16,24 @@ Formulation (Keras ``reset_after=False`` flavor):
     h_t &= z_t \\odot h_{t-1} + (1 - z_t) \\odot \\tilde{h}_t
 
 Gate blocks are stored fused in z, r, h order.
+
+Like :class:`repro.nn.lstm.LSTM`, the hot path precomputes the input
+projection ``x @ W + b`` for all timesteps in one matmul, keeps gate
+activations / hidden states / ``r_t ⊙ h_{t-1}`` in preallocated
+``(batch, steps, ·)`` buffers, and accumulates parameter gradients with
+a handful of large matmuls after the reverse recurrence instead of
+three small ones per step.  In float64 the fused forward is bitwise
+identical to the original per-step loop.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn.activations import sigmoid, tanh
-from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.activations import sigmoid
+from repro.nn.initializers import DEFAULT_DTYPE, glorot_uniform, orthogonal
 from repro.nn.layers import Layer
 
 
@@ -37,12 +45,14 @@ class GRU(Layer):
         hidden: int,
         return_sequences: bool = False,
         name: str = "gru",
+        dtype: np.dtype = DEFAULT_DTYPE,
     ) -> None:
         super().__init__(name)
         if hidden < 1:
             raise ValueError(f"hidden must be >= 1, got {hidden}")
         self.hidden = hidden
         self.return_sequences = return_sequences
+        self.dtype = np.dtype(dtype)
         self._cache: Optional[dict] = None
 
     def build(
@@ -56,15 +66,21 @@ class GRU(Layer):
         _, features = input_shape
         if not self.built:
             self.params = {
-                "W": glorot_uniform((features, 3 * self.hidden), rng),
+                "W": glorot_uniform(
+                    (features, 3 * self.hidden), rng, dtype=self.dtype
+                ),
                 "U": np.concatenate(
                     [
-                        orthogonal((self.hidden, self.hidden), rng)
+                        orthogonal(
+                            (self.hidden, self.hidden),
+                            rng,
+                            dtype=self.dtype,
+                        )
                         for _ in range(3)
                     ],
                     axis=1,
                 ),
-                "b": np.zeros(3 * self.hidden),
+                "b": np.zeros(3 * self.hidden, dtype=self.dtype),
             }
             self.zero_grads()
             self.built = True
@@ -72,63 +88,72 @@ class GRU(Layer):
             return (input_shape[0], self.hidden)
         return (self.hidden,)
 
+    def clear_cache(self) -> None:
+        self._cache = None
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 3:
             raise ValueError(
                 f"GRU expects (batch, time, features), got {x.shape}"
             )
-        batch, steps, _ = x.shape
+        batch, steps, features = x.shape
         hidden = self.hidden
         weight, recurrent, bias = (
             self.params["W"],
             self.params["U"],
             self.params["b"],
         )
-        h_prev = np.zeros((batch, hidden))
-        zs: List[np.ndarray] = []
-        rs: List[np.ndarray] = []
-        candidates: List[np.ndarray] = []
-        hiddens: List[np.ndarray] = []
-        prev_hiddens: List[np.ndarray] = []
+        dtype = np.result_type(x.dtype, self.dtype)
+        # Input projection (plus bias) for every timestep in one matmul.
+        x_proj = (x.reshape(-1, features) @ weight).reshape(
+            batch, steps, 3 * hidden
+        )
+        x_proj += bias
+        # Activated gates in z | r | candidate block order.
+        gates = np.empty((batch, steps, 3 * hidden), dtype=dtype)
+        # r_t ⊙ h_{t-1}, reused by backward for the U_h gradient.
+        reset_hidden = np.empty((batch, steps, hidden), dtype=dtype)
+        hiddens = np.zeros((batch, steps + 1, hidden), dtype=dtype)
+        h_prev = hiddens[:, 0]
         for step in range(steps):
-            x_proj = x[:, step, :] @ weight + bias
-            h_proj_zr = h_prev @ recurrent[:, : 2 * hidden]
-            gate_z = sigmoid(
-                x_proj[:, :hidden] + h_proj_zr[:, :hidden]
+            zr = h_prev @ recurrent[:, :2 * hidden]
+            zr += x_proj[:, step, :2 * hidden]
+            gate = gates[:, step]
+            gate[:, :2 * hidden] = sigmoid(zr)
+            gate_z = gate[:, :hidden]
+            gate_r = gate[:, hidden:2 * hidden]
+            rh = reset_hidden[:, step]
+            np.multiply(gate_r, h_prev, out=rh)
+            gate[:, 2 * hidden:] = np.tanh(
+                x_proj[:, step, 2 * hidden:]
+                + rh @ recurrent[:, 2 * hidden:]
             )
-            gate_r = sigmoid(
-                x_proj[:, hidden:2 * hidden]
-                + h_proj_zr[:, hidden:2 * hidden]
-            )
-            candidate = tanh(
-                x_proj[:, 2 * hidden:]
-                + (gate_r * h_prev) @ recurrent[:, 2 * hidden:]
-            )
-            prev_hiddens.append(h_prev)
-            h_prev = gate_z * h_prev + (1.0 - gate_z) * candidate
-            zs.append(gate_z)
-            rs.append(gate_r)
-            candidates.append(candidate)
-            hiddens.append(h_prev)
+            candidate = gate[:, 2 * hidden:]
+            h_new = hiddens[:, step + 1]
+            np.multiply(gate_z, h_prev, out=h_new)
+            h_new += (1.0 - gate_z) * candidate
+            h_prev = h_new
         self._cache = {
             "x": x,
-            "z": zs,
-            "r": rs,
-            "c": candidates,
-            "h_prev": prev_hiddens,
+            "gates": gates,
+            "rh": reset_hidden,
+            "h": hiddens,
         }
         if self.return_sequences:
-            return np.stack(hiddens, axis=1)
-        return hiddens[-1]
+            return hiddens[:, 1:]
+        return hiddens[:, -1]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         cache = self._cache
         if cache is None:
             raise RuntimeError("backward called before forward")
         x = cache["x"]
-        batch, steps, _ = x.shape
+        batch, steps, features = x.shape
         hidden = self.hidden
         weight, recurrent = self.params["W"], self.params["U"]
+        gates, hiddens = cache["gates"], cache["h"]
+        reset_hidden = cache["rh"]
+        dtype = gates.dtype
 
         if self.return_sequences:
             if grad.shape != (batch, steps, hidden):
@@ -141,19 +166,19 @@ class GRU(Layer):
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match output"
                 )
-            step_grads = np.zeros((batch, steps, hidden))
+            step_grads = np.zeros((batch, steps, hidden), dtype=dtype)
             step_grads[:, -1, :] = grad
 
-        dx = np.zeros_like(x, dtype=np.float64)
-        dh_next = np.zeros((batch, hidden))
-        u_z = recurrent[:, :hidden]
-        u_r = recurrent[:, hidden:2 * hidden]
-        u_h = recurrent[:, 2 * hidden:]
+        d_pres = np.empty((batch, steps, 3 * hidden), dtype=dtype)
+        dh_next = np.zeros((batch, hidden), dtype=dtype)
+        u_zr_t = recurrent[:, :2 * hidden].T
+        u_h_t = recurrent[:, 2 * hidden:].T
         for step in range(steps - 1, -1, -1):
-            gate_z = cache["z"][step]
-            gate_r = cache["r"][step]
-            candidate = cache["c"][step]
-            h_prev = cache["h_prev"][step]
+            gate = gates[:, step]
+            gate_z = gate[:, :hidden]
+            gate_r = gate[:, hidden:2 * hidden]
+            candidate = gate[:, 2 * hidden:]
+            h_prev = hiddens[:, step]
 
             dh = step_grads[:, step, :] + dh_next
             d_candidate = dh * (1.0 - gate_z)
@@ -161,30 +186,32 @@ class GRU(Layer):
             dh_prev = dh * gate_z
 
             # through the candidate tanh
-            d_pre_candidate = d_candidate * (
-                1.0 - candidate * candidate
+            d_pre = d_pres[:, step]
+            d_pre_candidate = d_pre[:, 2 * hidden:]
+            np.multiply(
+                d_candidate,
+                1.0 - candidate * candidate,
+                out=d_pre_candidate,
             )
-            d_rh = d_pre_candidate @ u_h.T
+            d_rh = d_pre_candidate @ u_h_t
             d_r = d_rh * h_prev
             dh_prev += d_rh * gate_r
 
             # through the gates' sigmoids
-            d_pre_z = d_z * gate_z * (1.0 - gate_z)
-            d_pre_r = d_r * gate_r * (1.0 - gate_r)
-
-            d_pre = np.concatenate(
-                [d_pre_z, d_pre_r, d_pre_candidate], axis=1
-            )
-            self.grads["W"] += x[:, step, :].T @ d_pre
-            self.grads["b"] += d_pre.sum(axis=0)
-            self.grads["U"][:, :hidden] += h_prev.T @ d_pre_z
-            self.grads["U"][:, hidden:2 * hidden] += (
-                h_prev.T @ d_pre_r
-            )
-            self.grads["U"][:, 2 * hidden:] += (
-                (gate_r * h_prev).T @ d_pre_candidate
-            )
-            dx[:, step, :] = d_pre @ weight.T
-            dh_prev += d_pre_z @ u_z.T + d_pre_r @ u_r.T
+            d_pre[:, :hidden] = d_z * gate_z * (1.0 - gate_z)
+            d_pre[:, hidden:2 * hidden] = d_r * gate_r * (1.0 - gate_r)
+            dh_prev += d_pre[:, :2 * hidden] @ u_zr_t
             dh_next = dh_prev
-        return dx
+        # Parameter gradients in a handful of large matmuls.
+        flat_dpre = d_pres.reshape(-1, 3 * hidden)
+        flat_h_prev = hiddens[:, :steps].reshape(-1, hidden)
+        self.grads["W"] += x.reshape(-1, features).T @ flat_dpre
+        self.grads["b"] += flat_dpre.sum(axis=0)
+        self.grads["U"][:, :2 * hidden] += (
+            flat_h_prev.T @ flat_dpre[:, :2 * hidden]
+        )
+        self.grads["U"][:, 2 * hidden:] += (
+            reset_hidden.reshape(-1, hidden).T
+            @ flat_dpre[:, 2 * hidden:]
+        )
+        return (flat_dpre @ weight.T).reshape(batch, steps, features)

@@ -3,6 +3,11 @@
 All initializers take an explicit :class:`numpy.random.Generator`, so a
 model built twice from the same seed has identical weights — a property
 both the tests and the transfer-learning experiments rely on.
+
+Every initializer accepts a ``dtype`` (default float64).  Random draws
+always happen in float64 so the same seed yields the same weights up to
+rounding regardless of the requested precision; the cast to ``dtype``
+happens last.
 """
 
 from __future__ import annotations
@@ -11,23 +16,32 @@ from typing import Tuple
 
 import numpy as np
 
+#: Default parameter precision; float32 is the opt-in fast path.
+DEFAULT_DTYPE = np.float64
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+
+def zeros(
+    shape: Tuple[int, ...], dtype: np.dtype = DEFAULT_DTYPE
+) -> np.ndarray:
     """All-zero initialization (biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=dtype)
 
 
 def glorot_uniform(
-    shape: Tuple[int, int], rng: np.random.Generator
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    dtype: np.dtype = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialization for dense kernels."""
     fan_in, fan_out = shape
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype, copy=False)
 
 
 def orthogonal(
-    shape: Tuple[int, int], rng: np.random.Generator
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    dtype: np.dtype = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """Orthogonal initialization, standard for recurrent kernels."""
     rows, cols = shape
@@ -37,11 +51,14 @@ def orthogonal(
     # Sign correction makes the decomposition unique and the
     # distribution uniform over orthogonal matrices.
     q *= np.sign(np.diag(r))
-    return q[:rows, :cols]
+    return q[:rows, :cols].astype(dtype, copy=False)
 
 
 def uniform_scaled(
-    shape: Tuple[int, ...], rng: np.random.Generator, scale: float = 0.05
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    scale: float = 0.05,
+    dtype: np.dtype = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """Small uniform initialization (embeddings)."""
-    return rng.uniform(-scale, scale, size=shape)
+    return rng.uniform(-scale, scale, size=shape).astype(dtype, copy=False)

@@ -10,7 +10,13 @@ Every layer implements the same protocol:
 * ``params`` / ``grads`` — dictionaries keyed by parameter name;
 * ``trainable`` — when False the optimizer skips the layer, which is
   how the paper's transfer learning freezes the bottom of a teacher
-  model while fine-tuning the top.
+  model while fine-tuning the top;
+* ``clear_cache()`` — drop forward-pass caches (used before pickling
+  a trained model, e.g. when parallel training returns it from a
+  worker process).
+
+Parameter-bearing layers accept a ``dtype`` (default float64);
+``np.float32`` opts into the faster low-precision path end to end.
 """
 
 from __future__ import annotations
@@ -20,7 +26,12 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.nn.activations import get_activation
-from repro.nn.initializers import glorot_uniform, uniform_scaled, zeros
+from repro.nn.initializers import (
+    DEFAULT_DTYPE,
+    glorot_uniform,
+    uniform_scaled,
+    zeros,
+)
 
 
 class Layer:
@@ -53,6 +64,9 @@ class Layer:
     def reset_state(self) -> None:
         """Clear any recurrent state; no-op for feed-forward layers."""
 
+    def clear_cache(self) -> None:
+        """Drop forward-pass caches; no-op for cacheless layers."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -66,13 +80,18 @@ class Dense(Layer):
     """
 
     def __init__(
-        self, units: int, activation: str = "linear", name: str = "dense"
+        self,
+        units: int,
+        activation: str = "linear",
+        name: str = "dense",
+        dtype: np.dtype = DEFAULT_DTYPE,
     ) -> None:
         super().__init__(name)
         if units < 1:
             raise ValueError(f"units must be >= 1, got {units}")
         self.units = units
         self.activation_name = activation
+        self.dtype = np.dtype(dtype)
         self._activation, self._activation_grad = get_activation(activation)
         self._cache_x: Optional[np.ndarray] = None
         self._cache_out: Optional[np.ndarray] = None
@@ -83,12 +102,18 @@ class Dense(Layer):
         features = input_shape[-1]
         if not self.built:
             self.params = {
-                "W": glorot_uniform((features, self.units), rng),
-                "b": zeros((self.units,)),
+                "W": glorot_uniform(
+                    (features, self.units), rng, dtype=self.dtype
+                ),
+                "b": zeros((self.units,), dtype=self.dtype),
             }
             self.zero_grads()
             self.built = True
         return (*input_shape[:-1], self.units)
+
+    def clear_cache(self) -> None:
+        self._cache_x = None
+        self._cache_out = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         out = self._activation(x @ self.params["W"] + self.params["b"])
@@ -112,13 +137,18 @@ class Embedding(Layer):
     """Integer-id lookup table: ``(batch, time) -> (batch, time, dim)``."""
 
     def __init__(
-        self, vocabulary: int, dim: int, name: str = "embedding"
+        self,
+        vocabulary: int,
+        dim: int,
+        name: str = "embedding",
+        dtype: np.dtype = DEFAULT_DTYPE,
     ) -> None:
         super().__init__(name)
         if vocabulary < 1 or dim < 1:
             raise ValueError("vocabulary and dim must be >= 1")
         self.vocabulary = vocabulary
         self.dim = dim
+        self.dtype = np.dtype(dtype)
         self._cache_ids: Optional[np.ndarray] = None
 
     def build(
@@ -126,11 +156,16 @@ class Embedding(Layer):
     ) -> Tuple[int, ...]:
         if not self.built:
             self.params = {
-                "E": uniform_scaled((self.vocabulary, self.dim), rng)
+                "E": uniform_scaled(
+                    (self.vocabulary, self.dim), rng, dtype=self.dtype
+                )
             }
             self.zero_grads()
             self.built = True
         return (*input_shape, self.dim)
+
+    def clear_cache(self) -> None:
+        self._cache_ids = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         ids = np.asarray(x, dtype=np.int64)
@@ -145,14 +180,22 @@ class Embedding(Layer):
         ids = self._cache_ids
         if ids is None:
             raise RuntimeError("backward called before forward")
-        np.add.at(
-            self.grads["E"],
-            ids.reshape(-1),
-            grad.reshape(-1, self.dim),
-        )
+        flat_ids = ids.reshape(-1)
+        flat_grad = np.ascontiguousarray(grad.reshape(-1, self.dim))
+        # Scatter-add via a single bincount over the composite
+        # (id, column) index — much faster than np.add.at's generic
+        # buffered scatter.
+        composite = (
+            flat_ids[:, None] * self.dim + np.arange(self.dim)
+        ).reshape(-1)
+        self.grads["E"] += np.bincount(
+            composite,
+            weights=flat_grad.reshape(-1),
+            minlength=self.vocabulary * self.dim,
+        ).reshape(self.vocabulary, self.dim)
         # Integer inputs have no gradient; return zeros of input shape
         # so a Sequential chain stays well-typed.
-        return np.zeros(ids.shape, dtype=np.float64)
+        return np.zeros(ids.shape, dtype=grad.dtype)
 
 
 class TupleEmbedding(Layer):
@@ -170,10 +213,16 @@ class TupleEmbedding(Layer):
         id_dim: int = 32,
         gap_dim: int = 4,
         name: str = "tuple_embedding",
+        dtype: np.dtype = DEFAULT_DTYPE,
     ) -> None:
         super().__init__(name)
-        self.id_embedding = Embedding(id_vocabulary, id_dim, name="ids")
-        self.gap_embedding = Embedding(gap_vocabulary, gap_dim, name="gaps")
+        self.dtype = np.dtype(dtype)
+        self.id_embedding = Embedding(
+            id_vocabulary, id_dim, name="ids", dtype=dtype
+        )
+        self.gap_embedding = Embedding(
+            gap_vocabulary, gap_dim, name="gaps", dtype=dtype
+        )
 
     @property
     def output_dim(self) -> int:
@@ -208,6 +257,10 @@ class TupleEmbedding(Layer):
             self.id_embedding.grads["E"] = self.grads["ids.E"]
             self.gap_embedding.grads["E"] = self.grads["gaps.E"]
 
+    def clear_cache(self) -> None:
+        self.id_embedding.clear_cache()
+        self.gap_embedding.clear_cache()
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         ids = self.id_embedding.forward(x[..., 0], training)
         gaps = self.gap_embedding.forward(x[..., 1], training)
@@ -218,7 +271,7 @@ class TupleEmbedding(Layer):
         self.id_embedding.backward(grad[..., :split])
         self.gap_embedding.backward(grad[..., split:])
         shape = grad.shape[:-1] + (2,)
-        return np.zeros(shape, dtype=np.float64)
+        return np.zeros(shape, dtype=grad.dtype)
 
 
 class Dropout(Layer):
@@ -243,6 +296,9 @@ class Dropout(Layer):
         self.built = True
         return input_shape
 
+    def clear_cache(self) -> None:
+        self._mask = None
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if not training or self.rate == 0.0:
             self._mask = None
@@ -250,7 +306,7 @@ class Dropout(Layer):
         keep = 1.0 - self.rate
         self._mask = (
             self._rng.random(x.shape) < keep
-        ).astype(np.float64) / keep
+        ).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

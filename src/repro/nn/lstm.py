@@ -13,19 +13,31 @@ formulation used by Keras:
     h_t &= o_t \\odot \\tanh(c_t)
 
 The four gate blocks are stored fused (``W`` has shape
-``(input_dim, 4 * hidden)`` in i, f, g, o order), which keeps the
-forward pass to two matmuls per step.  The forget-gate bias initializes
-to 1.0, the standard trick that eases gradient flow early in training.
+``(input_dim, 4 * hidden)`` in i, f, g, o order).  The forget-gate bias
+initializes to 1.0, the standard trick that eases gradient flow early
+in training.
+
+Hot-path layout: the input projection ``x @ W`` for *all* timesteps is
+computed in one matmul before the recurrence, so the per-step loop does
+a single ``(batch, hidden) @ (hidden, 4*hidden)`` matmul.  Gate
+activations, cell states, hidden states and ``tanh(c_t)`` live in
+preallocated ``(batch, steps, ·)`` buffers (no Python-list appends, no
+``np.stack``), and backward writes the four ``dz`` blocks into one
+preallocated ``(batch, steps, 4*hidden)`` buffer whose parameter
+gradients are then accumulated with three large matmuls instead of
+three small ones per step.  In float64 the fused forward is bitwise
+identical to the original per-step loop (addition order is preserved);
+``dtype=np.float32`` opts into the faster low-precision path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn.activations import sigmoid, tanh
-from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.activations import sigmoid
+from repro.nn.initializers import DEFAULT_DTYPE, glorot_uniform, orthogonal
 from repro.nn.layers import Layer
 
 
@@ -38,6 +50,8 @@ class LSTM(Layer):
             at every timestep ``(batch, time, hidden)``; when False
             only the final state ``(batch, hidden)``.
         name: layer name used for parameter keys.
+        dtype: parameter/activation precision (float64 default;
+            float32 is the opt-in fast path).
     """
 
     def __init__(
@@ -45,12 +59,14 @@ class LSTM(Layer):
         hidden: int,
         return_sequences: bool = False,
         name: str = "lstm",
+        dtype: np.dtype = DEFAULT_DTYPE,
     ) -> None:
         super().__init__(name)
         if hidden < 1:
             raise ValueError(f"hidden must be >= 1, got {hidden}")
         self.hidden = hidden
         self.return_sequences = return_sequences
+        self.dtype = np.dtype(dtype)
         self._cache: Optional[dict] = None
 
     def build(
@@ -63,14 +79,20 @@ class LSTM(Layer):
             )
         _, features = input_shape
         if not self.built:
-            bias = np.zeros(4 * self.hidden)
+            bias = np.zeros(4 * self.hidden, dtype=self.dtype)
             # Forget gate bias = 1.0 (block order: i, f, g, o).
             bias[self.hidden:2 * self.hidden] = 1.0
             self.params = {
-                "W": glorot_uniform((features, 4 * self.hidden), rng),
+                "W": glorot_uniform(
+                    (features, 4 * self.hidden), rng, dtype=self.dtype
+                ),
                 "U": np.concatenate(
                     [
-                        orthogonal((self.hidden, self.hidden), rng)
+                        orthogonal(
+                            (self.hidden, self.hidden),
+                            rng,
+                            dtype=self.dtype,
+                        )
                         for _ in range(4)
                     ],
                     axis=1,
@@ -83,67 +105,81 @@ class LSTM(Layer):
             return (input_shape[0], self.hidden)
         return (self.hidden,)
 
+    def clear_cache(self) -> None:
+        self._cache = None
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 3:
             raise ValueError(
                 f"LSTM expects (batch, time, features), got {x.shape}"
             )
-        batch, steps, _ = x.shape
+        batch, steps, features = x.shape
         hidden = self.hidden
         weight, recurrent, bias = (
             self.params["W"],
             self.params["U"],
             self.params["b"],
         )
-        h_prev = np.zeros((batch, hidden))
-        c_prev = np.zeros((batch, hidden))
-        gates_i: List[np.ndarray] = []
-        gates_f: List[np.ndarray] = []
-        gates_g: List[np.ndarray] = []
-        gates_o: List[np.ndarray] = []
-        cells: List[np.ndarray] = []
-        hiddens: List[np.ndarray] = []
-        prev_hiddens: List[np.ndarray] = []
-        prev_cells: List[np.ndarray] = []
+        dtype = np.result_type(x.dtype, self.dtype)
+        # One big input projection for every timestep at once.
+        x_proj = (x.reshape(-1, features) @ weight).reshape(
+            batch, steps, 4 * hidden
+        )
+        gates = np.empty((batch, steps, 4 * hidden), dtype=dtype)
+        # Index t holds the *previous* state of step t; index t+1 the
+        # new one — backward reads both without extra copies.
+        hiddens = np.zeros((batch, steps + 1, hidden), dtype=dtype)
+        cells = np.zeros((batch, steps + 1, hidden), dtype=dtype)
+        tanh_cells = np.empty((batch, steps, hidden), dtype=dtype)
+        h_prev = hiddens[:, 0]
         for step in range(steps):
-            z = x[:, step, :] @ weight + h_prev @ recurrent + bias
-            gate_i = sigmoid(z[:, :hidden])
-            gate_f = sigmoid(z[:, hidden:2 * hidden])
-            gate_g = tanh(z[:, 2 * hidden:3 * hidden])
-            gate_o = sigmoid(z[:, 3 * hidden:])
-            prev_hiddens.append(h_prev)
-            prev_cells.append(c_prev)
-            c_prev = gate_f * c_prev + gate_i * gate_g
-            h_prev = gate_o * tanh(c_prev)
-            gates_i.append(gate_i)
-            gates_f.append(gate_f)
-            gates_g.append(gate_g)
-            gates_o.append(gate_o)
-            cells.append(c_prev)
-            hiddens.append(h_prev)
+            z = h_prev @ recurrent
+            z += x_proj[:, step]
+            z += bias
+            gate = gates[:, step]
+            # One sigmoid over all four blocks (sigmoid is elementwise,
+            # so per-block slicing gives bitwise-identical values), then
+            # the g block is overwritten with its tanh.
+            gate[:] = sigmoid(z)
+            np.tanh(
+                z[:, 2 * hidden:3 * hidden],
+                out=gate[:, 2 * hidden:3 * hidden],
+            )
+            gate_i = gate[:, :hidden]
+            gate_f = gate[:, hidden:2 * hidden]
+            gate_g = gate[:, 2 * hidden:3 * hidden]
+            gate_o = gate[:, 3 * hidden:]
+            cell = cells[:, step + 1]
+            np.multiply(gate_f, cells[:, step], out=cell)
+            cell += gate_i * gate_g
+            np.tanh(cell, out=tanh_cells[:, step])
+            np.multiply(
+                gate_o, tanh_cells[:, step], out=hiddens[:, step + 1]
+            )
+            h_prev = hiddens[:, step + 1]
         self._cache = {
             "x": x,
-            "i": gates_i,
-            "f": gates_f,
-            "g": gates_g,
-            "o": gates_o,
-            "c": cells,
+            "gates": gates,
             "h": hiddens,
-            "h_prev": prev_hiddens,
-            "c_prev": prev_cells,
+            "c": cells,
+            "tanh_c": tanh_cells,
         }
         if self.return_sequences:
-            return np.stack(hiddens, axis=1)
-        return hiddens[-1]
+            return hiddens[:, 1:]
+        return hiddens[:, -1]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         cache = self._cache
         if cache is None:
             raise RuntimeError("backward called before forward")
         x = cache["x"]
-        batch, steps, _ = x.shape
+        batch, steps, features = x.shape
         hidden = self.hidden
         weight, recurrent = self.params["W"], self.params["U"]
+        gates = cache["gates"]
+        hiddens, cells = cache["h"], cache["c"]
+        tanh_cells = cache["tanh_c"]
+        dtype = gates.dtype
 
         if self.return_sequences:
             if grad.shape != (batch, steps, hidden):
@@ -156,42 +192,46 @@ class LSTM(Layer):
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match output"
                 )
-            step_grads = np.zeros((batch, steps, hidden))
+            step_grads = np.zeros((batch, steps, hidden), dtype=dtype)
             step_grads[:, -1, :] = grad
 
-        dx = np.zeros_like(x, dtype=np.float64)
-        dh_next = np.zeros((batch, hidden))
-        dc_next = np.zeros((batch, hidden))
+        # Step-invariant derivative factors, computed once over all
+        # timesteps instead of inside the recurrence:
+        # d(activation)/dz per gate block, and o_t * (1 - tanh(c_t)^2)
+        # (the dh -> dc factor).
+        d_gates = gates * (1.0 - gates)
+        gate_gs = gates[:, :, 2 * hidden:3 * hidden]
+        d_gates[:, :, 2 * hidden:3 * hidden] = 1.0 - gate_gs * gate_gs
+        dh_to_dc = gates[:, :, 3 * hidden:] * (
+            1.0 - tanh_cells * tanh_cells
+        )
+
+        dzs = np.empty((batch, steps, 4 * hidden), dtype=dtype)
+        dh_next = np.zeros((batch, hidden), dtype=dtype)
+        dc_next = np.zeros((batch, hidden), dtype=dtype)
+        recurrent_t = recurrent.T
         for step in range(steps - 1, -1, -1):
-            gate_i = cache["i"][step]
-            gate_f = cache["f"][step]
-            gate_g = cache["g"][step]
-            gate_o = cache["o"][step]
-            cell = cache["c"][step]
-            cell_prev = cache["c_prev"][step]
-            hidden_prev = cache["h_prev"][step]
-
+            gate = gates[:, step]
             dh = step_grads[:, step, :] + dh_next
-            tanh_cell = np.tanh(cell)
-            d_o = dh * tanh_cell
-            dc = dh * gate_o * (1.0 - tanh_cell * tanh_cell) + dc_next
-            d_f = dc * cell_prev
-            d_i = dc * gate_g
-            d_g = dc * gate_i
-
-            dz = np.concatenate(
-                [
-                    d_i * gate_i * (1.0 - gate_i),
-                    d_f * gate_f * (1.0 - gate_f),
-                    d_g * (1.0 - gate_g * gate_g),
-                    d_o * gate_o * (1.0 - gate_o),
-                ],
-                axis=1,
-            )
-            self.grads["W"] += x[:, step, :].T @ dz
-            self.grads["U"] += hidden_prev.T @ dz
-            self.grads["b"] += dz.sum(axis=0)
-            dx[:, step, :] = dz @ weight.T
-            dh_next = dz @ recurrent.T
-            dc_next = dc * gate_f
-        return dx
+            dc = dh * dh_to_dc[:, step]
+            dc += dc_next
+            dz = dzs[:, step]
+            np.multiply(dc, gate[:, 2 * hidden:3 * hidden],
+                        out=dz[:, :hidden])
+            np.multiply(dc, cells[:, step],
+                        out=dz[:, hidden:2 * hidden])
+            np.multiply(dc, gate[:, :hidden],
+                        out=dz[:, 2 * hidden:3 * hidden])
+            np.multiply(dh, tanh_cells[:, step],
+                        out=dz[:, 3 * hidden:])
+            dz *= d_gates[:, step]
+            dh_next = dz @ recurrent_t
+            dc_next = dc * gate[:, hidden:2 * hidden]
+        # Parameter gradients in three large matmuls over all steps.
+        flat_dz = dzs.reshape(-1, 4 * hidden)
+        self.grads["W"] += x.reshape(-1, features).T @ flat_dz
+        self.grads["U"] += (
+            hiddens[:, :steps].reshape(-1, hidden).T @ flat_dz
+        )
+        self.grads["b"] += flat_dz.sum(axis=0)
+        return (flat_dz @ weight.T).reshape(batch, steps, features)

@@ -93,6 +93,16 @@ class Sequential:
         for layer in self.layers:
             layer.zero_grads()
 
+    def clear_caches(self) -> None:
+        """Drop every layer's forward-pass cache.
+
+        Called before pickling a trained model (e.g. returning it from
+        a parallel-training worker) so the payload holds weights, not
+        stale activations.
+        """
+        for layer in self.layers:
+            layer.clear_cache()
+
     def parameter_triples(
         self, trainable_only: bool = True
     ) -> List[ParamTriple]:
@@ -239,7 +249,9 @@ class Sequential:
                         f"shape mismatch for {full_key!r}: "
                         f"{value.shape} vs {param.shape}"
                     )
-                param[...] = value
+                # Cast into the model's precision so a float32 model
+                # loads float64 archives (and vice versa) cleanly.
+                param[...] = value.astype(param.dtype, copy=False)
         # TupleEmbedding shares buffers with child layers; re-link.
         for layer in self.layers:
             layer.zero_grads()

@@ -86,6 +86,70 @@ class TestExtend:
         assert store.vocabulary_size == 4
 
 
+class TestMemo:
+    def test_memoized_match_agrees_with_uncached(self):
+        cached = TemplateStore().fit(corpus())
+        uncached = TemplateStore(memo_capacity=0).fit(corpus())
+        stream = corpus() * 3 + [
+            make_message(
+                text="BGP_KEEPALIVE: keepalive received from peer 10.9.9.9"
+            )
+        ]
+        assert [cached.match(m) for m in stream] == [
+            uncached.match(m) for m in stream
+        ]
+        hits, misses = cached.memo_stats
+        assert hits > 0
+
+    def test_exact_text_memo_dropped_by_extend(self):
+        store = TemplateStore().fit(corpus())
+        novel = make_message(text="NEW_EVENT: counter 1 rolled over")
+        # Warm the exact-(process, text) LRU with the unknown verdict.
+        assert store.match(novel) == UNKNOWN_TEMPLATE_ID
+        assert store.match(novel) == UNKNOWN_TEMPLATE_ID
+        store.extend([novel])
+        # The verbatim text must not replay the stale cached 0.
+        assert store.match(novel) >= 1
+
+    def test_presig_memo_dropped_by_extend(self):
+        store = TemplateStore().fit(corpus())
+        # Warm the (process, presignature) memo: two variants of the
+        # same shape share a presignature but not an exact text.
+        assert store.match(
+            make_message(text="NEW_EVENT: counter 1 rolled over")
+        ) == UNKNOWN_TEMPLATE_ID
+        store.extend(
+            [make_message(text="NEW_EVENT: counter 2 rolled over")]
+        )
+        # A third variant misses the text LRU and would hit a stale
+        # presignature entry if extend did not clear it.
+        assert store.match(
+            make_message(text="NEW_EVENT: counter 3 rolled over")
+        ) >= 1
+
+    def test_cached_transform_equals_uncached_across_extend(self):
+        cached = TemplateStore().fit(corpus())
+        uncached = TemplateStore(memo_capacity=0).fit(corpus())
+        novel = [
+            make_message(text="LINK_FLAP: interface ge-0/0/3 down 10 ms"),
+            make_message(text="LINK_FLAP: interface ge-0/0/7 down 25 ms"),
+        ]
+        stream = corpus() + novel + corpus()
+        for store in (cached, uncached):
+            store.transform(stream)  # warm (no-op for uncached)
+            store.extend(novel)
+        want = [m.template_id for m in uncached.transform(stream)]
+        got = [m.template_id for m in cached.transform(stream)]
+        assert got == want
+        assert all(tid >= 1 for tid in got)
+
+    def test_match_ids_matches_scalar_match(self):
+        store = TemplateStore().fit(corpus())
+        stream = corpus() * 2
+        ids = store.match_ids(stream)
+        assert ids.tolist() == [store.match(m) for m in stream]
+
+
 class TestTransformAndLookup:
     def test_transform_annotates_all(self):
         store = TemplateStore().fit(corpus())

@@ -1,0 +1,238 @@
+"""Regression tests: fused BPTT vs the pre-refactor per-step loops.
+
+The LSTM/GRU hot paths were rewritten from Python-list per-step loops
+into fused preallocated-buffer kernels.  These tests pin the contract
+that rewrite made: at the float64 default the fused forward is
+*bitwise identical* to the original loop (addition order preserved,
+elementwise activations sliced identically), and the backward
+parameter gradients agree to summation-order rounding.
+
+The reference implementations below are self-contained transcriptions
+of the seed code (growth seed commit), independent of the live layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRU
+from repro.nn.lstm import LSTM
+
+
+def _seed_sigmoid(x):
+    """The seed's masked stable sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def _seed_lstm(params, x, grad_last):
+    """Seed LSTM forward + backward (per-step list loop), f64.
+
+    Returns (hiddens stacked (batch, steps, hidden), grads dict, dx)
+    for a gradient injected at the last step only.
+    """
+    weight, recurrent, bias = params["W"], params["U"], params["b"]
+    batch, steps, _ = x.shape
+    hidden = bias.shape[0] // 4
+    h_prev = np.zeros((batch, hidden))
+    c_prev = np.zeros((batch, hidden))
+    cache = {k: [] for k in ("i", "f", "g", "o", "c", "h_prev", "c_prev")}
+    hiddens = []
+    for step in range(steps):
+        z = x[:, step, :] @ weight + h_prev @ recurrent + bias
+        gate_i = _seed_sigmoid(z[:, :hidden])
+        gate_f = _seed_sigmoid(z[:, hidden:2 * hidden])
+        gate_g = np.tanh(z[:, 2 * hidden:3 * hidden])
+        gate_o = _seed_sigmoid(z[:, 3 * hidden:])
+        cache["h_prev"].append(h_prev)
+        cache["c_prev"].append(c_prev)
+        c_prev = gate_f * c_prev + gate_i * gate_g
+        h_prev = gate_o * np.tanh(c_prev)
+        for key, value in zip(
+            ("i", "f", "g", "o", "c"),
+            (gate_i, gate_f, gate_g, gate_o, c_prev),
+        ):
+            cache[key].append(value)
+        hiddens.append(h_prev)
+
+    grads = {
+        "W": np.zeros_like(weight),
+        "U": np.zeros_like(recurrent),
+        "b": np.zeros_like(bias),
+    }
+    dx = np.zeros_like(x, dtype=np.float64)
+    step_grads = np.zeros((batch, steps, hidden))
+    step_grads[:, -1, :] = grad_last
+    dh_next = np.zeros((batch, hidden))
+    dc_next = np.zeros((batch, hidden))
+    for step in range(steps - 1, -1, -1):
+        gate_i, gate_f, gate_g, gate_o = (
+            cache[k][step] for k in ("i", "f", "g", "o")
+        )
+        dh = step_grads[:, step, :] + dh_next
+        tanh_cell = np.tanh(cache["c"][step])
+        d_o = dh * tanh_cell
+        dc = dh * gate_o * (1.0 - tanh_cell * tanh_cell) + dc_next
+        d_f = dc * cache["c_prev"][step]
+        d_i = dc * gate_g
+        d_g = dc * gate_i
+        dz = np.concatenate(
+            [
+                d_i * gate_i * (1.0 - gate_i),
+                d_f * gate_f * (1.0 - gate_f),
+                d_g * (1.0 - gate_g * gate_g),
+                d_o * gate_o * (1.0 - gate_o),
+            ],
+            axis=1,
+        )
+        grads["W"] += x[:, step, :].T @ dz
+        grads["U"] += cache["h_prev"][step].T @ dz
+        grads["b"] += dz.sum(axis=0)
+        dx[:, step, :] = dz @ weight.T
+        dh_next = dz @ recurrent.T
+        dc_next = dc * gate_f
+    return np.stack(hiddens, axis=1), grads, dx
+
+
+def _seed_gru(params, x, grad_last):
+    """Seed GRU forward + backward (per-step list loop), f64."""
+    weight, recurrent, bias = params["W"], params["U"], params["b"]
+    batch, steps, _ = x.shape
+    hidden = bias.shape[0] // 3
+    h_prev = np.zeros((batch, hidden))
+    cache = {k: [] for k in ("z", "r", "c", "h_prev")}
+    hiddens = []
+    for step in range(steps):
+        x_proj = x[:, step, :] @ weight + bias
+        h_proj_zr = h_prev @ recurrent[:, :2 * hidden]
+        gate_z = _seed_sigmoid(x_proj[:, :hidden] + h_proj_zr[:, :hidden])
+        gate_r = _seed_sigmoid(
+            x_proj[:, hidden:2 * hidden]
+            + h_proj_zr[:, hidden:2 * hidden]
+        )
+        candidate = np.tanh(
+            x_proj[:, 2 * hidden:]
+            + (gate_r * h_prev) @ recurrent[:, 2 * hidden:]
+        )
+        cache["h_prev"].append(h_prev)
+        h_prev = gate_z * h_prev + (1.0 - gate_z) * candidate
+        for key, value in zip(
+            ("z", "r", "c"), (gate_z, gate_r, candidate)
+        ):
+            cache[key].append(value)
+        hiddens.append(h_prev)
+
+    grads = {
+        "W": np.zeros_like(weight),
+        "U": np.zeros_like(recurrent),
+        "b": np.zeros_like(bias),
+    }
+    dx = np.zeros_like(x, dtype=np.float64)
+    step_grads = np.zeros((batch, steps, hidden))
+    step_grads[:, -1, :] = grad_last
+    dh_next = np.zeros((batch, hidden))
+    u_z = recurrent[:, :hidden]
+    u_r = recurrent[:, hidden:2 * hidden]
+    u_h = recurrent[:, 2 * hidden:]
+    for step in range(steps - 1, -1, -1):
+        gate_z = cache["z"][step]
+        gate_r = cache["r"][step]
+        candidate = cache["c"][step]
+        h_prev = cache["h_prev"][step]
+
+        dh = step_grads[:, step, :] + dh_next
+        d_candidate = dh * (1.0 - gate_z)
+        d_z = dh * (h_prev - candidate)
+        dh_prev = dh * gate_z
+
+        d_pre_candidate = d_candidate * (1.0 - candidate * candidate)
+        d_rh = d_pre_candidate @ u_h.T
+        d_r = d_rh * h_prev
+        dh_prev += d_rh * gate_r
+
+        d_pre_z = d_z * gate_z * (1.0 - gate_z)
+        d_pre_r = d_r * gate_r * (1.0 - gate_r)
+        d_pre = np.concatenate(
+            [d_pre_z, d_pre_r, d_pre_candidate], axis=1
+        )
+        grads["W"] += x[:, step, :].T @ d_pre
+        grads["b"] += d_pre.sum(axis=0)
+        grads["U"][:, :hidden] += h_prev.T @ d_pre_z
+        grads["U"][:, hidden:2 * hidden] += h_prev.T @ d_pre_r
+        grads["U"][:, 2 * hidden:] += (
+            (gate_r * h_prev).T @ d_pre_candidate
+        )
+        dx[:, step, :] = d_pre @ weight.T
+        dh_prev += d_pre_z @ u_z.T + d_pre_r @ u_r.T
+        dh_next = dh_prev
+    return np.stack(hiddens, axis=1), grads, dx
+
+
+CASES = [
+    (LSTM, _seed_lstm),
+    (GRU, _seed_gru),
+]
+
+
+def _fused_layer(layer_cls, return_sequences, dtype=np.float64):
+    layer = layer_cls(6, return_sequences=return_sequences, dtype=dtype)
+    layer.build((9, 5), np.random.default_rng(11))
+    return layer
+
+
+def _input(dtype=np.float64):
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((4, 9, 5))
+    grad = rng.standard_normal((4, 6))
+    return x.astype(dtype), grad.astype(dtype)
+
+
+class TestFusedMatchesSeedLoop:
+    @pytest.mark.parametrize("layer_cls,seed_fn", CASES)
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_forward_bitwise_identical_f64(
+        self, layer_cls, seed_fn, return_sequences
+    ):
+        layer = _fused_layer(layer_cls, return_sequences)
+        x, grad = _input()
+        got = layer.forward(x)
+        ref_seq, _, _ = seed_fn(layer.params, x, grad)
+        want = ref_seq if return_sequences else ref_seq[:, -1]
+        assert got.dtype == np.float64
+        # Bitwise, not merely close: the fused rewrite preserves
+        # addition order, so any drift is a real behavior change.
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("layer_cls,seed_fn", CASES)
+    def test_backward_grads_match_seed_loop(self, layer_cls, seed_fn):
+        layer = _fused_layer(layer_cls, return_sequences=False)
+        x, grad = _input()
+        layer.forward(x)
+        dx = layer.backward(grad)
+        _, ref_grads, ref_dx = seed_fn(layer.params, x, grad)
+        # The fused backward accumulates parameter gradients with a
+        # few large matmuls, which permutes the summation order, so
+        # equality holds to rounding rather than bitwise.
+        np.testing.assert_allclose(dx, ref_dx, rtol=1e-10, atol=1e-12)
+        for key in ("W", "U", "b"):
+            np.testing.assert_allclose(
+                layer.grads[key], ref_grads[key], rtol=1e-10, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("layer_cls,seed_fn", CASES)
+    def test_float32_fast_path_tracks_f64(self, layer_cls, seed_fn):
+        layer = _fused_layer(layer_cls, False, dtype=np.float32)
+        x64, grad = _input()
+        got = layer.forward(x64.astype(np.float32))
+        assert got.dtype == np.float32
+        ref_seq, _, _ = seed_fn(
+            {k: v.astype(np.float64) for k, v in layer.params.items()},
+            x64,
+            grad,
+        )
+        np.testing.assert_allclose(
+            got, ref_seq[:, -1], rtol=2e-4, atol=2e-5
+        )

@@ -1,0 +1,58 @@
+"""Smoke test for the hot-path benchmark suite (``-m perf`` only).
+
+Runs the reduced scale end to end and checks the record shape plus a
+loose speedup floor — loose because CI machines are noisy and the real
+acceptance numbers live in ``BENCH_hotpath.json`` at the default
+scale.  Deselected by default via ``addopts = '-m "not perf"'``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+_BENCH_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+)
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+
+@pytest.fixture(scope="module")
+def reduced_record():
+    import hotpath
+
+    return hotpath.run("reduced")
+
+
+class TestReducedScale:
+    def test_record_shape(self, reduced_record):
+        assert reduced_record["scale"] == "reduced"
+        benchmarks = reduced_record["benchmarks"]
+        assert set(benchmarks) == {
+            "lstm_step_throughput",
+            "template_transform",
+            "detector_fit_score",
+        }
+
+    def test_lstm_not_slower(self, reduced_record):
+        lstm = reduced_record["benchmarks"]["lstm_step_throughput"]
+        assert lstm["speedup"] > 0.8
+
+    def test_template_memo_pays_off(self, reduced_record):
+        transform = reduced_record["benchmarks"]["template_transform"]
+        assert transform["speedup"] > 2.0
+        assert transform["hit_rate"] > 0.5
+
+    def test_fit_and_score_faster(self, reduced_record):
+        fit_score = reduced_record["benchmarks"]["detector_fit_score"]
+        assert fit_score["fit_speedup"] > 1.2
+        assert fit_score["score_speedup"] > 1.2
+        # All three sides must score the same number of messages.
+        assert (
+            fit_score["before_scored_messages"]
+            == fit_score["after_scored_messages"]
+            == fit_score["after_f64_scored_messages"]
+        )
