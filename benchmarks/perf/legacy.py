@@ -16,7 +16,8 @@ Do not "optimize" this module — its whole value is staying slow.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +27,9 @@ from repro.logs.sequences import (
     N_GAP_BUCKETS,
     SequenceWindower,
     TemplateEvent,
+    gap_bucket,
 )
+from repro.nn.losses import SoftmaxCrossEntropy
 from repro.logs.signature_tree import (
     _VARIABLE_PATTERNS,
     WILDCARD,
@@ -443,3 +446,47 @@ def legacy_detector(store: TemplateStore, **kwargs) -> LSTMAnomalyDetector:
     detector.windower = LegacyWindower(window)
     detector.store = uncached_store(store)
     return detector
+
+
+class LegacyOnlineScorer:
+    """The seed's streaming scorer: one batch-of-1 forward per message.
+
+    Verbatim semantics of the pre-streaming-engine
+    ``OnlineMonitor._score``: a per-device ``deque`` of Python tuples,
+    a full cache-building ``model.forward(training=False)`` on a
+    ``(1, window, 2)`` array for every arrival, and the clamp/gap
+    logic inline.  The streaming benchmarks time this against
+    :class:`repro.core.stream.StreamScorer` on identical streams.
+    """
+
+    def __init__(self, detector: LSTMAnomalyDetector) -> None:
+        self.detector = detector
+        self._contexts: Dict[str, Deque[Tuple[int, int]]] = {}
+        self._last_time: Dict[str, float] = {}
+
+    def observe(self, message: SyslogMessage) -> Optional[float]:
+        detector = self.detector
+        template_id = detector.store.match(message)
+        if template_id >= detector.vocabulary_capacity:
+            template_id = 0
+        last = self._last_time.get(message.host)
+        gap = (
+            N_GAP_BUCKETS - 1
+            if last is None
+            else gap_bucket(message.timestamp - last)
+        )
+        window = detector.windower.window
+        context = self._contexts.setdefault(message.host, deque())
+        score: Optional[float] = None
+        if len(context) == window:
+            array = np.array([context], dtype=np.int64)
+            logits = detector.model.forward(array, training=False)
+            likelihood = SoftmaxCrossEntropy.log_likelihoods(
+                logits, np.array([template_id])
+            )
+            score = float(-likelihood[0])
+        context.append((template_id, gap))
+        if len(context) > window:
+            context.popleft()
+        self._last_time[message.host] = message.timestamp
+        return score

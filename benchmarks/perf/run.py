@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""Run the hot-path microbenchmarks and append to BENCH_hotpath.json.
+"""Run a named benchmark suite and append to its trajectory file.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf/run.py                # default scale
-    PYTHONPATH=src python benchmarks/perf/run.py --scale reduced  # <60 s
+    PYTHONPATH=src python benchmarks/perf/run.py                  # hotpath
+    PYTHONPATH=src python benchmarks/perf/run.py streaming
+    PYTHONPATH=src python benchmarks/perf/run.py hotpath --scale reduced
 
-Each invocation appends one run record — timestamped, with before
-(frozen legacy implementations) and after (live code) numbers — to
-``BENCH_hotpath.json`` at the repository root, building the
-performance trajectory later PRs must beat.
+Suites:
+
+* ``hotpath`` — training/scoring microbenchmarks (frozen legacy vs
+  live fast path), appended to ``BENCH_hotpath.json``;
+* ``streaming`` — online-monitor device-count sweep (per-message
+  legacy vs micro-batched :class:`StreamScorer`), appended to
+  ``BENCH_streaming.json``.
+
+Each invocation appends one timestamped run record to the suite's
+trajectory file at the repository root, building the performance
+history later PRs must beat.
 """
 
 from __future__ import annotations
@@ -22,12 +30,18 @@ import sys
 HERE = pathlib.Path(__file__).resolve().parent
 ROOT = HERE.parent.parent
 
-# Make `import legacy/hotpath` and `import repro` work regardless of
-# the caller's cwd/PYTHONPATH.
+# Make `import legacy/hotpath/streaming` and `import repro` work
+# regardless of the caller's cwd/PYTHONPATH.
 sys.path.insert(0, str(HERE))
 sys.path.insert(0, str(ROOT / "src"))
 
-RESULTS_PATH = ROOT / "BENCH_hotpath.json"
+SUITE_OUTPUTS = {
+    "hotpath": ROOT / "BENCH_hotpath.json",
+    "streaming": ROOT / "BENCH_streaming.json",
+}
+
+# Kept for backwards compatibility with older tooling/tests.
+RESULTS_PATH = SUITE_OUTPUTS["hotpath"]
 
 
 def load_payload(path: pathlib.Path) -> dict:
@@ -60,28 +74,7 @@ def append_record(record: dict, path: pathlib.Path = RESULTS_PATH) -> dict:
     return payload
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale",
-        choices=("default", "reduced"),
-        default="default",
-        help="benchmark operating point (reduced finishes in <60 s)",
-    )
-    parser.add_argument(
-        "--output",
-        default=str(RESULTS_PATH),
-        help="JSON trajectory file to append to",
-    )
-    args = parser.parse_args(argv)
-    output = pathlib.Path(args.output)
-    load_payload(output)  # reject a bad trajectory file up front
-
-    import hotpath
-
-    record = hotpath.run(args.scale)
-    append_record(record, output)
-
+def _print_hotpath(record: dict) -> None:
     bench = record["benchmarks"]
     lstm = bench["lstm_step_throughput"]
     template = bench["template_transform"]
@@ -106,7 +99,70 @@ def main(argv=None) -> int:
         f"detector score:{fit['before_score_s']:>11.2f}s -> "
         f"{fit['after_score_s']:>11.2f}s ({fit['score_speedup']:.2f}x)"
     )
-    print(f"appended to {args.output}")
+
+
+def _print_streaming(record: dict) -> None:
+    streaming = record["benchmarks"]["streaming_scoring"]
+    print(
+        f"scale: {record['scale']}  (window {streaming['window']}, "
+        f"hidden {streaming['hidden']}, tick {streaming['tick_size']})"
+    )
+    for point in streaming["device_sweep"]:
+        print(
+            f"devices {point['devices']:>4d}: "
+            f"legacy {point['legacy_msgs_per_s']:>9.0f} msgs/s, "
+            f"stream f64 {point['stream_f64_msgs_per_s']:>9.0f} "
+            f"({point['speedup_f64']:.2f}x), "
+            f"f32 {point['stream_f32_msgs_per_s']:>9.0f} "
+            f"({point['speedup_f32']:.2f}x)"
+        )
+
+
+def run_suite(suite: str, scale: str) -> dict:
+    """Import and execute one suite, returning its run record."""
+    if suite == "hotpath":
+        import hotpath
+
+        return hotpath.run(scale)
+    if suite == "streaming":
+        import streaming
+
+        return streaming.run(scale)
+    raise ValueError(f"unknown suite {suite!r}")
+
+
+_PRINTERS = {"hotpath": _print_hotpath, "streaming": _print_streaming}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "suite",
+        nargs="?",
+        choices=tuple(SUITE_OUTPUTS),
+        default="hotpath",
+        help="benchmark suite to run (default: hotpath)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("default", "reduced"),
+        default="default",
+        help="benchmark operating point (reduced finishes in <60 s)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="JSON trajectory file to append to "
+        "(default: the suite's BENCH_<suite>.json)",
+    )
+    args = parser.parse_args(argv)
+    output = pathlib.Path(args.output or SUITE_OUTPUTS[args.suite])
+    load_payload(output)  # reject a bad trajectory file up front
+
+    record = run_suite(args.suite, args.scale)
+    append_record(record, output)
+    _PRINTERS[args.suite](record)
+    print(f"appended to {output}")
     return 0
 
 

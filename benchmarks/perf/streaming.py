@@ -1,0 +1,225 @@
+"""Streaming-scoring benchmarks: per-message legacy vs micro-batched.
+
+One suite, one question: what does cross-device micro-batching buy the
+online monitor?  For each device count in the sweep we synthesize a
+round-robin interleaved fleet stream, warm every device's context ring
+(untimed), then time three scorers on the same timed slice:
+
+* ``legacy`` — :class:`legacy.LegacyOnlineScorer`, the seed's
+  per-message path: one batch-of-1 cache-building ``model.forward``
+  per arrival (float64, the only precision the seed had);
+* ``stream_f64`` — :class:`repro.core.stream.StreamScorer` over the
+  float64 detector, draining the stream in ticks (bitwise identical
+  scores to the legacy path);
+* ``stream_f32`` — the same engine over a float32 twin of the model
+  (weights cast down), the deployment fast path.
+
+``run(scale)`` returns a JSON-ready record; ``run.py streaming``
+appends it to ``BENCH_streaming.json`` at the repo root.  The legacy
+side is capped at ``legacy_cap`` timed messages per device count so
+the slow side doesn't dominate wall time; throughput is stationary, so
+the shorter slice measures the same msgs/s.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+import legacy
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.stream import StreamScorer
+from repro.logs.message import SyslogMessage
+from repro.logs.templates import TemplateStore
+from repro.timeutil import TRACE_START
+
+# Distinct alphabetic keywords: digit-bearing tokens would be mined as
+# template variables and collapse into fewer templates.
+TEXTS = [
+    f"{word}: link status nominal for peer {word.lower()}"
+    for word in (
+        "ALPHA", "BRAVO", "CHARLIE", "DELTA", "ECHO", "FOXTROT",
+        "GOLF", "HOTEL", "INDIA", "JULIET", "KILO", "LIMA",
+    )
+]
+
+
+@dataclass(frozen=True)
+class StreamScale:
+    """One streaming-benchmark operating point.
+
+    ``device_counts`` sweeps the fleet size; 38 mirrors the largest
+    universal group in the paper's deployment (section 4.3), 512 the
+    "full fleet on one scorer" regime.
+    """
+
+    name: str
+    device_counts: Tuple[int, ...]
+    timed_messages: int
+    legacy_cap: int
+    repeats: int = 3
+    tick_size: int = 1024
+    window: int = 10
+    hidden: int = 24
+    vocabulary_capacity: int = 64
+    train_messages: int = 4000
+
+
+SCALES: Dict[str, StreamScale] = {
+    # The reference sweep BENCH_streaming.json records.  The 38-device
+    # float32 point carries the acceptance number (>= 10x legacy).
+    "default": StreamScale(
+        name="default",
+        device_counts=(1, 38, 512),
+        timed_messages=16384,
+        legacy_cap=2048,
+    ),
+    # CI / perf-marked pytest smoke (<60 s including the legacy side).
+    "reduced": StreamScale(
+        name="reduced",
+        device_counts=(1, 8, 32),
+        timed_messages=4096,
+        legacy_cap=512,
+        repeats=2,
+        train_messages=2000,
+    ),
+}
+
+
+def fleet_stream(
+    n_devices: int, n_messages: int, period: float = 0.05
+) -> List[SyslogMessage]:
+    """A time-sorted round-robin interleave of ``n_devices`` streams.
+
+    Message ``i`` lands on device ``i % n_devices``; each device sees
+    the template cycle at its own phase so contexts differ across the
+    fleet.
+    """
+    return [
+        SyslogMessage(
+            timestamp=TRACE_START + i * period,
+            host=f"vpe{i % n_devices:03d}",
+            process="rpd",
+            text=TEXTS[(i // n_devices + i % n_devices) % len(TEXTS)],
+        )
+        for i in range(n_messages)
+    ]
+
+
+def build_detectors(
+    scale: StreamScale,
+) -> Tuple[LSTMAnomalyDetector, LSTMAnomalyDetector]:
+    """A fitted float64 detector and its float32 twin (same weights)."""
+    train = fleet_stream(1, scale.train_messages)
+    store = TemplateStore().fit(train)
+    kwargs = dict(
+        vocabulary_capacity=scale.vocabulary_capacity,
+        window=scale.window,
+        hidden=(scale.hidden, scale.hidden),
+        id_dim=16,
+        epochs=2,
+        oversample_rounds=0,
+        seed=3,
+    )
+    f64 = LSTMAnomalyDetector(store, **kwargs).fit(train)
+    f32 = LSTMAnomalyDetector(store, dtype=np.float32, **kwargs)
+    f32.model.set_weights(f64.model.get_weights())
+    f32._fitted = True
+    return f64, f32
+
+
+def _time_legacy(
+    detector: LSTMAnomalyDetector,
+    warm: List[SyslogMessage],
+    timed: List[SyslogMessage],
+    repeats: int,
+) -> float:
+    """Best-of wall time for the per-message seed path."""
+    best = float("inf")
+    for _ in range(repeats):
+        scorer = legacy.LegacyOnlineScorer(detector)
+        for message in warm:
+            scorer.observe(message)
+        start = time.perf_counter()
+        for message in timed:
+            scorer.observe(message)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_stream(
+    detector: LSTMAnomalyDetector,
+    warm: List[SyslogMessage],
+    timed: List[SyslogMessage],
+    repeats: int,
+    tick_size: int,
+) -> float:
+    """Best-of wall time for micro-batched ring-buffer scoring."""
+    best = float("inf")
+    for _ in range(repeats):
+        scorer = StreamScorer(detector)
+        scorer.observe_batch(warm)
+        start = time.perf_counter()
+        for index in range(0, len(timed), tick_size):
+            scorer.observe_batch(timed[index:index + tick_size])
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_devices(
+    scale: StreamScale,
+    n_devices: int,
+    f64: LSTMAnomalyDetector,
+    f32: LSTMAnomalyDetector,
+) -> Dict[str, float]:
+    """One sweep point: all three scorers on the same fleet stream."""
+    warmup = n_devices * (scale.window + 2)
+    stream = fleet_stream(n_devices, warmup + scale.timed_messages)
+    warm, timed = stream[:warmup], stream[warmup:]
+    legacy_timed = timed[: scale.legacy_cap]
+
+    legacy_s = _time_legacy(f64, warm, legacy_timed, scale.repeats)
+    f64_s = _time_stream(
+        f64, warm, timed, scale.repeats, scale.tick_size
+    )
+    f32_s = _time_stream(
+        f32, warm, timed, scale.repeats, scale.tick_size
+    )
+    legacy_rate = len(legacy_timed) / legacy_s
+    f64_rate = len(timed) / f64_s
+    f32_rate = len(timed) / f32_s
+    return {
+        "devices": n_devices,
+        "timed_messages": len(timed),
+        "legacy_timed_messages": len(legacy_timed),
+        "legacy_msgs_per_s": legacy_rate,
+        "stream_f64_msgs_per_s": f64_rate,
+        "stream_f32_msgs_per_s": f32_rate,
+        "speedup_f64": f64_rate / legacy_rate,
+        "speedup_f32": f32_rate / legacy_rate,
+    }
+
+
+def run(scale_name: str = "default") -> Dict:
+    """Run the device-count sweep at the named scale."""
+    scale = SCALES[scale_name]
+    f64, f32 = build_detectors(scale)
+    sweep = [
+        bench_devices(scale, n_devices, f64, f32)
+        for n_devices in scale.device_counts
+    ]
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "benchmarks": {
+            "streaming_scoring": {
+                "window": scale.window,
+                "hidden": scale.hidden,
+                "tick_size": scale.tick_size,
+                "device_sweep": sweep,
+            }
+        },
+    }

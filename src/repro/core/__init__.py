@@ -16,13 +16,21 @@
 * :mod:`repro.core.baselines` — autoencoder and one-class SVM
   comparison methods (section 5.2), plus PCA and isolation-forest
   references;
+* :mod:`repro.core.stream` — the vectorized streaming inference
+  engine: per-device ring buffers and cross-device micro-batched
+  fused scoring;
 * :mod:`repro.core.online` — the streaming runtime of the paper's
-  abstract: message-at-a-time scoring with clustered warnings;
+  abstract: per-arrival scoring (single messages or ticks) with
+  clustered warnings, built on the stream engine;
 * :mod:`repro.core.triage` — the section 5.3 four-scenario
   categorization of detected conditions.
 """
 
-from repro.core.base import AnomalyDetector, ScoredStream
+from repro.core.base import (
+    AnomalyDetector,
+    ScoredStream,
+    clamp_template_ids,
+)
 from repro.core.detector import LSTMAnomalyDetector
 from repro.core.grouping import (
     VpeGrouping,
@@ -38,6 +46,7 @@ from repro.core.mapping import (
     warning_clusters,
 )
 from repro.core.online import OnlineMonitor, WarningSignature
+from repro.core.stream import StreamBatch, StreamScorer
 from repro.core.thresholds import sweep_thresholds
 from repro.core.adaptation import transfer_adapt
 from repro.core.pipeline import PipelineConfig, RollingPipeline
@@ -65,4 +74,7 @@ __all__ = [
     "TriageScenario",
     "OnlineMonitor",
     "WarningSignature",
+    "StreamBatch",
+    "StreamScorer",
+    "clamp_template_ids",
 ]

@@ -18,6 +18,23 @@ import numpy as np
 from repro.logs.message import SyslogMessage
 
 
+def clamp_template_ids(
+    ids: np.ndarray, capacity: int
+) -> np.ndarray:
+    """Fold template ids beyond a model's vocabulary onto unknown (0).
+
+    A store shared across detectors can keep mining templates past any
+    single model's ``vocabulary_capacity``; ids the model has no
+    output class (or embedding row) for are treated as the unknown
+    template.  Clamps **in place** and returns ``ids`` — the single
+    definition of this rule, shared by the offline windowing path
+    (:meth:`LSTMAnomalyDetector._windows`) and the streaming scorer so
+    the two can never drift.
+    """
+    ids[ids >= capacity] = 0
+    return ids
+
+
 @dataclass(frozen=True)
 class ScoredStream:
     """Anomaly scores aligned with message timestamps.

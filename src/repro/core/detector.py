@@ -20,7 +20,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.base import AnomalyDetector, ScoredStream
+from repro.core.base import (
+    AnomalyDetector,
+    ScoredStream,
+    clamp_template_ids,
+)
 from repro.logs.message import SyslogMessage
 from repro.logs.sequences import N_GAP_BUCKETS, SequenceWindower
 from repro.logs.templates import TemplateStore
@@ -167,9 +171,8 @@ class LSTMAnomalyDetector(AnomalyDetector):
         # Ids beyond capacity fold onto the unknown id (0).  The
         # windower returns freshly built arrays, so clamp in place
         # instead of copying the whole context tensor.
-        context_ids = contexts[..., 0]
-        context_ids[context_ids >= self.vocabulary_capacity] = 0
-        targets[targets >= self.vocabulary_capacity] = 0
+        clamp_template_ids(contexts[..., 0], self.vocabulary_capacity)
+        clamp_template_ids(targets, self.vocabulary_capacity)
         return contexts, targets, times
 
     def _subsample(

@@ -3,24 +3,30 @@
 The paper envisions "a runtime predictive analysis system running in
 parallel with existing reactive monitoring systems to provide network
 operators timely warnings" (abstract).  :class:`OnlineMonitor` is that
-runtime: it consumes syslog messages one at a time, keeps a sliding
-context per device, scores each arrival under the trained LSTM, and
-emits a :class:`WarningSignature` when a cluster of anomalies forms —
-with a cooldown so one incident raises one warning.
+runtime: it consumes syslog messages — one at a time via
+:meth:`~OnlineMonitor.observe` or in cross-device micro-batches via
+:meth:`~OnlineMonitor.observe_batch` — scores each arrival under the
+trained LSTM, and emits a :class:`WarningSignature` when a cluster of
+anomalies forms, with a cooldown so one incident raises one warning.
+
+Scoring is delegated to :class:`repro.core.stream.StreamScorer`, the
+vectorized streaming engine: per-device contexts live in preallocated
+numpy ring buffers and all devices' ready windows are scored in fused
+forward passes, so ingest cost is amortized over the fleet.  At
+float64 the scores (and therefore warnings and cooldowns) are bitwise
+identical whether a stream is replayed message-at-a-time, in
+micro-batches, or through the offline ``detector.score`` path.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import math
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.detector import LSTMAnomalyDetector
+from repro.core.stream import StreamScorer
 from repro.logs.message import SyslogMessage
-from repro.logs.sequences import N_GAP_BUCKETS, gap_bucket
-from repro.nn.losses import SoftmaxCrossEntropy
 from repro.timeutil import MINUTE
 
 
@@ -46,9 +52,8 @@ class WarningSignature:
 
 @dataclass
 class _DeviceState:
-    """Per-device sliding context and anomaly history."""
+    """Per-device anomaly history (contexts live in the scorer)."""
 
-    context: Deque = field(default_factory=deque)
     last_time: Optional[float] = None
     last_score: Optional[float] = None
     recent_anomalies: List[float] = field(default_factory=list)
@@ -69,6 +74,14 @@ class OnlineMonitor:
             cluster.
         cooldown: after a warning fires on a device, further warnings
             are suppressed for this long (one incident, one page).
+        strict_order: when True (default), a message older than its
+            device's newest accepted timestamp raises ``ValueError``;
+            when False it is dropped and counted in
+            :attr:`n_reordered` so one misordered message cannot kill
+            a long-running monitor.
+        tick_size: messages per micro-batch when :meth:`run` drains a
+            stream; larger ticks amortize the fused forward over more
+            devices per round.
     """
 
     def __init__(
@@ -78,74 +91,82 @@ class OnlineMonitor:
         cluster_min_size: int = 2,
         cluster_max_gap: float = 5 * MINUTE,
         cooldown: float = 30 * MINUTE,
+        strict_order: bool = True,
+        tick_size: int = 1024,
     ) -> None:
         if cluster_min_size < 1:
             raise ValueError("cluster_min_size must be >= 1")
         if cluster_max_gap <= 0 or cooldown < 0:
             raise ValueError("invalid gap/cooldown")
+        if tick_size < 1:
+            raise ValueError("tick_size must be >= 1")
         self.detector = detector
         self.threshold = threshold
         self.cluster_min_size = cluster_min_size
         self.cluster_max_gap = cluster_max_gap
         self.cooldown = cooldown
+        self.tick_size = tick_size
+        self.scorer = StreamScorer(detector, strict_order=strict_order)
         self._devices: Dict[str, _DeviceState] = {}
         self.n_observed = 0
         self.n_anomalies = 0
+
+    @property
+    def strict_order(self) -> bool:
+        return self.scorer.strict_order
+
+    @property
+    def n_reordered(self) -> int:
+        """Out-of-order arrivals dropped (``strict_order=False``)."""
+        return self.scorer.n_reordered
 
     def observe(
         self, message: SyslogMessage
     ) -> Optional[WarningSignature]:
         """Ingest one message; return a warning if one fires.
 
-        Messages must arrive in per-device timestamp order.
+        Messages must arrive in per-device timestamp order (unless
+        ``strict_order=False``, in which case a late message is
+        silently dropped and counted).
         """
-        state = self._devices.setdefault(
-            message.host, _DeviceState()
-        )
-        if (
-            state.last_time is not None
-            and message.timestamp < state.last_time
-        ):
-            raise ValueError(
-                f"out-of-order message for {message.host}"
-            )
-        self.n_observed += 1
-        score = self._score(state, message)
-        state.last_score = score
-        state.last_time = message.timestamp
-        if score is None or score <= self.threshold:
-            return None
-        self.n_anomalies += 1
-        return self._register_anomaly(state, message, score)
+        return self.observe_batch([message])[0]
 
-    def _score(
-        self, state: _DeviceState, message: SyslogMessage
-    ) -> Optional[float]:
-        """Score the arrival given the device's current context."""
-        detector = self.detector
-        template_id = detector.store.match(message)
-        if template_id >= detector.vocabulary_capacity:
-            template_id = 0
-        gap = (
-            N_GAP_BUCKETS - 1
-            if state.last_time is None
-            else gap_bucket(message.timestamp - state.last_time)
-        )
-        window = detector.windower.window
-        score: Optional[float] = None
-        if len(state.context) == window:
-            context = np.array(
-                [state.context], dtype=np.int64
-            )  # (1, window, 2)
-            logits = detector.model.forward(context, training=False)
-            likelihood = SoftmaxCrossEntropy.log_likelihoods(
-                logits, np.array([template_id])
+    def observe_batch(
+        self, messages: Sequence[SyslogMessage]
+    ) -> List[Optional[WarningSignature]]:
+        """Ingest a tick of messages across any number of devices.
+
+        Scoring runs micro-batched (one fused forward per round of
+        the tick); warning clustering then replays the per-message
+        results in arrival order, so emitted warnings are identical
+        to observing each message individually.  In strict mode an
+        out-of-order arrival raises before any message of the tick is
+        ingested.
+        """
+        batch = self.scorer.observe_batch(messages)
+        results: List[Optional[WarningSignature]] = []
+        scores = batch.scores
+        kept = batch.kept
+        for i, message in enumerate(messages):
+            if not kept[i]:
+                results.append(None)
+                continue
+            state = self._devices.setdefault(
+                message.host, _DeviceState()
             )
-            score = float(-likelihood[0])
-        state.context.append((template_id, gap))
-        if len(state.context) > window:
-            state.context.popleft()
-        return score
+            self.n_observed += 1
+            raw = scores[i]
+            score = None if math.isnan(raw) else float(raw)
+            state.last_score = score
+            state.last_time = message.timestamp
+            if score is None or score <= self.threshold:
+                results.append(None)
+                continue
+            self.n_anomalies += 1
+            results.append(
+                self._register_anomaly(state, message, score)
+            )
+        return results
 
     def _register_anomaly(
         self,
@@ -183,12 +204,21 @@ class OnlineMonitor:
         return warning
 
     def run(
-        self, messages
+        self,
+        messages: Iterable[SyslogMessage],
+        tick_size: Optional[int] = None,
     ) -> List[WarningSignature]:
-        """Convenience: observe a whole (sorted) stream."""
-        warnings = []
-        for message in messages:
-            warning = self.observe(message)
-            if warning is not None:
-                warnings.append(warning)
+        """Drain a whole (sorted) stream in micro-batched ticks."""
+        tick = self.tick_size if tick_size is None else tick_size
+        if tick < 1:
+            raise ValueError("tick_size must be >= 1")
+        if not isinstance(messages, (list, tuple)):
+            messages = list(messages)
+        warnings: List[WarningSignature] = []
+        for start in range(0, len(messages), tick):
+            for warning in self.observe_batch(
+                messages[start:start + tick]
+            ):
+                if warning is not None:
+                    warnings.append(warning)
         return warnings

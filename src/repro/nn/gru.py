@@ -143,6 +143,52 @@ class GRU(Layer):
             return hiddens[:, 1:]
         return hiddens[:, -1]
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward: no backward caches, O(batch·hidden)
+        state (see :meth:`LSTM.infer`); bitwise identical to
+        :meth:`forward` at float64.
+        """
+        if x.ndim != 3:
+            raise ValueError(
+                f"GRU expects (batch, time, features), got {x.shape}"
+            )
+        batch, steps, features = x.shape
+        hidden = self.hidden
+        weight, recurrent, bias = (
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+        )
+        dtype = np.result_type(x.dtype, self.dtype)
+        x_proj = (x.reshape(-1, features) @ weight).reshape(
+            batch, steps, 3 * hidden
+        )
+        x_proj += bias
+        h_prev = np.zeros((batch, hidden), dtype=dtype)
+        sequence = (
+            np.empty((batch, steps, hidden), dtype=dtype)
+            if self.return_sequences
+            else None
+        )
+        for step in range(steps):
+            zr = h_prev @ recurrent[:, :2 * hidden]
+            zr += x_proj[:, step, :2 * hidden]
+            gate = sigmoid(zr)
+            gate_z = gate[:, :hidden]
+            rh = gate[:, hidden:2 * hidden] * h_prev
+            candidate = np.tanh(
+                x_proj[:, step, 2 * hidden:]
+                + rh @ recurrent[:, 2 * hidden:]
+            )
+            h_new = gate_z * h_prev
+            h_new += (1.0 - gate_z) * candidate
+            h_prev = h_new
+            if sequence is not None:
+                sequence[:, step] = h_prev
+        if sequence is not None:
+            return sequence
+        return h_prev
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         cache = self._cache
         if cache is None:

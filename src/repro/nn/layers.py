@@ -5,6 +5,10 @@ Every layer implements the same protocol:
 * ``build(input_shape, rng)`` — allocate parameters (idempotent);
 * ``forward(x, training)`` — compute outputs, caching what backward
   needs;
+* ``infer(x)`` — inference-only forward: numerically identical to
+  ``forward(x, training=False)`` but skips every backward cache, so
+  streaming/scoring hot paths neither allocate nor retain
+  ``(batch, steps, ·)`` activation buffers;
 * ``backward(grad)`` — given d(loss)/d(output), accumulate parameter
   gradients and return d(loss)/d(input);
 * ``params`` / ``grads`` — dictionaries keyed by parameter name;
@@ -52,6 +56,10 @@ class Layer:
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free inference forward (same values as ``forward``)."""
+        return self.forward(x, training=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -121,6 +129,9 @@ class Dense(Layer):
         self._cache_out = out
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return self._activation(x @ self.params["W"] + self.params["b"])
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x, out = self._cache_x, self._cache_out
         if x is None or out is None:
@@ -167,14 +178,21 @@ class Embedding(Layer):
     def clear_cache(self) -> None:
         self._cache_ids = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def _lookup(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         ids = np.asarray(x, dtype=np.int64)
         if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocabulary:
             raise ValueError(
                 f"embedding ids out of range [0, {self.vocabulary})"
             )
+        return ids, self.params["E"][ids]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        ids, out = self._lookup(x)
         self._cache_ids = ids
-        return self.params["E"][ids]
+        return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return self._lookup(x)[1]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         ids = self._cache_ids
@@ -266,6 +284,11 @@ class TupleEmbedding(Layer):
         gaps = self.gap_embedding.forward(x[..., 1], training)
         return np.concatenate([ids, gaps], axis=-1)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        ids = self.id_embedding.infer(x[..., 0])
+        gaps = self.gap_embedding.infer(x[..., 1])
+        return np.concatenate([ids, gaps], axis=-1)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         split = self.id_embedding.dim
         self.id_embedding.backward(grad[..., :split])
@@ -308,6 +331,9 @@ class Dropout(Layer):
             self._rng.random(x.shape) < keep
         ).astype(x.dtype) / keep
         return x * self._mask
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -168,6 +168,53 @@ class LSTM(Layer):
             return hiddens[:, 1:]
         return hiddens[:, -1]
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward: no backward caches, O(batch·hidden)
+        state instead of O(batch·steps·hidden) activation buffers.
+
+        Every arithmetic step mirrors :meth:`forward` exactly, so the
+        values are bitwise identical at float64.
+        """
+        if x.ndim != 3:
+            raise ValueError(
+                f"LSTM expects (batch, time, features), got {x.shape}"
+            )
+        batch, steps, features = x.shape
+        hidden = self.hidden
+        weight, recurrent, bias = (
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+        )
+        dtype = np.result_type(x.dtype, self.dtype)
+        x_proj = (x.reshape(-1, features) @ weight).reshape(
+            batch, steps, 4 * hidden
+        )
+        h_prev = np.zeros((batch, hidden), dtype=dtype)
+        cell = np.zeros((batch, hidden), dtype=dtype)
+        sequence = (
+            np.empty((batch, steps, hidden), dtype=dtype)
+            if self.return_sequences
+            else None
+        )
+        for step in range(steps):
+            z = h_prev @ recurrent
+            z += x_proj[:, step]
+            z += bias
+            gate = sigmoid(z)
+            np.tanh(
+                z[:, 2 * hidden:3 * hidden],
+                out=gate[:, 2 * hidden:3 * hidden],
+            )
+            cell *= gate[:, hidden:2 * hidden]
+            cell += gate[:, :hidden] * gate[:, 2 * hidden:3 * hidden]
+            h_prev = gate[:, 3 * hidden:] * np.tanh(cell)
+            if sequence is not None:
+                sequence[:, step] = h_prev
+        if sequence is not None:
+            return sequence
+        return h_prev
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         cache = self._cache
         if cache is None:

@@ -84,6 +84,28 @@ class Sequential:
             out = layer.forward(out, training)
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward: no backward caches are written.
+
+        A batch of one is padded to two rows (and the pad row
+        discarded) before hitting the layer stack: BLAS dispatches
+        single-row matmuls to a gemv kernel whose accumulation order
+        differs from the gemm kernels used for every larger batch, so
+        without the pad a batch-of-1 score would drift from the same
+        sample scored inside a bigger batch by a few ulps.  With it,
+        ``infer`` results are row-wise independent of how samples are
+        batched — the invariant the streaming scorer's bitwise
+        online/offline parity rests on.
+        """
+        self._require_built()
+        out = x
+        padded = out.shape[0] == 1
+        if padded:
+            out = np.concatenate([out, out], axis=0)
+        for layer in self.layers:
+            out = layer.infer(out)
+        return out[:1] if padded else out
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
@@ -185,10 +207,14 @@ class Sequential:
     def predict(
         self, x: np.ndarray, batch_size: int = 256
     ) -> np.ndarray:
-        """Forward pass in inference mode, batched to bound memory."""
+        """Inference forward pass, batched to bound memory.
+
+        Runs the cache-free :meth:`infer` path per chunk, so scoring
+        large streams does not allocate or retain BPTT buffers.
+        """
         self._require_built()
         outputs = [
-            self.forward(x[index], training=False)
+            self.infer(x[index])
             for index in batches(x.shape[0], batch_size)
         ]
         return np.concatenate(outputs, axis=0)

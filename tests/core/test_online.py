@@ -156,3 +156,123 @@ class TestOnlineOfflineConsistency:
         assert np.allclose(
             online_scores, offline.scores, atol=1e-9
         )
+
+    def test_replay_matches_offline_bitwise(self, detector):
+        """At float64, a replayed stream scores bitwise equal to
+        ``detector.score`` — message-at-a-time and micro-batched."""
+        stream = cyclic_stream(120)
+        offline = detector.score(stream).scores
+        one = OnlineMonitor(detector, threshold=float("inf"))
+        per_message = np.concatenate(
+            [
+                one.scorer.observe_batch([m]).scores
+                for m in stream
+            ]
+        )
+        batched_monitor = OnlineMonitor(
+            detector, threshold=float("inf")
+        )
+        batched = batched_monitor.scorer.observe_batch(stream).scores
+        assert np.array_equal(per_message, batched, equal_nan=True)
+        scored = batched[~np.isnan(batched)]
+        assert np.array_equal(scored, offline)
+
+    def test_multi_device_interleaved_bitwise(self, detector):
+        """Interleaved devices, scored in ticks, must match each
+        device's offline scores bitwise at float64."""
+        streams = {
+            host: cyclic_stream(
+                80, host=host, start=TRACE_START + offset
+            )
+            for offset, host in enumerate(
+                ["vpe00", "vpe01", "vpe02"]
+            )
+        }
+        merged = sorted(
+            (m for s in streams.values() for m in s),
+            key=lambda m: m.timestamp,
+        )
+        monitor = OnlineMonitor(
+            detector, threshold=float("inf"), tick_size=33
+        )
+        scores = np.concatenate(
+            [
+                monitor.scorer.observe_batch(merged[i:i + 33]).scores
+                for i in range(0, len(merged), 33)
+            ]
+        )
+        hosts = np.array([m.host for m in merged])
+        for host, stream in streams.items():
+            offline = detector.score(stream).scores
+            got = scores[hosts == host]
+            got = got[~np.isnan(got)]
+            assert np.array_equal(got, offline), host
+
+    def test_run_warnings_match_observe_loop(self, detector,
+                                             threshold):
+        """Micro-batched run() emits exactly the warnings of a
+        message-at-a-time observe() loop."""
+        stream = cyclic_stream(300)
+        for start in (80, 200):
+            for offset in range(4):
+                index = start + offset
+                stream[index] = make_message(
+                    timestamp=stream[index].timestamp,
+                    text=ANOMALY_TEXT,
+                )
+        loop_monitor = OnlineMonitor(
+            detector, threshold, cooldown=10 * MINUTE
+        )
+        loop_warnings = [
+            w
+            for w in (loop_monitor.observe(m) for m in stream)
+            if w is not None
+        ]
+        run_monitor = OnlineMonitor(
+            detector, threshold, cooldown=10 * MINUTE
+        )
+        run_warnings = run_monitor.run(stream, tick_size=64)
+        assert run_warnings == loop_warnings
+        assert run_monitor.n_observed == loop_monitor.n_observed
+        assert run_monitor.n_anomalies == loop_monitor.n_anomalies
+
+
+class TestStrictOrder:
+    def test_default_counts_nothing(self, detector, threshold):
+        monitor = OnlineMonitor(detector, threshold)
+        monitor.run(cyclic_stream(50))
+        assert monitor.strict_order
+        assert monitor.n_reordered == 0
+
+    def test_drop_mode_survives_misordered(self, detector,
+                                           threshold):
+        monitor = OnlineMonitor(
+            detector, threshold, strict_order=False
+        )
+        stream = cyclic_stream(60)
+        stale = make_message(
+            timestamp=TRACE_START, text=TEXTS[0]
+        )
+        dirty = stream[:30] + [stale] + stream[30:]
+        monitor.run(dirty, tick_size=16)
+        assert monitor.n_reordered == 1
+        assert monitor.n_observed == 60  # dropped one not counted
+        # dropped arrivals never reach the warning logic
+        reference = OnlineMonitor(detector, threshold)
+        reference.run(stream)
+        assert (
+            monitor._devices["vpe00"].last_score
+            == reference._devices["vpe00"].last_score
+        )
+
+    def test_observe_returns_none_for_dropped(self, detector,
+                                              threshold):
+        monitor = OnlineMonitor(
+            detector, threshold, strict_order=False
+        )
+        monitor.observe(make_message(timestamp=TRACE_START + 100))
+        assert (
+            monitor.observe(make_message(timestamp=TRACE_START))
+            is None
+        )
+        assert monitor.n_reordered == 1

@@ -1,0 +1,66 @@
+"""Smoke test for the streaming benchmark suite (``-m perf`` only).
+
+Runs the reduced device sweep end to end and checks the record shape
+plus loose speedup floors — loose because CI machines are noisy and
+the real acceptance number (>= 10x at 38 devices, float32) lives in
+``BENCH_streaming.json`` at the default scale.  Deselected by default
+via ``addopts = '-m "not perf"'``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+_BENCH_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+)
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+
+@pytest.fixture(scope="module")
+def reduced_record():
+    import streaming
+
+    return streaming.run("reduced")
+
+
+class TestReducedSweep:
+    def test_record_shape(self, reduced_record):
+        assert reduced_record["scale"] == "reduced"
+        streaming_bench = reduced_record["benchmarks"][
+            "streaming_scoring"
+        ]
+        sweep = streaming_bench["device_sweep"]
+        assert [point["devices"] for point in sweep] == [1, 8, 32]
+        for point in sweep:
+            assert point["timed_messages"] > 0
+            assert point["legacy_msgs_per_s"] > 0
+
+    def test_micro_batching_pays_off_at_fleet_scale(
+        self, reduced_record
+    ):
+        """At the largest reduced fleet the fused path must win big.
+
+        The floor is far below the >= 10x default-scale acceptance
+        number on purpose: this is a smoke test on shared hardware.
+        """
+        sweep = reduced_record["benchmarks"]["streaming_scoring"][
+            "device_sweep"
+        ]
+        largest = sweep[-1]
+        assert largest["speedup_f32"] > 3.0
+        assert largest["speedup_f64"] > 2.0
+
+    def test_f32_not_slower_than_f64(self, reduced_record):
+        sweep = reduced_record["benchmarks"]["streaming_scoring"][
+            "device_sweep"
+        ]
+        largest = sweep[-1]
+        assert (
+            largest["stream_f32_msgs_per_s"]
+            >= 0.8 * largest["stream_f64_msgs_per_s"]
+        )
