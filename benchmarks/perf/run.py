@@ -26,6 +26,7 @@ import argparse
 import json
 import pathlib
 import sys
+import traceback
 
 HERE = pathlib.Path(__file__).resolve().parent
 ROOT = HERE.parent.parent
@@ -134,6 +135,23 @@ def run_suite(suite: str, scale: str) -> dict:
 _PRINTERS = {"hotpath": _print_hotpath, "streaming": _print_streaming}
 
 
+def validate_record(record: object) -> str:
+    """Why ``record`` is not an appendable run record ('' if it is).
+
+    Guards the trajectory file: a suite that returns a malformed
+    record (or raises mid-run) must not leave a truncated or
+    schema-less entry behind for later regression comparisons.
+    """
+    if not isinstance(record, dict):
+        return f"suite returned {type(record).__name__}, expected dict"
+    benchmarks = record.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        return "record['benchmarks'] missing or empty"
+    if not isinstance(record.get("scale"), str):
+        return "record['scale'] missing"
+    return ""
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -159,7 +177,23 @@ def main(argv=None) -> int:
     output = pathlib.Path(args.output or SUITE_OUTPUTS[args.suite])
     load_payload(output)  # reject a bad trajectory file up front
 
-    record = run_suite(args.suite, args.scale)
+    try:
+        record = run_suite(args.suite, args.scale)
+    except Exception:
+        traceback.print_exc()
+        print(
+            f"suite {args.suite!r} raised; {output} left untouched",
+            file=sys.stderr,
+        )
+        return 1
+    problem = validate_record(record)
+    if problem:
+        print(
+            f"suite {args.suite!r} produced a malformed record "
+            f"({problem}); {output} left untouched",
+            file=sys.stderr,
+        )
+        return 1
     append_record(record, output)
     _PRINTERS[args.suite](record)
     print(f"appended to {output}")

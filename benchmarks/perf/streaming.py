@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 import legacy
+from repro import telemetry
 from repro.core.detector import LSTMAnomalyDetector
 from repro.core.stream import StreamScorer
 from repro.logs.message import SyslogMessage
@@ -203,6 +204,43 @@ def bench_devices(
     }
 
 
+def bench_telemetry_overhead(
+    scale: StreamScale, f64: LSTMAnomalyDetector
+) -> Dict[str, float]:
+    """Streaming cost of live metrics vs the no-op registry.
+
+    Same tick-drain as the sweep, largest device count.  The two
+    sides are interleaved (null, live, null, live, ...) and each takes
+    its best-of, so slow thermal/load drift over the benchmark's run
+    cancels out instead of being billed to whichever side ran last;
+    the perf gate pins the overhead fraction at under 3%.
+    """
+    n_devices = max(scale.device_counts)
+    warmup = n_devices * (scale.window + 2)
+    stream = fleet_stream(n_devices, warmup + scale.timed_messages)
+    warm, timed = stream[:warmup], stream[warmup:]
+    repeats = max(scale.repeats, 3)
+    null_s = live_s = float("inf")
+    for _ in range(repeats):
+        with telemetry.use(telemetry.NullRegistry()):
+            null_s = min(
+                null_s,
+                _time_stream(f64, warm, timed, 1, scale.tick_size),
+            )
+        with telemetry.use(telemetry.MetricsRegistry()):
+            live_s = min(
+                live_s,
+                _time_stream(f64, warm, timed, 1, scale.tick_size),
+            )
+    return {
+        "devices": n_devices,
+        "timed_messages": len(timed),
+        "null_registry_s": null_s,
+        "live_registry_s": live_s,
+        "overhead_fraction": live_s / null_s - 1.0,
+    }
+
+
 def run(scale_name: str = "default") -> Dict:
     """Run the device-count sweep at the named scale."""
     scale = SCALES[scale_name]
@@ -211,6 +249,7 @@ def run(scale_name: str = "default") -> Dict:
         bench_devices(scale, n_devices, f64, f32)
         for n_devices in scale.device_counts
     ]
+    overhead = bench_telemetry_overhead(scale, f64)
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "scale": scale.name,
@@ -220,6 +259,7 @@ def run(scale_name: str = "default") -> Dict:
                 "hidden": scale.hidden,
                 "tick_size": scale.tick_size,
                 "device_sweep": sweep,
-            }
+            },
+            "telemetry_overhead": overhead,
         },
     }

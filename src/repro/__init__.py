@@ -19,7 +19,6 @@ for NFV deployments:
   (:mod:`repro.core.mapping`, :mod:`repro.evaluation`).
 """
 
-from repro.version import __version__
 from repro.core import (
     LSTMAnomalyDetector,
     PipelineConfig,
@@ -30,6 +29,7 @@ from repro.core import (
 from repro.logs import SyslogMessage, TemplateStore
 from repro.synthesis import FleetDataset, FleetSimulator, SimulationConfig
 from repro.tickets import RootCause, TroubleTicket
+from repro.version import __version__
 
 __all__ = [
     "__version__",

@@ -31,17 +31,18 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
+from repro.core.adaptation import distribution_shift, transfer_adapt
 from repro.core.detector import LSTMAnomalyDetector
 from repro.core.mapping import map_anomalies, warning_clusters
-from repro.core.thresholds import sweep_thresholds
-from repro.evaluation.metrics import best_operating_point
+from repro.core.online import OnlineMonitor
 from repro.evaluation.reporting import format_table
 from repro.logs.message import Facility, Severity, SyslogMessage
 from repro.logs.persistence import store_from_json, store_to_json
 from repro.logs.templates import TemplateStore
 from repro.synthesis import FleetSimulator, SimulationConfig
 from repro.tickets.ticket import RootCause, TroubleTicket
-from repro.timeutil import DAY
+from repro.timeutil import DAY, MONTH, WEEK
 
 
 # -- trace I/O ------------------------------------------------------------
@@ -327,6 +328,140 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Invariants asserted by ``repro telemetry --check``: the CI gate
+#: fails the build when instrumentation of any layer regresses.
+_TELEMETRY_CHECKS = (
+    "stream.messages_scored > 0",
+    "match.memo_hit_rate >= 0.5",
+    "stream.n_reordered == 0",
+    "every layer (mine/match, train, stream, adapt) reports metrics",
+)
+
+
+def _check_snapshot(snapshot: Dict) -> List[str]:
+    """Validate the telemetry-smoke invariants; return failures."""
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    failures: List[str] = []
+    if counters.get("stream.messages_scored", 0) <= 0:
+        failures.append(
+            "stream.messages_scored: expected > 0, got "
+            f"{counters.get('stream.messages_scored', 0)}"
+        )
+    hit_rate = gauges.get("match.memo_hit_rate", 0.0)
+    if hit_rate < 0.5:
+        failures.append(
+            f"match.memo_hit_rate: expected >= 0.5, got {hit_rate}"
+        )
+    reordered = counters.get("stream.n_reordered", 0)
+    if reordered != 0:
+        failures.append(
+            f"stream.n_reordered: expected 0, got {reordered}"
+        )
+    names = (
+        list(counters)
+        + list(gauges)
+        + list(snapshot["histograms"])
+    )
+    for prefix in ("mine.", "match.", "train.", "stream.", "adapt."):
+        if not any(name.startswith(prefix) for name in names):
+            failures.append(f"no metrics published under {prefix}*")
+    return failures
+
+
+def _telemetry_smoke(args: argparse.Namespace) -> None:
+    """One in-memory pass through every instrumented layer.
+
+    Simulate two months for a small fleet, mine templates and train on
+    month 1, stream month 2 through the online monitor, then run the
+    drift check and one transfer adaptation — so the resulting
+    snapshot carries mine/match, train, stream and adapt metrics.
+    """
+    config = SimulationConfig(
+        n_vpes=args.vpes,
+        n_months=2,
+        seed=args.seed,
+        base_rate_per_hour=args.rate,
+        update_month=1,
+        n_fleet_events=0,
+    )
+    dataset = FleetSimulator(config).run()
+    split = dataset.start + MONTH
+
+    training_streams = [
+        dataset.normal_messages(vpe, dataset.start, split)
+        for vpe in dataset.messages
+    ]
+    store = TemplateStore()
+    store.fit(
+        sorted(
+            (m for s in training_streams for m in s),
+            key=lambda m: m.timestamp,
+        )
+    )
+    detector = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=store.vocabulary_size + 64,
+        window=6,
+        hidden=(8, 8),
+        epochs=1,
+        oversample_rounds=0,
+        max_train_samples=2000,
+        seed=args.seed,
+    )
+    detector.fit_streams(training_streams)
+
+    month1 = dataset.aggregate_messages(end=split)
+    scored = detector.score(month1)
+    threshold = (
+        float(np.quantile(scored.scores, 0.99))
+        if len(scored)
+        else float("inf")
+    )
+
+    month2 = dataset.aggregate_messages(start=split)
+    month2.sort(key=lambda m: m.timestamp)
+    monitor = OnlineMonitor(
+        detector, threshold=threshold, strict_order=False
+    )
+    monitor.run(month2, tick_size=512)
+
+    week = [m for m in month2 if m.timestamp < split + WEEK]
+    distribution_shift(
+        store.transform(month1),
+        store.transform(week),
+        store.vocabulary_size,
+    )
+    if week:
+        transfer_adapt(detector, week, epochs=1)
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use(registry):
+        _telemetry_smoke(args)
+    if args.format == "prometheus":
+        rendered = registry.to_prometheus()
+    else:
+        rendered = registry.to_json()
+    if args.out:
+        pathlib.Path(args.out).write_text(rendered)
+        print(f"wrote telemetry snapshot to {args.out}")
+    else:
+        print(rendered)
+    if args.check:
+        failures = _check_snapshot(registry.snapshot())
+        for failure in failures:
+            print(f"telemetry check failed: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"telemetry checks passed ({len(_TELEMETRY_CHECKS)} "
+            "invariants)"
+        )
+    return 0
+
+
 # -- parser -------------------------------------------------------------
 
 
@@ -383,6 +518,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--anomalies", required=True)
     p.add_argument("--window-days", type=float, default=1.0)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="run an end-to-end smoke and print its metrics snapshot",
+    )
+    p.add_argument("--vpes", type=int, default=2)
+    p.add_argument("--rate", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--format", choices=("json", "prometheus"), default="json"
+    )
+    p.add_argument("--out", default=None)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the telemetry invariants (CI gate)",
+    )
+    p.set_defaults(func=cmd_telemetry)
     return parser
 
 

@@ -18,10 +18,9 @@ uses to diagnose software updates.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
-import numpy as np
-
+from repro import telemetry
 from repro.core.detector import LOWER_LAYERS, LSTMAnomalyDetector
 from repro.features.counts import template_distribution
 from repro.logs.message import SyslogMessage
@@ -76,7 +75,11 @@ def distribution_shift(
     """
     previous = template_distribution(previous_month, vocabulary_size)
     current = template_distribution(current_month, vocabulary_size)
-    return cosine_similarity(previous, current)
+    similarity = cosine_similarity(previous, current)
+    registry = telemetry.default_registry()
+    registry.counter("adapt.drift_checks").inc()
+    registry.gauge("adapt.cosine_similarity").set(similarity)
+    return similarity
 
 
 def update_detected(
@@ -88,9 +91,12 @@ def update_detected(
     """Drift trigger: did the distribution change enough to adapt?"""
     if not previous_month or not current_month:
         return False
-    return (
+    detected = (
         distribution_shift(
             previous_month, current_month, vocabulary_size
         )
         < threshold
     )
+    if detected:
+        telemetry.counter("adapt.drift_detected").inc()
+    return detected

@@ -9,7 +9,7 @@ Zhang et al. (Big Data 2016).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

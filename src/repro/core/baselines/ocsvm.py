@@ -8,7 +8,7 @@ is reproduced by this detector's PRC sitting well under the LSTM's.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

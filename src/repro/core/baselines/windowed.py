@@ -10,7 +10,7 @@ stream plumbing; subclasses implement ``_fit_vectors`` and
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

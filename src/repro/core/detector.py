@@ -16,10 +16,11 @@ improving.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.base import (
     AnomalyDetector,
     ScoredStream,
@@ -397,6 +398,7 @@ class LSTMAnomalyDetector(AnomalyDetector):
         epochs: int = 3,
     ) -> "LSTMAnomalyDetector":
         """Per-device-stream counterpart of :meth:`adapt`."""
+        telemetry.counter("adapt.fine_tune_events").inc()
         for stream in streams:
             self.store.extend(list(stream))
         student = self.clone()
@@ -407,7 +409,8 @@ class LSTMAnomalyDetector(AnomalyDetector):
         # Over-sampling needs a stable model; skip it while fine-tuning.
         student.oversample_rounds = 0
         try:
-            student.fit_streams(streams)
+            with telemetry.timed("adapt.fine_tune_seconds"):
+                student.fit_streams(streams)
         finally:
             student.epochs = saved_epochs
             student.oversample_rounds = saved_rounds

@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.evaluation.metrics import DetectionCounts
-from repro.tickets.ticket import RootCause, TroubleTicket
+from repro.tickets.ticket import TroubleTicket
 from repro.timeutil import DAY, MINUTE
 
 

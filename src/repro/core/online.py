@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro import telemetry
 from repro.core.detector import LSTMAnomalyDetector
 from repro.core.stream import StreamScorer
 from repro.logs.message import SyslogMessage
@@ -147,6 +148,8 @@ class OnlineMonitor:
         results: List[Optional[WarningSignature]] = []
         scores = batch.scores
         kept = batch.kept
+        anomalies_before = self.n_anomalies
+        n_warnings = 0
         for i, message in enumerate(messages):
             if not kept[i]:
                 results.append(None)
@@ -163,9 +166,16 @@ class OnlineMonitor:
                 results.append(None)
                 continue
             self.n_anomalies += 1
-            results.append(
-                self._register_anomaly(state, message, score)
+            warning = self._register_anomaly(state, message, score)
+            if warning is not None:
+                n_warnings += 1
+            results.append(warning)
+        if messages:
+            registry = telemetry.default_registry()
+            registry.counter("stream.anomalies").inc(
+                self.n_anomalies - anomalies_before
             )
+            registry.counter("stream.warnings_emitted").inc(n_warnings)
         return results
 
     def _register_anomaly(

@@ -25,8 +25,7 @@ import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro import telemetry
 from repro.core.adaptation import update_detected
 from repro.core.base import AnomalyDetector, ScoredStream
 from repro.core.detector import LSTMAnomalyDetector
@@ -401,11 +400,17 @@ class RollingPipeline:
                 }
             )
             self._rebind_store(detectors, store)
+            telemetry.counter("train.groups_fitted").inc(
+                len(detectors)
+            )
             return detectors
         detectors = {}
+        registry = telemetry.default_registry()
         for group in grouping.groups:
             detector = self.detector_factory(store, seeds[group])
-            detector.fit_streams(streams[group])
+            with registry.timed("train.group_fit_seconds"):
+                detector.fit_streams(streams[group])
+            registry.counter("train.groups_fitted").inc()
             detectors[group] = detector
         return detectors
 
@@ -433,9 +438,15 @@ class RollingPipeline:
             )
             self._rebind_store(updated, store)
             detectors.update(updated)
+            telemetry.counter("train.groups_updated").inc(
+                len(updated)
+            )
             return
+        registry = telemetry.default_registry()
         for group, detector in detectors.items():
-            detector.update_streams(streams[group])
+            with registry.timed("train.group_update_seconds"):
+                detector.update_streams(streams[group])
+            registry.counter("train.groups_updated").inc()
 
     # -- main loop ----------------------------------------------------------
 

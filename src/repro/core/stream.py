@@ -30,6 +30,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.base import clamp_template_ids
 from repro.core.detector import LSTMAnomalyDetector
 from repro.logs.message import SyslogMessage
@@ -158,6 +159,9 @@ class StreamScorer:
             return StreamBatch(scores, kept)
         detector = self.detector
         ids = detector.store.match_ids(messages)
+        n_clamped = int(
+            np.count_nonzero(ids >= detector.vocabulary_capacity)
+        )
         clamp_template_ids(ids, detector.vocabulary_capacity)
         times = np.fromiter(
             (message.timestamp for message in messages),
@@ -214,12 +218,14 @@ class StreamScorer:
             rank_sorted[start:stop][ok] = np.arange(t_kept.size)
 
         kept[order] = keep_sorted
-        self.n_reordered += int(n - keep_sorted.sum())
+        n_dropped = int(n - keep_sorted.sum())
+        self.n_reordered += n_dropped
 
         # Round decomposition: all rank-r arrivals form one micro-batch
         # of distinct devices, scored with a single fused forward.
         kept_positions = np.flatnonzero(keep_sorted)
         if not kept_positions.size:
+            self._publish_tick(n, n_dropped, 0, n_clamped, scores)
             return StreamBatch(scores, kept)
         ranks = rank_sorted[kept_positions]
         round_order = np.argsort(ranks, kind="stable")
@@ -232,6 +238,7 @@ class StreamScorer:
         window = self.window
         arange_w = np.arange(window)
         model = detector.model
+        n_scored_tick = 0
         for a, b in zip(round_starts, round_stops):
             orig = order[by_round[a:b]]
             rows_r = rows[orig]
@@ -248,6 +255,7 @@ class StreamScorer:
                     logits, tids_r[ready]
                 )
                 scores[orig[ready]] = -likelihoods
+                n_scored_tick += int(ready_rows.size)
                 self.n_scored += int(ready_rows.size)
             # Push the arrivals into the rings after scoring: each
             # message is scored against the context that preceded it.
@@ -259,4 +267,38 @@ class StreamScorer:
                 self._fill[rows_r] + 1, window
             )
             self._last_time[rows_r] = times[orig]
+        self._publish_tick(
+            n, n_dropped, n_scored_tick, n_clamped, scores
+        )
         return StreamBatch(scores, kept)
+
+    def _publish_tick(
+        self,
+        n_ingested: int,
+        n_dropped: int,
+        n_scored: int,
+        n_clamped: int,
+        scores: np.ndarray,
+    ) -> None:
+        """Publish one tick's accounting to the telemetry registry.
+
+        One call per tick, a handful of dict lookups plus a vectorized
+        histogram pass over the tick's scores — the streaming perf
+        suite pins the total at under 3% of scoring cost.
+        """
+        registry = telemetry.default_registry()
+        registry.counter("stream.ticks").inc()
+        registry.counter("stream.messages_ingested").inc(n_ingested)
+        # Created even when zero so exported snapshots always carry the
+        # full schema (the CI gate asserts on these by name).
+        registry.counter("stream.messages_scored").inc(n_scored)
+        registry.counter("stream.n_reordered").inc(n_dropped)
+        registry.counter("stream.unknown_clamped").inc(n_clamped)
+        registry.histogram(
+            "stream.tick_messages", edges=telemetry.SIZE_BUCKETS
+        ).observe(n_ingested)
+        finite = scores[~np.isnan(scores)]
+        if finite.size:
+            registry.histogram(
+                "stream.scores", edges=telemetry.SCORE_BUCKETS
+            ).observe_array(finite)

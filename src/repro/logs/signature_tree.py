@@ -134,12 +134,19 @@ class _Leaf:
     signatures: List[Signature] = field(default_factory=list)
     supports: List[int] = field(default_factory=list)
 
-    def insert(self, presig: Signature, merge_threshold: float) -> int:
-        """Insert a pre-signature, returning its local signature index."""
+    def insert(
+        self, presig: Signature, merge_threshold: float
+    ) -> Tuple[int, str]:
+        """Insert a pre-signature.
+
+        Returns the local signature index plus the outcome —
+        ``"exact"`` (matched as-is), ``"merged"`` (generalized into the
+        most similar signature) or ``"new"`` (started a signature).
+        """
         for index, signature in enumerate(self.signatures):
             if _matches(signature, presig):
                 self.supports[index] += 1
-                return index
+                return index, "exact"
         best_index, best_score = -1, 0.0
         for index, signature in enumerate(self.signatures):
             score = _agreement(signature, presig)
@@ -150,10 +157,10 @@ class _Leaf:
                 self.signatures[best_index], presig
             )
             self.supports[best_index] += 1
-            return best_index
+            return best_index, "merged"
         self.signatures.append(presig)
         self.supports.append(1)
-        return len(self.signatures) - 1
+        return len(self.signatures) - 1, "new"
 
 
 class SignatureTree:
@@ -173,6 +180,13 @@ class SignatureTree:
             )
         self.merge_threshold = merge_threshold
         self._tree: Dict[int, Dict[str, _Leaf]] = {}
+        # Mining statistics, kept as plain ints so the hot insert loop
+        # stays registry-free; TemplateStore publishes the deltas into
+        # the process telemetry registry after each fit/extend.
+        self.n_inserted = 0
+        self.n_exact = 0
+        self.n_merged = 0
+        self.n_new = 0
 
     def _leaf_for(self, process: str, tokens: Sequence[str]) -> _Leaf:
         level1 = self._tree.setdefault(len(tokens), {})
@@ -203,7 +217,14 @@ class SignatureTree:
         if leaf is None:
             leaf = _Leaf()
             level1[key] = leaf
-        index = leaf.insert(presig, self.merge_threshold)
+        index, outcome = leaf.insert(presig, self.merge_threshold)
+        self.n_inserted += 1
+        if outcome == "new":
+            self.n_new += 1
+        elif outcome == "merged":
+            self.n_merged += 1
+        else:
+            self.n_exact += 1
         return leaf.signatures[index]
 
     def lookup(self, message: SyslogMessage) -> Optional[Signature]:

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.logs.message import SyslogMessage
 from repro.logs.signature_tree import (
     Signature,
@@ -89,6 +90,13 @@ class TemplateStore:
         self._memo: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
         self._memo_hits = 0
         self._memo_misses = 0
+        # High-water marks of what has been published to the telemetry
+        # registry, so batch-boundary publishing emits deltas only.
+        self._published_hits = 0
+        self._published_misses = 0
+        self._published_inserted = 0
+        self._published_new = 0
+        self._published_merged = 0
         # Second-level memo keyed by (process, presignature).  Raw
         # texts differ in their variable tokens, but the presignature
         # collapses those to wildcards, so distinct keys here track the
@@ -116,10 +124,15 @@ class TemplateStore:
         )
         self._templates = []
         self._index = {}
+        # The tree's mining stats restart with it.
+        self._published_inserted = 0
+        self._published_new = 0
+        self._published_merged = 0
         for message in messages:
             self._tree.insert(message)
         self._rebuild_index()
         self._fitted = True
+        self._publish_mining_stats(created=len(self._templates))
         return self
 
     def extend(self, messages: Iterable[SyslogMessage]) -> int:
@@ -137,7 +150,9 @@ class TemplateStore:
         for message in messages:
             self._tree.insert(message)
         self._rebuild_index()
-        return len(self._templates) - before
+        created = len(self._templates) - before
+        self._publish_mining_stats(created=created)
+        return created
 
     def _rebuild_index(self) -> None:
         known = {
@@ -226,6 +241,49 @@ class TemplateStore:
         """Lifetime ``(hits, misses)`` of the match memo."""
         return self._memo_hits, self._memo_misses
 
+    # -- telemetry -------------------------------------------------------
+
+    def _publish_match_stats(self) -> None:
+        """Push memo hit/miss deltas into the telemetry registry.
+
+        Called once per batch (``match_ids`` / ``transform``), never
+        per message, so matching stays registry-free on the hot path.
+        """
+        registry = telemetry.default_registry()
+        hits, misses = self._memo_hits, self._memo_misses
+        delta_hits = hits - self._published_hits
+        delta_misses = misses - self._published_misses
+        if delta_hits:
+            registry.counter("match.memo_hits").inc(delta_hits)
+            self._published_hits = hits
+        if delta_misses:
+            registry.counter("match.memo_misses").inc(delta_misses)
+            self._published_misses = misses
+        total = hits + misses
+        if total:
+            registry.gauge("match.memo_hit_rate").set(hits / total)
+
+    def _publish_mining_stats(self, created: int) -> None:
+        """Publish tree-mining deltas after a ``fit``/``extend``."""
+        registry = telemetry.default_registry()
+        tree = self._tree
+        for name, value, mark in (
+            ("mine.messages_inserted", tree.n_inserted,
+             "_published_inserted"),
+            ("mine.signatures_new", tree.n_new, "_published_new"),
+            ("mine.signatures_merged", tree.n_merged,
+             "_published_merged"),
+        ):
+            delta = value - getattr(self, mark)
+            if delta > 0:
+                registry.counter(name).inc(delta)
+                setattr(self, mark, value)
+        if created > 0:
+            registry.counter("mine.templates_created").inc(created)
+        registry.gauge("mine.vocabulary_size").set(
+            self.vocabulary_size
+        )
+
     def match_ids(
         self, messages: Sequence[SyslogMessage]
     ) -> np.ndarray:
@@ -235,20 +293,24 @@ class TemplateStore:
         that only need ids (windowing, scoring): no per-message
         annotated copies are built.
         """
-        return np.fromiter(
+        ids = np.fromiter(
             (self.match(message) for message in messages),
             dtype=np.int64,
             count=len(messages),
         )
+        self._publish_match_stats()
+        return ids
 
     def transform(
         self, messages: Sequence[SyslogMessage]
     ) -> List[SyslogMessage]:
         """Return copies of ``messages`` annotated with template ids."""
-        return [
+        annotated = [
             message.with_template(self.match(message))
             for message in messages
         ]
+        self._publish_match_stats()
+        return annotated
 
     def template(self, template_id: int) -> Optional[Template]:
         """Look up a template by id (``None`` for the unknown id)."""

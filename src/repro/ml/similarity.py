@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
+
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     """Cosine similarity of two vectors.
@@ -19,6 +21,7 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
         raise ValueError(
             f"vectors must have equal shape, got {a.shape} vs {b.shape}"
         )
+    telemetry.counter("similarity.cosine_calls").inc()
     norm_a = np.linalg.norm(a)
     norm_b = np.linalg.norm(b)
     if norm_a == 0.0 or norm_b == 0.0:

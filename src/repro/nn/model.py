@@ -13,10 +13,12 @@ adaptation mechanism needs:
 from __future__ import annotations
 
 import copy
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss
 from repro.nn.optimizers import Optimizer, ParamTriple
@@ -187,7 +189,9 @@ class Sequential:
         if x.shape[0] != y.shape[0]:
             raise ValueError("x and y must agree on the batch dimension")
         history: List[float] = []
+        registry = telemetry.default_registry()
         for _ in range(epochs):
+            epoch_start = time.perf_counter()
             epoch_losses: List[float] = []
             order_rng = self.rng if shuffle else None
             for index in batches(x.shape[0], batch_size, order_rng):
@@ -202,6 +206,11 @@ class Sequential:
                     )
                 )
             history.append(float(np.mean(epoch_losses)))
+            registry.counter("train.epochs").inc()
+            registry.gauge("train.epoch_loss").set(history[-1])
+            registry.histogram("train.epoch_seconds").observe(
+                time.perf_counter() - epoch_start
+            )
         return history
 
     def predict(

@@ -20,7 +20,7 @@ stretched during quiet night hours to give the trace a diurnal shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

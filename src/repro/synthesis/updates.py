@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Tuple
 
-import numpy as np
-
 from repro.synthesis.catalog import UPDATE_TEMPLATES
 
 #: Old templates the update replaces outright (their v2 equivalents

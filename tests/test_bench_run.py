@@ -1,0 +1,106 @@
+"""Regression tests for the benchmark runner's failure handling.
+
+A suite that raises mid-run (or returns a malformed record) must exit
+non-zero and leave the BENCH trajectory file exactly as it was —
+never append a truncated or schema-less entry that later regression
+comparisons would trip over.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCH_DIR = (
+    pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+)
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+import run  # noqa: E402
+
+
+GOOD_RECORD = {
+    "timestamp": "2026-01-01T00:00:00",
+    "scale": "reduced",
+    "benchmarks": {"fake": {"metric": 1.0}},
+}
+
+
+@pytest.fixture
+def trajectory(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    payload = {"runs": [{"scale": "seed", "benchmarks": {"x": {}}}]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_suite_exception_exits_nonzero_without_writing(
+    monkeypatch, trajectory, capsys
+):
+    def explode(suite, scale):
+        raise RuntimeError("benchmark blew up")
+
+    monkeypatch.setattr(run, "run_suite", explode)
+    before = trajectory.read_text()
+    code = run.main(["hotpath", "--output", str(trajectory)])
+    assert code == 1
+    assert trajectory.read_text() == before
+    assert "left untouched" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        None,
+        "not a dict",
+        {},
+        {"benchmarks": {}},
+        {"benchmarks": {"x": {}}},  # missing scale
+        {"scale": "reduced"},  # missing benchmarks
+    ],
+)
+def test_malformed_record_exits_nonzero_without_writing(
+    monkeypatch, trajectory, record
+):
+    monkeypatch.setattr(run, "run_suite", lambda suite, scale: record)
+    before = trajectory.read_text()
+    code = run.main(["hotpath", "--output", str(trajectory)])
+    assert code == 1
+    assert trajectory.read_text() == before
+
+
+def test_valid_record_is_appended(monkeypatch, trajectory, capsys):
+    monkeypatch.setattr(
+        run, "run_suite", lambda suite, scale: dict(GOOD_RECORD)
+    )
+    monkeypatch.setattr(
+        run, "_PRINTERS", {"hotpath": lambda record: None}
+    )
+    code = run.main(["hotpath", "--output", str(trajectory)])
+    assert code == 0
+    payload = json.loads(trajectory.read_text())
+    assert len(payload["runs"]) == 2
+    assert payload["runs"][-1] == GOOD_RECORD
+    assert "appended to" in capsys.readouterr().out
+
+
+def test_corrupt_trajectory_rejected_before_running(
+    monkeypatch, tmp_path
+):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{truncated")
+
+    def forbidden(suite, scale):
+        raise AssertionError("suite must not run on a bad trajectory")
+
+    monkeypatch.setattr(run, "run_suite", forbidden)
+    with pytest.raises(SystemExit):
+        run.main(["hotpath", "--output", str(bad)])
+    assert bad.read_text() == "{truncated"
+
+
+def test_validate_record_accepts_real_shape():
+    assert run.validate_record(GOOD_RECORD) == ""
+    assert run.validate_record({"benchmarks": 3, "scale": "x"}) != ""

@@ -117,11 +117,75 @@ class TestReport:
         assert "false alarms / day" in out
 
 
+class TestTelemetrySubcommand:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("telemetry") / "snapshot.json"
+        assert main([
+            "telemetry", "--check", "--out", str(out),
+        ]) == 0
+        return out
+
+    def test_snapshot_schema(self, snapshot_path):
+        snapshot = json.loads(snapshot_path.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        for section in snapshot.values():
+            assert isinstance(section, dict)
+        for payload in snapshot["histograms"].values():
+            assert set(payload) == {"edges", "counts", "sum", "count"}
+            assert len(payload["counts"]) == len(payload["edges"]) + 1
+            assert sum(payload["counts"]) == payload["count"]
+
+    def test_snapshot_covers_every_layer(self, snapshot_path):
+        snapshot = json.loads(snapshot_path.read_text())
+        names = (
+            list(snapshot["counters"])
+            + list(snapshot["gauges"])
+            + list(snapshot["histograms"])
+        )
+        for prefix in ("mine.", "match.", "train.", "stream.", "adapt."):
+            assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_check_invariants_hold(self, snapshot_path):
+        snapshot = json.loads(snapshot_path.read_text())
+        assert snapshot["counters"]["stream.messages_scored"] > 0
+        assert snapshot["gauges"]["match.memo_hit_rate"] >= 0.5
+        assert snapshot["counters"]["stream.n_reordered"] == 0
+
+    def test_prometheus_format_round_trips(self, tmp_path, capsys):
+        from repro.telemetry import from_prometheus
+
+        out = tmp_path / "snapshot.prom"
+        assert main([
+            "telemetry", "--format", "prometheus",
+            "--out", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "# TYPE repro_stream_ticks counter" in text
+        rebuilt = from_prometheus(text)
+        assert rebuilt.to_prometheus() == text
+
+
 class TestParser:
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
             main([])
 
-    def test_unknown_subcommand_errors(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_subcommand_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "subcommand",
+        [
+            "simulate", "mine", "train", "detect", "report",
+            "telemetry",
+        ],
+    )
+    def test_subcommand_help_exits_zero(self, subcommand, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([subcommand, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
