@@ -34,6 +34,7 @@ import numpy as np
 from repro import telemetry
 from repro.core.adaptation import distribution_shift, transfer_adapt
 from repro.core.detector import LSTMAnomalyDetector
+from repro.devtools.cli import add_check_parser
 from repro.core.mapping import map_anomalies, warning_clusters
 from repro.core.online import OnlineMonitor
 from repro.evaluation.reporting import format_table
@@ -536,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="assert the telemetry invariants (CI gate)",
     )
     p.set_defaults(func=cmd_telemetry)
+    add_check_parser(sub)
     return parser
 
 

@@ -1,0 +1,43 @@
+"""Static analysis: the repo's invariants as CI-gated checks.
+
+PRs 1-3 established contracts that reviewers were enforcing by hand:
+bitwise float64 parity demands injected, seeded RNGs; the streaming
+engine's throughput depends on hot-path loops staying allocation-free;
+telemetry must publish at batch boundaries, never per message; and the
+public API must stay typed and documented so downstream automation can
+trust it.  ``repro.devtools`` turns each contract into an AST check
+with a ruff-like diagnostic code:
+
+* ``RPR1xx`` -- determinism (no entropy-seeded or global RNGs, no
+  wall-clock reads in library code);
+* ``RPR2xx`` -- hot-path discipline (no in-loop array allocation or
+  per-item comprehensions in designated modules);
+* ``RPR3xx`` -- telemetry discipline (no metric writes inside per-item
+  loops of instrumented modules);
+* ``RPR4xx`` -- API hygiene (annotations, docstrings, resolvable
+  ``__all__``);
+* ``RPR0xx`` -- checker usage (malformed or stale suppressions).
+
+Run it as ``python -m repro check [paths]``; suppress an intentional
+violation inline with ``# repro: noqa[RPRnnn]`` (the code is
+mandatory).  A module outside the configured hot-path list can opt into
+the RPR2xx checks with a ``# repro: hot-path`` pragma comment.
+"""
+
+from repro.devtools.analyzer import Analyzer, check_paths, iter_python_files
+from repro.devtools.base import Check, all_checks, get_check, registered_codes
+from repro.devtools.config import CheckConfig
+from repro.devtools.diagnostics import Diagnostic, diagnostics_to_json
+
+__all__ = [
+    "Analyzer",
+    "Check",
+    "CheckConfig",
+    "Diagnostic",
+    "all_checks",
+    "check_paths",
+    "diagnostics_to_json",
+    "get_check",
+    "iter_python_files",
+    "registered_codes",
+]

@@ -1,0 +1,31 @@
+"""Check plugins: importing this package populates the registry."""
+
+from repro.devtools.checks import api, determinism, hotpath, telemetry_discipline
+from repro.devtools.checks.api import AllResolvesCheck, AnnotationsCheck, DocstringCheck
+from repro.devtools.checks.determinism import (
+    EntropyRngCheck,
+    LegacyNumpyRandomCheck,
+    ModuleLevelRngCheck,
+    StdlibRandomCheck,
+    WallClockCheck,
+)
+from repro.devtools.checks.hotpath import InLoopAllocationCheck, InLoopComprehensionCheck
+from repro.devtools.checks.telemetry_discipline import PerItemTelemetryCheck
+
+__all__ = [
+    "AllResolvesCheck",
+    "AnnotationsCheck",
+    "DocstringCheck",
+    "EntropyRngCheck",
+    "InLoopAllocationCheck",
+    "InLoopComprehensionCheck",
+    "LegacyNumpyRandomCheck",
+    "ModuleLevelRngCheck",
+    "PerItemTelemetryCheck",
+    "StdlibRandomCheck",
+    "WallClockCheck",
+    "api",
+    "determinism",
+    "hotpath",
+    "telemetry_discipline",
+]

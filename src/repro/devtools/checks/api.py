@@ -1,0 +1,229 @@
+"""RPR4xx: public API hygiene.
+
+The CLI, the benchmark harness and the CI gates all script against
+``repro.*``; an unannotated or undocumented public callable is an
+interface only its author can use safely, and a stale ``__all__``
+entry turns ``from repro.x import *`` and re-export docs into lies.
+
+"Public" means: a module-level function/class whose name has no
+leading underscore, or a method of such a class that is itself
+public (``__init__`` and ``__call__`` count -- they are the
+constructor and call signatures users actually invoke).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.devtools.base import Check, FileContext, register
+from repro.devtools.diagnostics import Diagnostic
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Dunders that are part of a class's user-facing signature.
+_SIGNATURE_DUNDERS = frozenset({"__init__", "__call__"})
+
+
+def _is_public_name(name: str) -> bool:
+    return not name.startswith("_") or name in _SIGNATURE_DUNDERS
+
+
+def _public_functions(
+    context: FileContext,
+) -> Iterator[_FunctionNode]:
+    """Module-level and public-class-level public functions."""
+    for node in context.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public_name(node.name) and node.name not in _SIGNATURE_DUNDERS:
+                yield node
+        elif isinstance(node, ast.ClassDef) and _is_public_name(node.name):
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_public_name(member.name):
+                    yield member
+
+
+def _public_classes(context: FileContext) -> Iterator[ast.ClassDef]:
+    for node in context.tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public_name(node.name):
+            yield node
+
+
+def _missing_annotations(function: _FunctionNode) -> List[str]:
+    """Parameter names lacking annotations (self/cls excluded)."""
+    arguments = function.args
+    positional = arguments.posonlyargs + arguments.args
+    missing = []
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in arguments.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if arguments.vararg is not None and arguments.vararg.annotation is None:
+        missing.append("*" + arguments.vararg.arg)
+    if arguments.kwarg is not None and arguments.kwarg.annotation is None:
+        missing.append("**" + arguments.kwarg.arg)
+    return missing
+
+
+@register
+class AnnotationsCheck(Check):
+    """RPR401: public callables must be fully type-annotated."""
+
+    code = "RPR401"
+    rationale = (
+        "public repro.* functions without full parameter/return "
+        "annotations are uncheckable interfaces"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield API-hygiene diagnostics for one parsed file."""
+        for function in _public_functions(context):
+            missing = _missing_annotations(function)
+            if missing:
+                yield self.diagnostic(
+                    context,
+                    function,
+                    f"public function {function.name}() is missing "
+                    f"annotations for: {', '.join(missing)}",
+                )
+            if function.returns is None:
+                yield self.diagnostic(
+                    context,
+                    function,
+                    f"public function {function.name}() is missing a "
+                    "return annotation",
+                )
+
+
+@register
+class DocstringCheck(Check):
+    """RPR402: public API carries docstrings (modules included)."""
+
+    code = "RPR402"
+    rationale = (
+        "public modules, classes and functions need docstrings; the "
+        "API docs and reviewers read them, not the git log"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield API-hygiene diagnostics for one parsed file."""
+        if ast.get_docstring(context.tree) is None:
+            yield Diagnostic(
+                path=context.path,
+                line=1,
+                col=0,
+                code=self.code,
+                message="module is missing a docstring",
+            )
+        for node in _public_classes(context):
+            if ast.get_docstring(node) is None:
+                yield self.diagnostic(
+                    context, node,
+                    f"public class {node.name} is missing a docstring",
+                )
+        for function in _public_functions(context):
+            if function.name in _SIGNATURE_DUNDERS:
+                # The class docstring documents construction/calling.
+                continue
+            if ast.get_docstring(function) is None:
+                yield self.diagnostic(
+                    context,
+                    function,
+                    f"public function {function.name}() is missing a "
+                    "docstring",
+                )
+
+
+def _module_bindings(context: FileContext) -> Set[str]:
+    """Names bound at module scope (descending into if/try blocks)."""
+    bound: Set[str] = set()
+
+    def visit_block(statements: List[ast.stmt]) -> None:
+        for node in statements:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            bound.add(name.id)
+            elif isinstance(node, ast.If):
+                visit_block(node.body)
+                visit_block(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_block(node.body)
+                visit_block(node.orelse)
+                visit_block(node.finalbody)
+                for handler in node.handlers:
+                    visit_block(handler.body)
+            elif isinstance(node, (ast.For, ast.While, ast.With)):
+                visit_block(node.body)
+                if not isinstance(node, ast.With):
+                    visit_block(node.orelse)
+
+    visit_block(context.tree.body)
+    return bound
+
+
+def _all_entries(context: FileContext) -> Optional[List[ast.expr]]:
+    """Elements of a module-level ``__all__`` list/tuple, if present."""
+    for node in context.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    return list(node.value.elts)
+    return None
+
+
+@register
+class AllResolvesCheck(Check):
+    """RPR403: every ``__all__`` entry resolves to a module binding."""
+
+    code = "RPR403"
+    rationale = (
+        "__all__ names that do not resolve break star-imports and "
+        "advertise an API that does not exist"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield API-hygiene diagnostics for one parsed file."""
+        entries = _all_entries(context)
+        if entries is None:
+            return
+        bound = _module_bindings(context)
+        for entry in entries:
+            if not (
+                isinstance(entry, ast.Constant)
+                and isinstance(entry.value, str)
+            ):
+                yield self.diagnostic(
+                    context, entry, "__all__ entries must be string literals"
+                )
+                continue
+            if entry.value not in bound:
+                yield self.diagnostic(
+                    context,
+                    entry,
+                    f"__all__ entry {entry.value!r} does not resolve "
+                    "to a module-level name",
+                )

@@ -1,0 +1,208 @@
+"""RPR1xx: determinism contracts.
+
+The reproduction's guarantees -- bitwise float64 parity across
+refactors, stable anomaly scores gating ticket creation, monthly
+retrains that can be replayed -- all rest on one discipline: every
+source of randomness is an injected, seeded ``numpy.random.Generator``
+and library code never reads wall-clock entropy.  These checks make
+the discipline mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.devtools.base import Check, FileContext, register
+from repro.devtools.diagnostics import Diagnostic
+
+#: ``np.random`` attributes that are *not* the legacy global RNG:
+#: types, constructors and seeding helpers that deterministic code
+#: legitimately names.
+_NUMPY_RANDOM_SANCTIONED = frozenset(
+    {"Generator", "default_rng", "SeedSequence", "BitGenerator", "PCG64",
+     "Philox", "SFC64", "MT19937", "RandomState"}
+)
+
+#: ``random``-module members whose module-qualified call is flagged.
+#: Anything callable on the module draws from the hidden global state.
+_STDLIB_RANDOM_MODULE = "random"
+
+#: Wall-clock reads; monotonic/perf clocks are fine (durations only).
+_WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
+
+
+def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_numpy_random(prefix: Tuple[str, ...]) -> bool:
+    """Whether a dotted prefix names the ``numpy.random`` module."""
+    return prefix in (("np", "random"), ("numpy", "random"))
+
+
+@register
+class EntropyRngCheck(Check):
+    """RPR101: entropy-seeded generators break replayability."""
+
+    code = "RPR101"
+    rationale = (
+        "np.random.default_rng() with no seed draws OS entropy; "
+        "results cannot be replayed"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield determinism diagnostics for one parsed file."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            is_default_rng = dotted[-1] == "default_rng" and (
+                len(dotted) == 1 or _is_numpy_random(dotted[:-1])
+            )
+            if is_default_rng and not node.args and not node.keywords:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "default_rng() without a seed is entropy-seeded; "
+                    "inject a Generator or derive the seed",
+                )
+
+
+@register
+class LegacyNumpyRandomCheck(Check):
+    """RPR102: the legacy ``np.random.*`` global RNG is shared state."""
+
+    code = "RPR102"
+    rationale = (
+        "legacy np.random.<dist> calls mutate one hidden global "
+        "stream; pass a Generator instead"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield determinism diagnostics for one parsed file."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if (
+                dotted is not None
+                and len(dotted) >= 3
+                and _is_numpy_random(dotted[:2])
+                and dotted[2] not in _NUMPY_RANDOM_SANCTIONED
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"legacy global RNG call np.random.{dotted[2]}(); "
+                    "use an injected Generator",
+                )
+
+
+@register
+class StdlibRandomCheck(Check):
+    """RPR103: ``random.*`` is seedless hidden state in library code."""
+
+    code = "RPR103"
+    rationale = (
+        "stdlib random.* uses interpreter-global state outside the "
+        "injected-Generator regime"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield determinism diagnostics for one parsed file."""
+        imported = self._random_aliases(context.tree)
+        if not imported:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is not None and len(dotted) == 2 and dotted[0] in imported:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"stdlib random call {dotted[0]}.{dotted[1]}(); "
+                    "use an injected numpy Generator",
+                )
+
+    @staticmethod
+    def _random_aliases(tree: ast.Module) -> frozenset:
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _STDLIB_RANDOM_MODULE:
+                        aliases.add(alias.asname or alias.name)
+        return frozenset(aliases)
+
+
+@register
+class WallClockCheck(Check):
+    """RPR104: wall-clock reads make library behavior time-dependent."""
+
+    code = "RPR104"
+    rationale = (
+        "time.time() reads the wall clock in library code; take "
+        "timestamps as parameters (perf_counter for durations is fine)"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield determinism diagnostics for one parsed file."""
+        if context.config.is_allowlisted(self.code, context.path):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if (
+                dotted is not None
+                and len(dotted) == 2
+                and dotted[0] == "time"
+                and dotted[1] in _WALL_CLOCK_ATTRS
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"wall-clock read time.{dotted[1]}(); accept the "
+                    "timestamp as a parameter",
+                )
+
+
+@register
+class ModuleLevelRngCheck(Check):
+    """RPR105: module-level RNG construction is an import-order hazard."""
+
+    code = "RPR105"
+    rationale = (
+        "a Generator built at import time is hidden global state "
+        "shared by every caller; construct it inside the consumer"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield determinism diagnostics for one parsed file."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or dotted[-1] != "default_rng":
+                continue
+            if len(dotted) > 1 and not _is_numpy_random(dotted[:-1]):
+                continue
+            if context.enclosing_function(node) is None:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "default_rng(...) at module scope creates a "
+                    "process-wide RNG at import time",
+                )

@@ -1,0 +1,128 @@
+"""RPR2xx: hot-path allocation discipline.
+
+PR 1's speedups came from hoisting every array allocation out of the
+recurrence loops (preallocated ``(batch, steps, .)`` buffers, ``out=``
+ufuncs); PR 2's streaming engine holds the same line per tick.  These
+checks pin that property in the designated hot-path modules: an
+allocating NumPy call or a comprehension materializing per-item
+containers inside a ``for``/``while`` body is a regression unless the
+author marks it as a deliberate, amortized allocation with
+``# repro: noqa[RPR201]`` (a "hoist suppression").
+
+A call passing ``out=`` writes into caller-provided storage and is
+exempt; so is a loop whose iterable is a literal tuple/list, because
+its trip count is a small lexical constant, not data size.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.base import Check, FileContext, register
+from repro.devtools.checks.determinism import _dotted
+from repro.devtools.diagnostics import Diagnostic
+
+#: NumPy callables that always materialize a fresh array.  Searches and
+#: elementwise ufuncs are excluded: their ``out=``-less use in a loop is
+#: sometimes the right call shape, and the constructors below are where
+#: the real per-iteration garbage comes from.
+ALLOCATING_NUMPY_CALLS = frozenset(
+    {
+        "zeros", "empty", "ones", "full",
+        "zeros_like", "empty_like", "ones_like", "full_like",
+        "array", "asarray", "ascontiguousarray", "asfortranarray",
+        "concatenate", "stack", "vstack", "hstack", "dstack",
+        "column_stack", "block", "tile", "repeat", "copy",
+        "arange", "linspace", "logspace", "eye", "identity",
+        "fromiter", "frombuffer", "meshgrid", "pad",
+    }
+)
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+def _constant_trip_loop(node: ast.AST) -> bool:
+    """A ``for`` over a literal tuple/list: fixed, small trip count."""
+    return isinstance(node, ast.For) and isinstance(
+        node.iter, (ast.Tuple, ast.List)
+    )
+
+
+def _data_loops(context: FileContext, node: ast.AST) -> List[ast.AST]:
+    """Enclosing loops that iterate over data (not literal sequences)."""
+    return [
+        loop
+        for loop in context.enclosing_loops(node)
+        if not _constant_trip_loop(loop)
+    ]
+
+
+@register
+class InLoopAllocationCheck(Check):
+    """RPR201: per-iteration array allocation in a hot-path loop."""
+
+    code = "RPR201"
+    rationale = (
+        "allocating NumPy calls inside hot-path loops create "
+        "per-iteration garbage; hoist the buffer or pass out="
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield hot-path allocation diagnostics for one parsed file."""
+        if not context.is_hot_path:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if (
+                dotted is None
+                or len(dotted) != 2
+                or dotted[0] not in _NUMPY_ALIASES
+                or dotted[1] not in ALLOCATING_NUMPY_CALLS
+            ):
+                continue
+            if any(keyword.arg == "out" for keyword in node.keywords):
+                continue
+            if _data_loops(context, node):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"np.{dotted[1]}(...) allocates on every loop "
+                    "iteration; hoist it out of the loop",
+                )
+
+
+@register
+class InLoopComprehensionCheck(Check):
+    """RPR202: per-iteration comprehensions in a hot-path loop."""
+
+    code = "RPR202"
+    rationale = (
+        "comprehensions inside hot-path loops build a fresh container "
+        "per iteration; vectorize or hoist them"
+    )
+
+    _KINDS = {
+        ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+        ast.GeneratorExp: "generator expression",
+    }
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield hot-path allocation diagnostics for one parsed file."""
+        if not context.is_hot_path:
+            return
+        for node in ast.walk(context.tree):
+            kind = self._KINDS.get(type(node))
+            if kind is None:
+                continue
+            if _data_loops(context, node):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"{kind} inside a hot-path loop materializes a "
+                    "container per iteration",
+                )

@@ -1,0 +1,95 @@
+"""RPR3xx: telemetry discipline.
+
+PR 3's overhead bound (live registry < 3% of scoring cost) holds
+because instrumented code publishes once per batch -- per tick, per
+epoch, per fit -- never per message.  This check flags metric writes
+lexically inside per-item loop bodies of any module that imports
+``repro.telemetry``.
+
+Two shapes are deliberately exempt: loops over literal tuples/lists
+(publishing a fixed, lexically-enumerated set of metrics *is* a batch
+boundary), and everything in modules that never import telemetry (the
+registry implementation itself loops over its own metrics to export
+them).  A loop that is per-*batch* rather than per-item -- an epoch
+loop publishing one loss per epoch -- is a judgment call the checker
+cannot make; mark it with ``# repro: noqa[RPR301]`` and say why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.base import Check, FileContext, register
+from repro.devtools.checks.hotpath import _data_loops
+from repro.devtools.diagnostics import Diagnostic
+
+#: Registry accessors: ``<registry>.counter(...)`` etc. create/fetch a
+#: metric; calling one inside a per-item loop is a write site.
+_REGISTRY_ACCESSORS = frozenset({"counter", "gauge", "histogram", "timed"})
+
+#: Metric mutators flagged on any receiver: ``.inc``/``.observe`` are
+#: unambiguous metric verbs (``.set``/``.add`` are not -- sets and
+#: numbers own them -- so those are only caught via chained access).
+_METRIC_MUTATORS = frozenset({"inc", "observe", "observe_array"})
+
+
+def _telemetry_call_kind(
+    node: ast.Call, context: FileContext
+) -> Optional[str]:
+    """Classify a call as a telemetry write site (None when not one).
+
+    Three shapes count: module-level helpers (``telemetry.counter``),
+    registry accessors on any receiver (``registry.histogram``), and
+    mutator verbs (``metric.inc``) on any receiver -- the last covers
+    metrics hoisted into locals before the loop.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if isinstance(func.value, ast.Name) and func.value.id in context.telemetry_names:
+        return f"{func.value.id}.{func.attr}"
+    if func.attr in _REGISTRY_ACCESSORS:
+        return f".{func.attr}"
+    if func.attr in _METRIC_MUTATORS:
+        return f".{func.attr}"
+    return None
+
+
+@register
+class PerItemTelemetryCheck(Check):
+    """RPR301: metric writes inside per-item loops of instrumented code."""
+
+    code = "RPR301"
+    rationale = (
+        "telemetry must publish at batch boundaries; per-item "
+        "inc/observe in loops reintroduces per-message overhead"
+    )
+
+    def run(self, context: FileContext) -> Iterator[Diagnostic]:
+        """Yield telemetry-discipline diagnostics for one parsed file."""
+        if not context.is_instrumented:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _telemetry_call_kind(node, context)
+            if kind is None:
+                continue
+            # `registry.counter("x").inc(n)` is one write site: report
+            # the accessor and skip the chained mutator on top of it.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _METRIC_MUTATORS
+                and isinstance(func.value, ast.Call)
+                and _telemetry_call_kind(func.value, context) is not None
+            ):
+                continue
+            if _data_loops(context, node):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"telemetry call {kind}(...) inside a per-item "
+                    "loop; publish once at the batch boundary",
+                )

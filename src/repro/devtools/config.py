@@ -1,0 +1,71 @@
+"""Checker configuration: which modules carry which contracts.
+
+The defaults encode the repo's current contracts; tests construct
+custom :class:`CheckConfig` instances to point the checks at fixture
+files instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Modules whose loops must stay allocation-free (the RPR2xx checks).
+#: Matched as path suffixes with either separator style.
+HOT_PATH_MODULES: Tuple[str, ...] = (
+    "repro/nn/lstm.py",
+    "repro/nn/gru.py",
+    "repro/core/stream.py",
+    "repro/logs/templates.py",
+)
+
+#: Per-code path-suffix allowlist: locations where a check does not
+#: apply because the contract is theirs to implement.  The telemetry
+#: module owns wall-clock reads (it *is* the instrumentation layer),
+#: and the CLI owns operator-facing entropy (none today, kept for the
+#: principle that allowlisting is config, not suppression comments).
+ALLOWLIST: Dict[str, Tuple[str, ...]] = {
+    "RPR104": ("repro/telemetry.py",),
+}
+
+#: Pragma comment designating a module as hot-path without editing the
+#: configured list (used by out-of-tree modules and test fixtures).
+HOT_PATH_PRAGMA = "# repro: hot-path"
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Where each check family applies.
+
+    Attributes:
+        hot_path_modules: path suffixes of modules under the RPR2xx
+            allocation discipline (plus any file carrying the
+            ``# repro: hot-path`` pragma).
+        allowlist: per-code path suffixes exempt from that code.
+    """
+
+    hot_path_modules: Tuple[str, ...] = HOT_PATH_MODULES
+    allowlist: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(ALLOWLIST)
+    )
+
+    def is_hot_path(self, path: str, source: str) -> bool:
+        """Whether ``path`` is under the hot-path allocation contract."""
+        normalized = _normalize(path)
+        if any(normalized.endswith(_normalize(suffix)) for suffix in self.hot_path_modules):
+            return True
+        return any(
+            line.strip() == HOT_PATH_PRAGMA for line in source.splitlines()
+        )
+
+    def is_allowlisted(self, code: str, path: str) -> bool:
+        """Whether ``path`` is exempt from ``code`` by configuration."""
+        normalized = _normalize(path)
+        return any(
+            normalized.endswith(_normalize(suffix))
+            for suffix in self.allowlist.get(code, ())
+        )

@@ -1,0 +1,72 @@
+"""Diagnostic records emitted by the invariant checks.
+
+A :class:`Diagnostic` is one finding anchored to a file position; the
+JSON exporter is the schema the CI ``invariant-check`` job uploads as
+its artifact, so its shape is pinned by ``tests/devtools``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence
+
+#: Schema version of :func:`diagnostics_to_json` output.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a code anchored to a source position.
+
+    Attributes:
+        path: file the finding is in (as given to the analyzer).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        code: diagnostic code (``RPRnnn``).
+        message: human-readable description of this occurrence.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: CODE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def diagnostics_to_json(
+    diagnostics: Sequence[Diagnostic],
+    n_files: int,
+    n_suppressed: int,
+    indent: int = 2,
+) -> str:
+    """Serialize a run's findings as the CI artifact document.
+
+    The document carries a schema version, per-code counts and the
+    individual findings sorted by position, so diffs between uploaded
+    artifacts are stable and reviewable.
+    """
+    ordered = sorted(diagnostics)
+    by_code: Dict[str, int] = {}
+    for diagnostic in ordered:
+        by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "counts": {
+            "files": n_files,
+            "diagnostics": len(ordered),
+            "suppressed": n_suppressed,
+            "by_code": by_code,
+        },
+        "diagnostics": [asdict(diagnostic) for diagnostic in ordered],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def format_text(diagnostics: Sequence[Diagnostic]) -> List[str]:
+    """Sorted one-line renderings of ``diagnostics``."""
+    return [diagnostic.format() for diagnostic in sorted(diagnostics)]

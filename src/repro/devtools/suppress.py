@@ -1,0 +1,103 @@
+"""Inline suppression comments: ``# repro: noqa[RPRnnn]``.
+
+A suppression silences diagnostics of the named codes on its physical
+line (for a multi-line statement, the line the diagnostic anchors to --
+the statement's first line).  The code is mandatory: a bare
+``# repro: noqa`` is itself a diagnostic (RPR001), and a suppression
+that silences nothing is stale (RPR002) -- both keep the suppression
+inventory honest as the code underneath changes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator, List, Set, Tuple
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>\[(?P<body>[^\]]*)\])?",
+    re.IGNORECASE,
+)
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa[...]`` comment.
+
+    Attributes:
+        line: 1-based line the comment sits on (and silences).
+        col: 0-based column of the comment.
+        codes: the codes it names (empty when bare/malformed).
+        malformed: True for a bare ``noqa`` or an unparseable code list.
+        used: set by the analyzer when a diagnostic was silenced.
+    """
+
+    line: int
+    col: int
+    codes: Set[str] = field(default_factory=set)
+    malformed: bool = False
+    used: bool = False
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Whether this comment silences ``code`` on ``line``."""
+        return line == self.line and code in self.codes
+
+
+def scan_suppressions(source: str) -> List[Suppression]:
+    """All suppression comments in ``source``, in line order.
+
+    Scans real ``COMMENT`` tokens (so prose inside docstrings that
+    *mentions* the directive is not a directive), falling back to a
+    per-line regex when the file does not tokenize -- the analyzer
+    still reports a syntax diagnostic for such files, but suppression
+    scanning must never raise.
+    """
+    suppressions: List[Suppression] = []
+    for lineno, col, text in _comment_tokens(source):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes, malformed = _parse_codes(match)
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                col=col + match.start(),
+                codes=codes,
+                malformed=malformed,
+            )
+        )
+    return suppressions
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, int, str]]:
+    """(line, col, text) of each comment; line-based regex fallback."""
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            index = line.find("#")
+            if index >= 0:
+                yield lineno, index, line[index:]
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            yield token.start[0], token.start[1], token.string
+
+
+def _parse_codes(match: "re.Match[str]") -> Tuple[Set[str], bool]:
+    if match.group("codes") is None:
+        return set(), True
+    codes: Set[str] = set()
+    for raw in match.group("body").split(","):
+        code = raw.strip().upper()
+        if not code or not _CODE_RE.match(code):
+            return set(), True
+        codes.add(code)
+    if not codes:
+        return set(), True
+    return codes, False
