@@ -55,7 +55,7 @@ def load_payload(path: pathlib.Path) -> dict:
             raise SystemExit(
                 f"{path} is not valid JSON ({error}); move it aside "
                 "or pass a different --output"
-            )
+            ) from error
     if not isinstance(payload, dict) or not isinstance(
         payload.get("runs", []), list
     ):

@@ -27,7 +27,7 @@ import csv
 import json
 import pathlib
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,7 @@ from repro.evaluation.reporting import format_table
 from repro.logs.message import Facility, Severity, SyslogMessage
 from repro.logs.persistence import store_from_json, store_to_json
 from repro.logs.templates import TemplateStore
-from repro.synthesis import FleetSimulator, SimulationConfig
+from repro.synthesis import FleetDataset, FleetSimulator, SimulationConfig
 from repro.tickets.ticket import RootCause, TroubleTicket
 from repro.timeutil import DAY, MONTH, WEEK
 
@@ -74,7 +74,7 @@ def _message_from_json(line: str) -> SyslogMessage:
     )
 
 
-def write_trace(dataset, out_dir: pathlib.Path) -> None:
+def write_trace(dataset: FleetDataset, out_dir: pathlib.Path) -> None:
     """Persist a FleetDataset as jsonl streams + tickets.csv + meta."""
     out_dir.mkdir(parents=True, exist_ok=True)
     for vpe, stream in dataset.messages.items():
@@ -110,7 +110,9 @@ def write_trace(dataset, out_dir: pathlib.Path) -> None:
     (out_dir / "meta.json").write_text(json.dumps(meta, indent=2))
 
 
-def read_trace(trace_dir: pathlib.Path):
+def read_trace(
+    trace_dir: pathlib.Path,
+) -> Tuple[dict, Dict[str, List[SyslogMessage]], List[TroubleTicket]]:
     """Load a trace directory written by :func:`write_trace`."""
     meta = json.loads((trace_dir / "meta.json").read_text())
     messages: Dict[str, List[SyslogMessage]] = {}
@@ -163,6 +165,7 @@ def _normal_messages(
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    """Generate a synthetic fleet trace and write it to ``--out``."""
     config = SimulationConfig(
         n_vpes=args.vpes,
         n_months=args.months,
@@ -182,6 +185,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
+    """Mine templates from a trace's ticket-scrubbed normal periods."""
     trace_dir = pathlib.Path(args.trace)
     _, messages, tickets = read_trace(trace_dir)
     training: List[SyslogMessage] = []
@@ -198,6 +202,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    """Train the LSTM detector on a trace's first ``--train-days``."""
     trace_dir = pathlib.Path(args.trace)
     meta, messages, tickets = read_trace(trace_dir)
     store = store_from_json(
@@ -258,6 +263,7 @@ def _load_detector(model_dir: pathlib.Path) -> LSTMAnomalyDetector:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    """Score a trace; write above-threshold anomalies as CSV."""
     trace_dir = pathlib.Path(args.trace)
     meta, messages, _ = read_trace(trace_dir)
     detector = _load_detector(pathlib.Path(args.model))
@@ -294,6 +300,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    """Map detected anomalies to tickets; print the metrics table."""
     trace_dir = pathlib.Path(args.trace)
     meta, _, tickets = read_trace(trace_dir)
     per_vpe: Dict[str, List[float]] = {}
@@ -438,6 +445,7 @@ def _telemetry_smoke(args: argparse.Namespace) -> None:
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Run the end-to-end smoke and print/check its telemetry snapshot."""
     registry = telemetry.MetricsRegistry()
     with telemetry.use(registry):
         _telemetry_smoke(args)
@@ -467,6 +475,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -537,11 +546,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="assert the telemetry invariants (CI gate)",
     )
     p.set_defaults(func=cmd_telemetry)
+
     add_check_parser(sub)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the subcommand's exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -92,6 +92,7 @@ class AutoencoderDetector(WindowedFeatureDetector):
         self.model.freeze(["encoder1", "code"])
 
     def unfreeze_encoder(self) -> None:
+        """Re-enable gradient updates for the frozen encoder layers."""
         self.model.unfreeze(["encoder1", "code"])
 
     def adapt(self, messages: Sequence) -> "AutoencoderDetector":

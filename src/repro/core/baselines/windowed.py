@@ -107,11 +107,13 @@ class WindowedFeatureDetector(AnomalyDetector):
     def fit(
         self, messages: Sequence[SyslogMessage]
     ) -> "WindowedFeatureDetector":
+        """Fit feature statistics on one normal-period stream."""
         return self.fit_streams([messages])
 
     def fit_streams(
         self, streams: Sequence[Sequence[SyslogMessage]]
     ) -> "WindowedFeatureDetector":
+        """Fit on several per-vPE streams at once."""
         vectors = self._train_vectors(streams, refit_idf=True)
         self._fit_vectors(vectors, initial=True)
         self._fitted = True
@@ -120,11 +122,13 @@ class WindowedFeatureDetector(AnomalyDetector):
     def update(
         self, messages: Sequence[SyslogMessage]
     ) -> "WindowedFeatureDetector":
+        """Incrementally refit on newly observed normal messages."""
         return self.update_streams([messages])
 
     def update_streams(
         self, streams: Sequence[Sequence[SyslogMessage]]
     ) -> "WindowedFeatureDetector":
+        """Incremental update over several per-vPE streams."""
         if not self._fitted:
             return self.fit_streams(streams)
         try:
@@ -135,6 +139,7 @@ class WindowedFeatureDetector(AnomalyDetector):
         return self
 
     def score(self, messages: Sequence[SyslogMessage]) -> ScoredStream:
+        """Anomaly score per feature window of ``messages``."""
         if not self._fitted:
             raise RuntimeError("detector not fitted")
         documents, times = self._documents(messages)

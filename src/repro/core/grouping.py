@@ -35,14 +35,17 @@ class VpeGrouping:
 
     @property
     def k(self) -> int:
+        """Number of groups."""
         return len(self.groups)
 
     def group_of(self, vpe: str) -> int:
+        """Group index of ``vpe`` (KeyError when unknown)."""
         if vpe not in self.labels:
             raise KeyError(f"vPE {vpe!r} not in grouping")
         return self.labels[vpe]
 
     def members(self, group: int) -> List[str]:
+        """The vPE names assigned to ``group``."""
         return list(self.groups[group])
 
 

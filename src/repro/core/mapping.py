@@ -79,6 +79,7 @@ class MappingResult:
     )
 
     def by_kind(self, kind: AnomalyKind) -> List[AnomalyRecord]:
+        """The anomaly records of one kind."""
         return [record for record in self.records if record.kind is kind]
 
     @property

@@ -114,6 +114,7 @@ class OnlineMonitor:
 
     @property
     def strict_order(self) -> bool:
+        """Whether out-of-order arrivals raise instead of being dropped."""
         return self.scorer.strict_order
 
     @property

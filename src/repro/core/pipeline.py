@@ -202,6 +202,7 @@ class PipelineResult:
     def pooled_tickets(
         self, month_indices: Optional[Sequence[int]] = None
     ) -> List[TroubleTicket]:
+        """Tickets pooled across the selected months (all by default)."""
         return [
             ticket
             for month in self.months
@@ -451,6 +452,7 @@ class RollingPipeline:
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> PipelineResult:
+        """Execute the full monthly mine/train/score/update pipeline."""
         config = self.config
         month0 = self._month_bounds(0)
         store = TemplateStore()

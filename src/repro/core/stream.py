@@ -95,6 +95,7 @@ class StreamScorer:
 
     @property
     def n_devices(self) -> int:
+        """Number of devices holding ring-buffer state."""
         return len(self._hosts)
 
     def _grow(self, need: int) -> None:

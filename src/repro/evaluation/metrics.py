@@ -50,6 +50,7 @@ class DetectionCounts:
 
     @property
     def precision(self) -> float:
+        """Fraction of detections that match a real ticket."""
         detected = self.true_anomalies + self.false_alarms
         if detected == 0:
             return 0.0
@@ -57,12 +58,14 @@ class DetectionCounts:
 
     @property
     def recall(self) -> float:
+        """Fraction of tickets covered by a detection."""
         if self.tickets_total == 0:
             return 0.0
         return self.tickets_detected / self.tickets_total
 
     @property
     def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
         return f_measure(self.precision, self.recall)
 
 
@@ -90,6 +93,7 @@ class PrecisionRecallPoint:
 
     @property
     def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
         return f_measure(self.precision, self.recall)
 
 

@@ -30,6 +30,7 @@ class TfidfVectorizer:
 
     @property
     def fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
         return self.idf_ is not None
 
     def _term_counts(
@@ -85,6 +86,7 @@ class TfidfVectorizer:
     def fit_transform(
         self, documents: Sequence[Sequence[int]]
     ) -> np.ndarray:
+        """Fit the IDF weights and transform ``documents`` in one pass."""
         return self.fit(documents).transform(documents)
 
 

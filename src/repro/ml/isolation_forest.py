@@ -110,6 +110,7 @@ class IsolationForest:
         self._c: float = 1.0
 
     def fit(self, x: np.ndarray) -> "IsolationForest":
+        """Fit the forest on rows of ``x``; returns self."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] < 2:
             raise ValueError(f"need an (n >= 2, d) matrix, got {x.shape}")
@@ -139,7 +140,7 @@ class IsolationForest:
             scores[row] = 2.0 ** (-mean_path / max(self._c, 1e-9))
         return scores
 
-    def predict(self, x: np.ndarray, threshold: float = 0.5):
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """+1 inlier / -1 anomaly at an anomaly-score threshold."""
         return np.where(
             self.score_samples(x) <= threshold, 1, -1

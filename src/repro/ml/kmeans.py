@@ -78,6 +78,7 @@ class KMeans:
         return np.argmin(distances, axis=1)
 
     def fit(self, points: np.ndarray) -> "KMeans":
+        """Run Lloyd iterations until convergence; returns self."""
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError(f"expected 2-D points, got {points.shape}")
@@ -119,6 +120,7 @@ class KMeans:
         return self
 
     def predict(self, points: np.ndarray) -> np.ndarray:
+        """Nearest-centroid label per row of ``points``."""
         if self.centroids_ is None:
             raise RuntimeError("KMeans.predict before fit")
         return self._assign(

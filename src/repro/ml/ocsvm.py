@@ -46,6 +46,7 @@ class RandomFourierFeatures:
         self.scale = np.sqrt(2.0 / n_components)
 
     def transform(self, x: np.ndarray) -> np.ndarray:
+        """Random Fourier feature map of ``x``."""
         return self.scale * np.cos(x @ self.weights + self.offsets)
 
 

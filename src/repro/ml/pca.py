@@ -39,6 +39,7 @@ class PCADetector:
         self.components_: np.ndarray = None  # type: ignore[assignment]
 
     def fit(self, x: np.ndarray) -> "PCADetector":
+        """Fit the principal subspace on rows of ``x``; returns self."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] < 2:
             raise ValueError(

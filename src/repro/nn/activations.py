@@ -6,7 +6,12 @@ what the backward passes cache.
 
 from __future__ import annotations
 
+from typing import Callable, Tuple
+
 import numpy as np
+
+#: An activation or gradient: one ndarray in, one ndarray out.
+Activation = Callable[[np.ndarray], np.ndarray]
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
@@ -32,6 +37,7 @@ def sigmoid_grad(output: np.ndarray) -> np.ndarray:
 
 
 def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent activation."""
     return np.tanh(x)
 
 
@@ -41,6 +47,7 @@ def tanh_grad(output: np.ndarray) -> np.ndarray:
 
 
 def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
     return np.maximum(x, 0.0)
 
 
@@ -65,10 +72,12 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def linear(x: np.ndarray) -> np.ndarray:
+    """Identity activation."""
     return x
 
 
 def linear_grad(output: np.ndarray) -> np.ndarray:
+    """Gradient of the identity activation (ones)."""
     return np.ones_like(output)
 
 
@@ -82,7 +91,7 @@ _ACTIVATIONS = {
 }
 
 
-def get_activation(name: str):
+def get_activation(name: str) -> Tuple[Activation, Activation]:
     """Look up ``(function, gradient)`` by name."""
     try:
         return _ACTIVATIONS[name]

@@ -58,6 +58,7 @@ class GRU(Layer):
     def build(
         self, input_shape: Tuple[int, ...], rng: np.random.Generator
     ) -> Tuple[int, ...]:
+        """Initialize the fused gate parameters; returns the output shape."""
         if len(input_shape) != 2:
             raise ValueError(
                 "GRU expects (time, features) input shape, got "
@@ -89,9 +90,11 @@ class GRU(Layer):
         return (self.hidden,)
 
     def clear_cache(self) -> None:
+        """Drop activations cached for backpropagation."""
         self._cache = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Fused forward over all timesteps; caches for :meth:`backward`."""
         if x.ndim != 3:
             raise ValueError(
                 f"GRU expects (batch, time, features), got {x.shape}"
@@ -190,6 +193,7 @@ class GRU(Layer):
         return h_prev
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """BPTT over the cached forward pass; returns the input gradient."""
         cache = self._cache
         if cache is None:
             raise RuntimeError("backward called before forward")

@@ -55,6 +55,7 @@ class Layer:
         raise NotImplementedError
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass; ``training=True`` caches for :meth:`backward`."""
         raise NotImplementedError
 
     def infer(self, x: np.ndarray) -> np.ndarray:
@@ -62,6 +63,7 @@ class Layer:
         return self.forward(x, training=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad``; returns the gradient w.r.t. the input."""
         raise NotImplementedError
 
     def zero_grads(self) -> None:
@@ -107,6 +109,7 @@ class Dense(Layer):
     def build(
         self, input_shape: Tuple[int, ...], rng: np.random.Generator
     ) -> Tuple[int, ...]:
+        """Initialize weights and bias; returns the output shape."""
         features = input_shape[-1]
         if not self.built:
             self.params = {
@@ -120,19 +123,23 @@ class Dense(Layer):
         return (*input_shape[:-1], self.units)
 
     def clear_cache(self) -> None:
+        """Drop activations cached for backpropagation."""
         self._cache_x = None
         self._cache_out = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Affine map plus activation; caches for :meth:`backward`."""
         out = self._activation(x @ self.params["W"] + self.params["b"])
         self._cache_x = x
         self._cache_out = out
         return out
 
     def infer(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free forward pass for inference."""
         return self._activation(x @ self.params["W"] + self.params["b"])
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad``; returns the gradient w.r.t. the input."""
         x, out = self._cache_x, self._cache_out
         if x is None or out is None:
             raise RuntimeError("backward called before forward")
@@ -165,6 +172,7 @@ class Embedding(Layer):
     def build(
         self, input_shape: Tuple[int, ...], rng: np.random.Generator
     ) -> Tuple[int, ...]:
+        """Initialize the embedding table; returns the output shape."""
         if not self.built:
             self.params = {
                 "E": uniform_scaled(
@@ -176,6 +184,7 @@ class Embedding(Layer):
         return (*input_shape, self.dim)
 
     def clear_cache(self) -> None:
+        """Drop activations cached for backpropagation."""
         self._cache_ids = None
 
     def _lookup(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -187,14 +196,17 @@ class Embedding(Layer):
         return ids, self.params["E"][ids]
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Embedding lookup; caches indices for :meth:`backward`."""
         ids, out = self._lookup(x)
         self._cache_ids = ids
         return out
 
     def infer(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free embedding lookup for inference."""
         return self._lookup(x)[1]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Scatter ``grad`` into the embedding rows that were read."""
         ids = self._cache_ids
         if ids is None:
             raise RuntimeError("backward called before forward")
@@ -244,11 +256,13 @@ class TupleEmbedding(Layer):
 
     @property
     def output_dim(self) -> int:
+        """Concatenated width of the per-field embeddings."""
         return self.id_embedding.dim + self.gap_embedding.dim
 
     def build(
         self, input_shape: Tuple[int, ...], rng: np.random.Generator
     ) -> Tuple[int, ...]:
+        """Build one embedding table per tuple field; returns the shape."""
         if input_shape[-1] != 2:
             raise ValueError(
                 f"TupleEmbedding expects trailing dim 2, got {input_shape}"
@@ -270,26 +284,31 @@ class TupleEmbedding(Layer):
         return (*inner, self.output_dim)
 
     def zero_grads(self) -> None:
+        """Zero the accumulated gradients of every field table."""
         super().zero_grads()
         if self.built:
             self.id_embedding.grads["E"] = self.grads["ids.E"]
             self.gap_embedding.grads["E"] = self.grads["gaps.E"]
 
     def clear_cache(self) -> None:
+        """Drop activations cached for backpropagation."""
         self.id_embedding.clear_cache()
         self.gap_embedding.clear_cache()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Per-field lookups concatenated; caches for :meth:`backward`."""
         ids = self.id_embedding.forward(x[..., 0], training)
         gaps = self.gap_embedding.forward(x[..., 1], training)
         return np.concatenate([ids, gaps], axis=-1)
 
     def infer(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free per-field lookup for inference."""
         ids = self.id_embedding.infer(x[..., 0])
         gaps = self.gap_embedding.infer(x[..., 1])
         return np.concatenate([ids, gaps], axis=-1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Split ``grad`` by field and scatter into each table."""
         split = self.id_embedding.dim
         self.id_embedding.backward(grad[..., :split])
         self.gap_embedding.backward(grad[..., split:])
@@ -316,13 +335,16 @@ class Dropout(Layer):
     def build(
         self, input_shape: Tuple[int, ...], rng: np.random.Generator
     ) -> Tuple[int, ...]:
+        """Validate the input shape; dropout has no parameters."""
         self.built = True
         return input_shape
 
     def clear_cache(self) -> None:
+        """Drop the cached dropout mask."""
         self._mask = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Apply an inverted-dropout mask when training."""
         if not training or self.rate == 0.0:
             self._mask = None
             return x
@@ -333,9 +355,11 @@ class Dropout(Layer):
         return x * self._mask
 
     def infer(self, x: np.ndarray) -> np.ndarray:
+        """Identity at inference (dropout is training-only)."""
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the cached dropout mask."""
         if self._mask is None:
             return grad
         return grad * self._mask

@@ -20,6 +20,7 @@ class Loss:
     def value_and_grad(
         self, outputs: np.ndarray, targets: np.ndarray
     ) -> Tuple[float, np.ndarray]:
+        """Loss value and gradient w.r.t. the predictions."""
         raise NotImplementedError
 
 
@@ -35,6 +36,7 @@ class SoftmaxCrossEntropy(Loss):
     def value_and_grad(
         self, outputs: np.ndarray, targets: np.ndarray
     ) -> Tuple[float, np.ndarray]:
+        """Loss value and gradient w.r.t. the predictions."""
         if outputs.ndim != 2:
             raise ValueError(
                 f"expected (batch, classes) logits, got {outputs.shape}"
@@ -74,6 +76,7 @@ class MeanSquaredError(Loss):
     def value_and_grad(
         self, outputs: np.ndarray, targets: np.ndarray
     ) -> Tuple[float, np.ndarray]:
+        """Loss value and gradient w.r.t. the logits."""
         if outputs.shape != targets.shape:
             raise ValueError(
                 f"outputs {outputs.shape} and targets {targets.shape} "

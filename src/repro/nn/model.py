@@ -80,6 +80,7 @@ class Sequential:
             )
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward through every layer; ``training=True`` caches for backward."""
         self._require_built()
         out = x
         for layer in self.layers:
@@ -109,11 +110,13 @@ class Sequential:
         return out[:1] if padded else out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layers in reverse order."""
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
 
     def zero_grads(self) -> None:
+        """Zero every layer's accumulated gradients."""
         for layer in self.layers:
             layer.zero_grads()
 

@@ -86,6 +86,7 @@ class SGD(Optimizer):
             param -= self.learning_rate * grad
 
     def reset(self) -> None:
+        """Clear accumulated momentum state."""
         self._velocity.clear()
 
 
@@ -117,6 +118,7 @@ class RMSprop(Optimizer):
         )
 
     def reset(self) -> None:
+        """Clear the accumulated squared-gradient state."""
         self._second_moment.clear()
 
 
@@ -159,6 +161,7 @@ class Adam(Optimizer):
         )
 
     def reset(self) -> None:
+        """Clear the moment estimates and step counter."""
         self._first_moment.clear()
         self._second_moment.clear()
         self._steps.clear()

@@ -57,13 +57,16 @@ class FleetDataset:
 
     @property
     def vpe_names(self) -> List[str]:
+        """Names of every simulated vPE."""
         return [profile.name for profile in self.profiles]
 
     @property
     def n_messages(self) -> int:
+        """Total messages across all vPE streams."""
         return sum(len(stream) for stream in self.messages.values())
 
     def profile(self, vpe: str) -> VpeProfile:
+        """The profile of ``vpe`` (KeyError when unknown)."""
         for candidate in self.profiles:
             if candidate.name == vpe:
                 return candidate

@@ -88,6 +88,7 @@ class FaultTypeModel:
 
     @property
     def symptom_templates(self) -> Tuple[LogTemplateSpec, ...]:
+        """Log templates this fault emits while active."""
         return FAULT_SYMPTOM_TEMPLATES[self.root_cause.value]
 
 
@@ -158,6 +159,7 @@ class FaultEvent:
 
     @property
     def root_cause(self) -> RootCause:
+        """The fault model's root cause."""
         return self.model.root_cause
 
 

@@ -120,14 +120,17 @@ class SimulationConfig:
 
     @property
     def start(self) -> float:
+        """Trace start time in seconds."""
         return TRACE_START
 
     @property
     def end(self) -> float:
+        """Trace end time in seconds."""
         return TRACE_START + self.n_months * MONTH
 
     @property
     def update_time(self) -> Optional[float]:
+        """Timestamp of the software update (None when disabled)."""
         if self.update_month is None:
             return None
         return TRACE_START + self.update_month * MONTH

@@ -166,6 +166,7 @@ class KpiThresholdDetector:
     def fit(
         self, samples: Sequence[KpiSample]
     ) -> "KpiThresholdDetector":
+        """Fit per-KPI thresholds on normal samples; returns self."""
         if len(samples) < 10:
             raise ValueError("need at least 10 training samples")
         for name, values in self._columns(samples).items():

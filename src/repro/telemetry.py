@@ -83,9 +83,11 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
         self.value = float(value)
 
     def add(self, amount: float) -> None:
+        """Add ``amount`` to the gauge's current value."""
         self.value += float(amount)
 
 
@@ -198,6 +200,7 @@ class MetricsRegistry:
                 )
 
     def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first access."""
         metric = self._counters.get(name)
         if metric is None:
             self._check_kind(name, self._counters)
@@ -205,6 +208,7 @@ class MetricsRegistry:
         return metric
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first access."""
         metric = self._gauges.get(name)
         if metric is None:
             self._check_kind(name, self._gauges)
@@ -214,6 +218,7 @@ class MetricsRegistry:
     def histogram(
         self, name: str, edges: Sequence[float] = TIME_BUCKETS
     ) -> Histogram:
+        """The histogram named ``name``, created on first access."""
         metric = self._histograms.get(name)
         if metric is None:
             self._check_kind(name, self._histograms)
@@ -433,17 +438,21 @@ class NullRegistry(MetricsRegistry):
         self._null_histogram = _NullHistogram("null", (1.0,))
 
     def counter(self, name: str) -> Counter:
+        """The shared no-op counter (every write is discarded)."""
         return self._null_counter
 
     def gauge(self, name: str) -> Gauge:
+        """The shared no-op gauge (every write is discarded)."""
         return self._null_gauge
 
     def histogram(
         self, name: str, edges: Sequence[float] = TIME_BUCKETS
     ) -> Histogram:
+        """The shared no-op histogram (every write is discarded)."""
         return self._null_histogram
 
     def snapshot(self) -> Dict:
+        """An empty snapshot: null metrics record nothing."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
 

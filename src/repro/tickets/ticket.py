@@ -85,6 +85,7 @@ class TroubleTicket:
 
     @property
     def is_duplicate(self) -> bool:
+        """Whether this ticket duplicates an earlier one."""
         return self.root_cause is RootCause.DUPLICATE
 
     def timeline(self, predictive_period: float = DAY) -> "TicketTimeline":
@@ -113,6 +114,7 @@ class TicketTimeline:
 
     @property
     def predictive_start(self) -> float:
+        """Start of the predictive period before the report time."""
         return self.ticket.report_time - self.predictive_period
 
     def contains(self, timestamp: float) -> bool:
@@ -120,9 +122,11 @@ class TicketTimeline:
         return self.predictive_start <= timestamp <= self.ticket.repair_time
 
     def is_early_warning(self, timestamp: float) -> bool:
+        """Whether ``timestamp`` falls in the predictive period."""
         return self.predictive_start <= timestamp < self.ticket.report_time
 
     def is_error(self, timestamp: float) -> bool:
+        """Whether ``timestamp`` falls between report and repair."""
         return self.ticket.report_time <= timestamp <= self.ticket.repair_time
 
     def lead_time(self, timestamp: float) -> float:
