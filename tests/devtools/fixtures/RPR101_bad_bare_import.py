@@ -1,0 +1,11 @@
+"""Bad: entropy-seeded generator via a from-import."""
+
+from numpy.random import default_rng
+
+
+def shuffle(items: list) -> list:
+    """Shuffle a copy of ``items`` (irreproducibly)."""
+    rng = default_rng()
+    out = list(items)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,9 @@
+"""Bad: entropy-seeded generator construction."""
+
+import numpy as np
+
+
+def sample(n: int) -> "np.ndarray":
+    """Draw ``n`` uniform samples (irreproducibly)."""
+    rng = np.random.default_rng()
+    return rng.random(n)

@@ -1,0 +1,9 @@
+"""Good: every generator construction names its seed."""
+
+import numpy as np
+
+
+def sample(n: int, seed: int) -> "np.ndarray":
+    """Draw ``n`` replayable uniform samples."""
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

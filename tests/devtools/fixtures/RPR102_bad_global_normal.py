@@ -1,0 +1,8 @@
+"""Bad: legacy global draws under the full module name."""
+
+import numpy
+
+
+def jitter(n: int) -> "numpy.ndarray":
+    """Gaussian jitter from the hidden global stream."""
+    return numpy.random.normal(0.0, 1.0, size=n)

@@ -1,0 +1,8 @@
+"""Bad: the legacy global RNG's convenience functions."""
+
+import numpy as np
+
+
+def noise(n: int) -> "np.ndarray":
+    """Draw from the hidden global stream."""
+    return np.random.rand(n)

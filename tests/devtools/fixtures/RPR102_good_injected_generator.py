@@ -1,0 +1,8 @@
+"""Good: draws go through an injected Generator."""
+
+import numpy as np
+
+
+def noise(rng: "np.random.Generator", n: int) -> "np.ndarray":
+    """Draw from the caller's seeded generator."""
+    return rng.random(n)

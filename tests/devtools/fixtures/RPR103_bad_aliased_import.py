@@ -1,0 +1,8 @@
+"""Bad: aliasing ``random`` does not launder the global state."""
+
+import random as rnd
+
+
+def coin() -> bool:
+    """Flip a coin using hidden global state."""
+    return rnd.random() < 0.5

@@ -1,0 +1,8 @@
+"""Bad: stdlib ``random`` draws from interpreter-global state."""
+
+import random
+
+
+def pick(items: list) -> object:
+    """Pick an item using hidden global state."""
+    return random.choice(items)

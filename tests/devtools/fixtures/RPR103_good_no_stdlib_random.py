@@ -1,0 +1,8 @@
+"""Good: randomness comes from an injected numpy Generator."""
+
+import numpy as np
+
+
+def pick(rng: "np.random.Generator", items: list) -> object:
+    """Pick an item using the caller's seeded generator."""
+    return items[int(rng.integers(len(items)))]

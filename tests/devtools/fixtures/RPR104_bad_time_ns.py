@@ -1,0 +1,8 @@
+"""Bad: nanosecond wall-clock reads are still wall-clock reads."""
+
+import time
+
+
+def stamp_ns() -> int:
+    """The current wall-clock time in ns (time-dependent)."""
+    return time.time_ns()

@@ -1,0 +1,8 @@
+"""Bad: library code reads the wall clock."""
+
+import time
+
+
+def stamp() -> float:
+    """The current wall-clock time (time-dependent behavior)."""
+    return time.time()

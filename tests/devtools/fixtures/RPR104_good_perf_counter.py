@@ -1,0 +1,8 @@
+"""Good: durations use the monotonic performance counter."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    """Seconds since ``start`` (a perf_counter reading)."""
+    return time.perf_counter() - start

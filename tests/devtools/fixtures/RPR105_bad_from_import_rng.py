@@ -1,0 +1,10 @@
+"""Bad: module-level construction via a from-import."""
+
+from numpy.random import default_rng
+
+_SHARED = default_rng(1234)
+
+
+def jitter() -> float:
+    """Draw from the process-wide generator."""
+    return float(_SHARED.random())

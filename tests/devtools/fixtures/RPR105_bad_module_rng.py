@@ -1,0 +1,10 @@
+"""Bad: a module-level generator is import-time global state."""
+
+import numpy as np
+
+RNG = np.random.default_rng(0)
+
+
+def sample(n: int) -> "np.ndarray":
+    """Draw from the process-wide generator."""
+    return RNG.random(n)

@@ -1,0 +1,9 @@
+"""Good: the generator is built inside its consumer."""
+
+import numpy as np
+
+
+def sample(n: int, seed: int) -> "np.ndarray":
+    """Draw from a locally constructed, seeded generator."""
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,13 @@
+# repro: hot-path
+"""Bad: fresh buffers allocated on every loop iteration."""
+
+import numpy as np
+
+
+def score(batches: list) -> list:
+    """Per-batch scores, allocating per iteration."""
+    out = []
+    for batch in batches:
+        scratch = np.zeros(len(batch))
+        out.append(float(scratch.sum()))
+    return out

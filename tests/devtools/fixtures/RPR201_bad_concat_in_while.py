@@ -1,0 +1,14 @@
+# repro: hot-path
+"""Bad: growing an array by concatenation inside a loop."""
+
+import numpy as np
+
+
+def accumulate(chunks: list) -> "np.ndarray":
+    """Concatenate chunks one at a time (quadratic garbage)."""
+    total = np.zeros(0)
+    index = 0
+    while index < len(chunks):
+        total = np.concatenate((total, chunks[index]))
+        index += 1
+    return total

@@ -1,0 +1,17 @@
+# repro: hot-path
+"""Good: buffers hoisted; in-loop ufuncs write via ``out=``."""
+
+import numpy as np
+
+
+def score(batches: "np.ndarray") -> "np.ndarray":
+    """Per-batch scores into preallocated storage."""
+    out = np.zeros(len(batches))
+    scratch = np.zeros(batches.shape[1])
+    for index, batch in enumerate(batches):
+        np.multiply(batch, batch, out=scratch)
+        out[index] = scratch.sum()
+    for name in ("a", "b"):
+        # Literal-tuple loop: constant trip count, allocation is fine.
+        _ = np.array([ord(c) for c in name])
+    return out

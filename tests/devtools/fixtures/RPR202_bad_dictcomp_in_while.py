@@ -1,0 +1,12 @@
+# repro: hot-path
+"""Bad: a dict comprehension materializes per loop iteration."""
+
+
+def index_all(batches: list) -> list:
+    """Per-batch index maps, one throwaway dict per batch."""
+    out = []
+    index = 0
+    while index < len(batches):
+        out.append({item: pos for pos, item in enumerate(batches[index])})
+        index += 1
+    return out

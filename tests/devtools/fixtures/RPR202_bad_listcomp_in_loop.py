@@ -1,0 +1,11 @@
+# repro: hot-path
+"""Bad: a list comprehension materializes per loop iteration."""
+
+
+def lengths(rows: list) -> list:
+    """Row lengths, building a throwaway list per row."""
+    out = []
+    for row in rows:
+        cells = [cell for cell in row if cell]
+        out.append(len(cells))
+    return out

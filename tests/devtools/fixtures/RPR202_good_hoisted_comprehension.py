@@ -1,0 +1,11 @@
+# repro: hot-path
+"""Good: the comprehension runs once, outside the loop."""
+
+
+def lengths(rows: list) -> list:
+    """Row lengths via a single pre-computed filter pass."""
+    filtered = [[cell for cell in row if cell] for row in rows]
+    out = []
+    for cells in filtered:
+        out.append(len(cells))
+    return out

@@ -1,0 +1,10 @@
+"""Bad: hoisting the metric does not hoist the per-item write."""
+
+from repro import telemetry
+
+
+def consume(messages: list) -> None:
+    """Score messages, mutating a hoisted metric per item."""
+    seen = telemetry.default_registry().counter("seen")
+    for _message in messages:
+        seen.inc()

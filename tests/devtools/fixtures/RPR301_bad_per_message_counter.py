@@ -1,0 +1,10 @@
+"""Bad: a counter increment per message, not per batch."""
+
+from repro import telemetry
+
+
+def consume(messages: list) -> None:
+    """Score messages, publishing telemetry per item."""
+    registry = telemetry.default_registry()
+    for _message in messages:
+        registry.counter("seen").inc()

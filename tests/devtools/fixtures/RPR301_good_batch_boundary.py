@@ -1,0 +1,11 @@
+"""Good: telemetry publishes once, after the loop."""
+
+from repro import telemetry
+
+
+def consume(messages: list) -> None:
+    """Score messages, publishing telemetry at the batch boundary."""
+    count = 0
+    for _message in messages:
+        count += 1
+    telemetry.default_registry().counter("seen").inc(count)

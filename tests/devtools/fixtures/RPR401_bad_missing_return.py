@@ -1,0 +1,13 @@
+"""Bad: a public method without a return annotation."""
+
+
+class Accumulator:
+    """Running total of observed values."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def add(self, value: float):
+        """Fold ``value`` into the running total."""
+        self.total += value
+        return self.total

@@ -1,0 +1,6 @@
+"""Bad: public function parameters without annotations."""
+
+
+def blend(left, right, weight: float = 0.5) -> float:
+    """Weighted average of two numbers."""
+    return left * weight + right * (1.0 - weight)

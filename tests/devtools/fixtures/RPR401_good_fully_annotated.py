@@ -1,0 +1,6 @@
+"""Good: every public signature is fully annotated."""
+
+
+def blend(left: float, right: float, weight: float = 0.5) -> float:
+    """Weighted average of two numbers."""
+    return left * weight + right * (1.0 - weight)

@@ -1,0 +1,5 @@
+"""Bad module whose public function has no docstring."""
+
+
+def orphan(value: int) -> int:
+    return value + 1

@@ -1,0 +1,3 @@
+class Widget:
+    def __init__(self, size: int) -> None:
+        self.size = size

@@ -1,0 +1,13 @@
+"""Good: module, class and function all carry docstrings."""
+
+
+class Widget:
+    """A documented thing with a size."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+
+def orphan(value: int) -> int:
+    """One more than ``value``."""
+    return value + 1

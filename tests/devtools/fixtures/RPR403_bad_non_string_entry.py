@@ -1,0 +1,8 @@
+"""Bad: ``__all__`` entries must be string literals."""
+
+
+def exists() -> None:
+    """The only real export."""
+
+
+__all__ = [exists]

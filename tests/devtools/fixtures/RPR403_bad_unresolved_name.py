@@ -1,0 +1,7 @@
+"""Bad: ``__all__`` advertises a name that does not exist."""
+
+__all__ = ["exists", "vanished"]
+
+
+def exists() -> None:
+    """The only real export."""

@@ -1,0 +1,9 @@
+"""Good: every ``__all__`` entry resolves to a binding."""
+
+__all__ = ["exists", "CONSTANT"]
+
+CONSTANT = 7
+
+
+def exists() -> None:
+    """A real export."""

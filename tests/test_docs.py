@@ -80,3 +80,26 @@ class TestExamples:
             ), path.name
             assert "def main()" in source, path.name
             assert '__name__ == "__main__"' in source, path.name
+
+
+class TestStaticAnalysisDocs:
+    """The README codes table mirrors `python -m repro check --list`."""
+
+    def _readme_table(self):
+        readme = read("README.md")
+        rows = re.findall(
+            r"^\| (RPR\d{3}) \| (.+?) \|$", readme, flags=re.MULTILINE
+        )
+        return {code: rationale.strip() for code, rationale in rows}
+
+    def test_readme_codes_match_list_output(self):
+        from repro.devtools.cli import code_rationales
+
+        table = self._readme_table()
+        assert table, "README must carry the RPR codes table"
+        assert table == code_rationales()
+
+    def test_design_mentions_invariant_checker(self):
+        design = read("DESIGN.md")
+        assert "repro.devtools" in design
+        assert "python -m repro check" in design
