@@ -13,7 +13,10 @@ Suites:
   live fast path), appended to ``BENCH_hotpath.json``;
 * ``streaming`` — online-monitor device-count sweep (per-message
   legacy vs micro-batched :class:`StreamScorer`), appended to
-  ``BENCH_streaming.json``.
+  ``BENCH_streaming.json``;
+* ``runtime`` — durable-service costs (WAL-on vs WAL-off ingest,
+  checkpoint write/restore latency), appended to
+  ``BENCH_runtime.json``.
 
 Each invocation appends one timestamped run record to the suite's
 trajectory file at the repository root, building the performance
@@ -39,6 +42,7 @@ sys.path.insert(0, str(ROOT / "src"))
 SUITE_OUTPUTS = {
     "hotpath": ROOT / "BENCH_hotpath.json",
     "streaming": ROOT / "BENCH_streaming.json",
+    "runtime": ROOT / "BENCH_runtime.json",
 }
 
 # Kept for backwards compatibility with older tooling/tests.
@@ -119,6 +123,25 @@ def _print_streaming(record: dict) -> None:
         )
 
 
+def _print_runtime(record: dict) -> None:
+    wal = record["benchmarks"]["wal_ingest"]
+    checkpoint = record["benchmarks"]["checkpoint"]
+    print(
+        f"scale: {record['scale']}  ({wal['devices']} devices, "
+        f"tick {wal['tick_size']})"
+    )
+    print(
+        f"ingest: WAL off {wal['wal_off_msgs_per_s']:>9.0f} msgs/s, "
+        f"WAL on {wal['wal_on_msgs_per_s']:>9.0f} msgs/s "
+        f"(overhead {wal['overhead_fraction']:.2%})"
+    )
+    print(
+        f"checkpoint: {checkpoint['checkpoint_bytes']:,} bytes, "
+        f"write {checkpoint['write_s'] * 1e3:.1f} ms, "
+        f"restore {checkpoint['restore_s'] * 1e3:.1f} ms"
+    )
+
+
 def run_suite(suite: str, scale: str) -> dict:
     """Import and execute one suite, returning its run record."""
     if suite == "hotpath":
@@ -129,10 +152,18 @@ def run_suite(suite: str, scale: str) -> dict:
         import streaming
 
         return streaming.run(scale)
+    if suite == "runtime":
+        import runtime
+
+        return runtime.run(scale)
     raise ValueError(f"unknown suite {suite!r}")
 
 
-_PRINTERS = {"hotpath": _print_hotpath, "streaming": _print_streaming}
+_PRINTERS = {
+    "hotpath": _print_hotpath,
+    "streaming": _print_streaming,
+    "runtime": _print_runtime,
+}
 
 
 def validate_record(record: object) -> str:

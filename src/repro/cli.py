@@ -9,6 +9,8 @@ Subcommands::
     python -m repro detect   --trace trace/ --model model/ \
                              --out anomalies.csv
     python -m repro report   --trace trace/ --anomalies anomalies.csv
+    python -m repro serve    --data-dir service/ --trace trace/ \
+                             --model model/ --threshold 6.0
 
 Data formats are deliberately simple and inspectable:
 
@@ -38,9 +40,21 @@ from repro.devtools.cli import add_check_parser
 from repro.core.mapping import map_anomalies, warning_clusters
 from repro.core.online import OnlineMonitor
 from repro.evaluation.reporting import format_table
-from repro.logs.message import Facility, Severity, SyslogMessage
+from repro.logs.message import (
+    SyslogMessage,
+    message_from_dict,
+    message_to_dict,
+)
 from repro.logs.persistence import store_from_json, store_to_json
 from repro.logs.templates import TemplateStore
+from repro.runtime.service import (
+    FAULT_AFTER_WAL_APPEND,
+    MonitorService,
+    ServiceConfig,
+    TickResult,
+    stage_release,
+)
+from repro.runtime.store import ArtifactStore
 from repro.synthesis import FleetDataset, FleetSimulator, SimulationConfig
 from repro.tickets.ticket import RootCause, TroubleTicket
 from repro.timeutil import DAY, MONTH, WEEK
@@ -50,28 +64,11 @@ from repro.timeutil import DAY, MONTH, WEEK
 
 
 def _message_to_json(message: SyslogMessage) -> str:
-    return json.dumps(
-        {
-            "ts": message.timestamp,
-            "host": message.host,
-            "proc": message.process,
-            "sev": int(message.severity),
-            "fac": int(message.facility),
-            "text": message.text,
-        }
-    )
+    return json.dumps(message_to_dict(message))
 
 
 def _message_from_json(line: str) -> SyslogMessage:
-    raw = json.loads(line)
-    return SyslogMessage(
-        timestamp=raw["ts"],
-        host=raw["host"],
-        process=raw["proc"],
-        text=raw["text"],
-        severity=Severity(raw["sev"]),
-        facility=Facility(raw["fac"]),
-    )
+    return message_from_dict(json.loads(line))
 
 
 def write_trace(dataset: FleetDataset, out_dir: pathlib.Path) -> None:
@@ -336,6 +333,205 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serve ----------------------------------------------------------------
+
+
+class _SimulatedCrash(Exception):
+    """Raised by the ``--kill-after-ticks`` fault hook (exit code 3)."""
+
+
+class _TickWriter:
+    """Append-mode CSV sinks for tick outcomes, flushed per tick.
+
+    Scores are written as ``repr(float)`` so the CSV round-trips the
+    float64 bit pattern exactly — the service-e2e CI job diffs these
+    files across a crashed-and-replayed run and an uninterrupted one.
+    """
+
+    def __init__(
+        self,
+        scores_path: Optional[str],
+        warnings_path: Optional[str],
+    ) -> None:
+        self._scores = (
+            open(scores_path, "a", newline="") if scores_path else None
+        )
+        self._warnings = (
+            open(warnings_path, "a", newline="")
+            if warnings_path
+            else None
+        )
+
+    def write(self, results: Sequence[TickResult]) -> None:
+        """Append one row per score and per warning; flush."""
+        if self._scores is not None:
+            writer = csv.writer(self._scores)
+            for result in results:
+                for i, score in enumerate(result.scores):
+                    writer.writerow(
+                        [
+                            result.tick,
+                            i,
+                            repr(float(score)),
+                            int(result.kept[i]),
+                        ]
+                    )
+            self._scores.flush()
+        if self._warnings is not None:
+            writer = csv.writer(self._warnings)
+            for result in results:
+                for w in result.warnings:
+                    writer.writerow(
+                        [
+                            result.tick,
+                            w.vpe,
+                            repr(w.time),
+                            repr(w.first_anomaly),
+                            w.n_anomalies,
+                            repr(w.peak_score),
+                        ]
+                    )
+            self._warnings.flush()
+
+    def close(self) -> None:
+        """Release the underlying file handles."""
+        if self._scores is not None:
+            self._scores.close()
+        if self._warnings is not None:
+            self._warnings.close()
+
+
+def _serve_feed(trace_dir: pathlib.Path) -> List[SyslogMessage]:
+    """The trace merged into one deterministic arrival order."""
+    meta, messages, _ = read_trace(trace_dir)
+    feed = [
+        message
+        for vpe in meta["vpes"]
+        for message in messages[vpe]
+    ]
+    feed.sort(key=lambda m: m.timestamp)  # stable: fixed vpe order
+    return feed
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the durable monitoring service over a trace feed.
+
+    Bootstraps the artifact store from ``--model``/``--threshold`` on
+    first run; on later runs ``--replay`` restores the checkpoint and
+    replays unacknowledged WAL ticks before resuming the feed.  Exit
+    codes: 0 on success, 2 on operator error, 3 when
+    ``--kill-after-ticks`` simulated a crash.
+    """
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use(registry):
+        exit_code = _run_serve(args, registry)
+    return exit_code
+
+
+def _run_serve(
+    args: argparse.Namespace, registry: "telemetry.MetricsRegistry"
+) -> int:
+    """The serve workflow, under a run-scoped metrics registry."""
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_releases=args.keep_releases,
+    )
+    store = ArtifactStore(
+        config.store_dir, keep_releases=config.keep_releases
+    )
+    if args.rollback:
+        release = store.rollback()
+        print(f"rolled back to release {release.release_id}")
+        return 0
+    if store.current_id() is None:
+        if args.model is None or args.threshold is None:
+            print(
+                "store holds no release; bootstrap needs --model "
+                "and --threshold",
+                file=sys.stderr,
+            )
+            return 2
+        detector = _load_detector(pathlib.Path(args.model))
+        release = stage_release(store, detector, args.threshold)
+        print(f"published release {release.release_id}")
+    service = MonitorService.open(config)
+    has_state = (
+        config.checkpoint_path.exists()
+        or service.wal.last_sequence > 0
+    )
+    if has_state and not args.replay:
+        print(
+            f"{config.data_dir} has prior service state; rerun with "
+            "--replay to recover it (refusing to ingest blind)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kill_after_ticks is not None:
+        survived = {"ticks": 0}
+
+        def _kill(point: str, sequence: int) -> None:
+            if point != FAULT_AFTER_WAL_APPEND:
+                return
+            survived["ticks"] += 1
+            if survived["ticks"] >= args.kill_after_ticks:
+                raise _SimulatedCrash(sequence)
+
+        service.fault_hook = _kill
+    writer = _TickWriter(args.scores_out, args.warnings_out)
+    exit_code = 0
+    n_live = n_warnings = 0
+    try:
+        if args.replay:
+            report = service.recover()
+            writer.write(report.results)
+            n_warnings += sum(
+                len(r.warnings) for r in report.results
+            )
+            print(
+                f"recovered from cursor {report.checkpoint_cursor}; "
+                f"replayed {report.ticks_replayed} ticks "
+                f"({report.messages_replayed} messages, "
+                f"{report.swaps_replayed} swaps)"
+            )
+        if args.trace:
+            feed = _serve_feed(pathlib.Path(args.trace))
+            tick = args.tick_size
+            start = service.n_ticks * tick
+            for offset in range(start, len(feed), tick):
+                if (
+                    args.max_ticks is not None
+                    and n_live >= args.max_ticks
+                ):
+                    break
+                result = service.process_tick(
+                    feed[offset:offset + tick]
+                )
+                writer.write([result])
+                n_live += 1
+                n_warnings += len(result.warnings)
+        service.close()
+        print(
+            f"served {n_live} live ticks ({n_warnings} warnings); "
+            f"state in {config.data_dir}"
+        )
+    except _SimulatedCrash as crash:
+        # Simulated kill: no close(), no final checkpoint — the next
+        # run must recover from the WAL exactly like a real crash.
+        print(
+            f"simulated crash at journal sequence {crash.args[0]}",
+            file=sys.stderr,
+        )
+        exit_code = 3
+    finally:
+        writer.close()
+        if args.telemetry_out:
+            pathlib.Path(args.telemetry_out).write_text(
+                registry.to_json()
+            )
+    return exit_code
+
+
 #: Invariants asserted by ``repro telemetry --check``: the CI gate
 #: fails the build when instrumentation of any layer regresses.
 _TELEMETRY_CHECKS = (
@@ -528,6 +724,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--anomalies", required=True)
     p.add_argument("--window-days", type=float, default=1.0)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "serve", help="run the durable monitoring service"
+    )
+    p.add_argument("--data-dir", required=True)
+    p.add_argument("--trace", default=None)
+    p.add_argument("--model", default=None)
+    p.add_argument("--threshold", type=float, default=None)
+    p.add_argument("--tick-size", type=int, default=256)
+    p.add_argument("--checkpoint-every", type=int, default=16)
+    p.add_argument("--keep-releases", type=int, default=3)
+    p.add_argument(
+        "--replay",
+        action="store_true",
+        help="restore the checkpoint and replay the WAL first",
+    )
+    p.add_argument(
+        "--rollback",
+        action="store_true",
+        help="flip the store to the previous release and exit",
+    )
+    p.add_argument("--max-ticks", type=int, default=None)
+    p.add_argument(
+        "--kill-after-ticks",
+        type=int,
+        default=None,
+        help="simulate a crash after N journaled ticks (exit 3)",
+    )
+    p.add_argument("--scores-out", default=None)
+    p.add_argument("--warnings-out", default=None)
+    p.add_argument("--telemetry-out", default=None)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "telemetry",

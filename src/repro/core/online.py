@@ -26,9 +26,13 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro import telemetry
 from repro.core.detector import LSTMAnomalyDetector
-from repro.core.stream import StreamScorer
+from repro.core.stream import StreamBatch, StreamScorer
 from repro.logs.message import SyslogMessage
 from repro.timeutil import MINUTE
+
+#: Version of the dict layout produced by
+#: :meth:`OnlineMonitor.state_dict`; bumped on incompatible changes.
+MONITOR_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,10 @@ class OnlineMonitor:
         self._devices: Dict[str, _DeviceState] = {}
         self.n_observed = 0
         self.n_anomalies = 0
+        #: Per-message scores/kept mask of the most recent
+        #: :meth:`observe_batch` call (the runtime service reads this
+        #: to journal tick outcomes without re-deriving them).
+        self.last_batch: Optional[StreamBatch] = None
 
     @property
     def strict_order(self) -> bool:
@@ -121,6 +129,62 @@ class OnlineMonitor:
     def n_reordered(self) -> int:
         """Out-of-order arrivals dropped (``strict_order=False``)."""
         return self.scorer.n_reordered
+
+    # -- checkpointable state -------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Every mutable field needed to reconstruct the monitor.
+
+        Covers the per-device warning-cluster state (recent anomaly
+        times, peaks, cooldowns), the observation counters, and —
+        nested under ``"scorer"`` — the streaming engine's ring-buffer
+        snapshot.  Everything except the scorer's numpy arrays is
+        plain JSON-serializable data.
+        """
+        return {
+            "version": MONITOR_STATE_VERSION,
+            "n_observed": int(self.n_observed),
+            "n_anomalies": int(self.n_anomalies),
+            "devices": {
+                host: {
+                    "last_time": state.last_time,
+                    "last_score": state.last_score,
+                    "recent_anomalies": list(state.recent_anomalies),
+                    "peak_score": state.peak_score,
+                    "cooldown_until": state.cooldown_until,
+                }
+                for host, state in self._devices.items()
+            },
+            "scorer": self.scorer.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The monitor must have been constructed with the same detector
+        configuration (window, thresholds are constructor arguments,
+        not state); warnings emitted after a restore are identical to
+        never having snapshotted.
+        """
+        version = state.get("version")
+        if version != MONITOR_STATE_VERSION:
+            raise ValueError(
+                f"monitor state version {version!r} is not supported "
+                f"(expected {MONITOR_STATE_VERSION})"
+            )
+        self.scorer.load_state_dict(state["scorer"])
+        self.n_observed = int(state["n_observed"])
+        self.n_anomalies = int(state["n_anomalies"])
+        self._devices = {
+            host: _DeviceState(
+                last_time=raw["last_time"],
+                last_score=raw["last_score"],
+                recent_anomalies=list(raw["recent_anomalies"]),
+                peak_score=float(raw["peak_score"]),
+                cooldown_until=float(raw["cooldown_until"]),
+            )
+            for host, raw in state["devices"].items()
+        }
 
     def observe(
         self, message: SyslogMessage
@@ -146,6 +210,7 @@ class OnlineMonitor:
         ingested.
         """
         batch = self.scorer.observe_batch(messages)
+        self.last_batch = batch
         results: List[Optional[WarningSignature]] = []
         scores = batch.scores
         kept = batch.kept

@@ -23,6 +23,16 @@ from repro.nn.layers import Layer
 from repro.nn.losses import Loss
 from repro.nn.optimizers import Optimizer, ParamTriple
 
+#: Version of the ``.npz`` weight archive layout written by
+#: :meth:`Sequential.save`.  Version 1 added the ``__repro_format__``
+#: and ``__repro_dtype__`` metadata entries; archives without them are
+#: legacy (pre-versioning) files and stay loadable.
+WEIGHTS_FORMAT_VERSION = 1
+
+#: Metadata keys embedded in the archive alongside the weights.
+_FORMAT_KEY = "__repro_format__"
+_DTYPE_KEY = "__repro_dtype__"
+
 
 def batches(
     n: int,
@@ -295,11 +305,61 @@ class Sequential:
         for layer in self.layers:
             layer.zero_grads()
 
-    def save(self, path: str) -> None:
-        """Persist weights to an ``.npz`` file."""
-        np.savez(path, **self.get_weights())
+    @property
+    def dtype(self) -> np.dtype:
+        """The floating-point precision of the model's parameters."""
+        for layer in self.layers:
+            for param in layer.params.values():
+                if np.issubdtype(param.dtype, np.floating):
+                    return param.dtype
+        return np.dtype(np.float64)
 
-    def load(self, path: str) -> None:
-        """Load weights from an ``.npz`` file written by :meth:`save`."""
+    def save(self, path: str) -> None:
+        """Persist weights to a versioned ``.npz`` archive.
+
+        Besides the weights the archive carries a format-version tag
+        and the model's dtype, so :meth:`load` can reject archives
+        written by an incompatible layout or precision instead of
+        silently mis-loading them (the artifact store relies on this).
+        """
+        self._require_built()
+        payload = self.get_weights()
+        payload[_FORMAT_KEY] = np.array(
+            WEIGHTS_FORMAT_VERSION, dtype=np.int64
+        )
+        payload[_DTYPE_KEY] = np.array(str(self.dtype))
+        np.savez(path, **payload)
+
+    def load(self, path: str, allow_cast: bool = False) -> None:
+        """Load weights from an ``.npz`` file written by :meth:`save`.
+
+        Versioned archives (format tag present) are validated: an
+        unknown format version is rejected, and a dtype tag that does
+        not match the model's precision is rejected unless
+        ``allow_cast=True`` opts into the lossy cast.  Legacy archives
+        without tags load exactly as before (weights cast into the
+        model's dtype).
+        """
         with np.load(path) as archive:
-            self.set_weights({key: archive[key] for key in archive.files})
+            weights = {key: archive[key] for key in archive.files}
+        version_tag = weights.pop(_FORMAT_KEY, None)
+        dtype_tag = weights.pop(_DTYPE_KEY, None)
+        if version_tag is not None:
+            version = int(version_tag)
+            if version != WEIGHTS_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path}: weight archive format version {version} "
+                    "is not supported by this build (supports "
+                    f"{WEIGHTS_FORMAT_VERSION}); re-save the model "
+                    "with a matching version of repro"
+                )
+            if dtype_tag is not None:
+                saved_dtype = np.dtype(str(dtype_tag))
+                if saved_dtype != self.dtype and not allow_cast:
+                    raise ValueError(
+                        f"{path}: archive holds {saved_dtype} weights "
+                        f"but the model is {self.dtype}; rebuild the "
+                        f"model with dtype={saved_dtype} or pass "
+                        "allow_cast=True to cast explicitly"
+                    )
+        self.set_weights(weights)

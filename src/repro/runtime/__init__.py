@@ -1,0 +1,58 @@
+"""Durable monitoring runtime: WAL, artifact store, checkpoints, swap.
+
+The paper's system monitors 38 vPEs continuously for 18 months — it
+must survive restarts, software updates and model refreshes without
+losing warning state.  This package is that service shell around the
+in-memory streaming engine:
+
+* :mod:`repro.runtime.wal` — append-only, segment-rotated,
+  CRC-protected journal of ingested ticks;
+* :mod:`repro.runtime.store` — versioned, content-addressed artifact
+  store (weights + templates + thresholds as one atomic release,
+  with rollback);
+* :mod:`repro.runtime.checkpoint` — atomic snapshot/restore of the
+  scorer ring buffers, monitor warning state and tick cursor;
+* :mod:`repro.runtime.service` — the supervisor tying tick loop,
+  WAL, checkpoint cadence, hot model swap and graceful shutdown
+  together (``python -m repro serve`` drives it from the CLI).
+"""
+
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.service import (
+    MonitorService,
+    ReplayReport,
+    ServiceConfig,
+    ServiceError,
+    TickResult,
+    detector_from_release,
+    stage_release,
+)
+from repro.runtime.store import ArtifactStore, Release, StoreError
+from repro.runtime.wal import (
+    WalCorruptionError,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "Checkpoint",
+    "MonitorService",
+    "Release",
+    "ReplayReport",
+    "ServiceConfig",
+    "ServiceError",
+    "StoreError",
+    "TickResult",
+    "WalCorruptionError",
+    "WalRecord",
+    "WriteAheadLog",
+    "detector_from_release",
+    "read_checkpoint",
+    "stage_release",
+    "write_checkpoint",
+]

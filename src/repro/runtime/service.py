@@ -1,0 +1,592 @@
+"""The durable monitoring service supervisor.
+
+:class:`MonitorService` turns the in-memory streaming pieces — the
+:class:`~repro.core.stream.StreamScorer` ring buffers inside an
+:class:`~repro.core.online.OnlineMonitor` — into a long-running,
+fault-tolerant service:
+
+* every ingested tick is journaled to the
+  :class:`~repro.runtime.wal.WriteAheadLog` *before* scoring, so a
+  crash mid-tick loses nothing;
+* every ``checkpoint_every`` ticks the full engine state is
+  snapshotted atomically (:mod:`repro.runtime.checkpoint`) and the
+  WAL pruned behind it;
+* model rollover is a *hot swap*: a fine-tuned detector (from
+  :func:`repro.core.adaptation.transfer_adapt`) is published to the
+  :class:`~repro.runtime.store.ArtifactStore` as a new release, the
+  swap is journaled as a WAL control record, and the live weights,
+  template store and threshold are replaced at the tick boundary —
+  no message is dropped or scored twice, and replaying the journal
+  reproduces the swap at exactly the same boundary;
+* :meth:`MonitorService.recover` restores the newest checkpoint and
+  replays unacknowledged journal records, yielding bitwise-identical
+  float64 scores and identical warnings to an uninterrupted run.
+
+The supervisor is single-threaded by design: ticks, checkpoints and
+swaps are serialized at tick boundaries, which is what makes the
+journal a total order and recovery exact.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.adaptation import transfer_adapt
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.online import OnlineMonitor, WarningSignature
+from repro.logs.message import (
+    SyslogMessage,
+    message_from_row,
+    message_to_row,
+)
+from repro.logs.persistence import store_from_json, store_to_json
+from repro.runtime.checkpoint import (
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.store import ArtifactStore, Release
+from repro.runtime.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
+
+#: Journal payload kinds: one ingested tick, or one model swap.
+_KIND_TICK = "tick"
+_KIND_SWAP = "swap"
+
+#: Fault-injection points passed to :attr:`MonitorService.fault_hook`.
+FAULT_AFTER_WAL_APPEND = "after-wal-append"
+FAULT_BEFORE_CHECKPOINT = "before-checkpoint"
+
+
+def tick_payload(messages: "Sequence[SyslogMessage]") -> bytes:
+    """The journal payload for one ingested tick.
+
+    Factored out of :meth:`MonitorService.process_tick` so the runtime
+    benchmark times exactly the encoder the service runs; the
+    positional row codec keeps this off the throughput budget.
+    """
+    return json.dumps(
+        {
+            "kind": _KIND_TICK,
+            "messages": [
+                message_to_row(message) for message in messages
+            ],
+        },
+        separators=(",", ":"),
+    ).encode()
+
+
+class ServiceError(RuntimeError):
+    """Raised for invalid service operations (not for injected faults)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Durability knobs for one service instance.
+
+    Attributes:
+        data_dir: service state root; holds ``wal/``, ``store/`` and
+            ``checkpoint.npz``.
+        checkpoint_every: snapshot cadence in ticks (checkpoints are
+            also taken on graceful :meth:`MonitorService.close`).
+        keep_releases: artifact-store retention depth.
+        segment_bytes: WAL segment-rotation threshold.
+        fsync: fsync every WAL append (power-loss durability).
+        strict_order: the monitor's out-of-order policy; a durable
+            service defaults to drop-and-count so one late message
+            cannot wedge the tick loop.
+    """
+
+    data_dir: Union[str, pathlib.Path]
+    checkpoint_every: int = 16
+    keep_releases: int = 3
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    fsync: bool = False
+    strict_order: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+    @property
+    def wal_dir(self) -> pathlib.Path:
+        """Where the write-ahead log's segments live."""
+        return pathlib.Path(self.data_dir) / "wal"
+
+    @property
+    def store_dir(self) -> pathlib.Path:
+        """Where the artifact store's releases live."""
+        return pathlib.Path(self.data_dir) / "store"
+
+    @property
+    def checkpoint_path(self) -> pathlib.Path:
+        """The (single, atomically replaced) checkpoint file."""
+        return pathlib.Path(self.data_dir) / "checkpoint.npz"
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """Outcome of one processed tick."""
+
+    tick: int
+    scores: np.ndarray
+    kept: np.ndarray
+    warnings: List[WarningSignature]
+    swapped_release: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What :meth:`MonitorService.recover` re-applied from the journal."""
+
+    checkpoint_cursor: int
+    records_replayed: int
+    ticks_replayed: int
+    messages_replayed: int
+    swaps_replayed: int
+    results: List[TickResult] = field(default_factory=list)
+
+
+# -- release packaging ----------------------------------------------------
+
+
+def release_config(
+    detector: LSTMAnomalyDetector, threshold: float
+) -> Dict[str, object]:
+    """The JSON config artifact describing a detector release."""
+    embedding = detector.model.layers[0]
+    return {
+        "capacity": int(detector.vocabulary_capacity),
+        "window": int(detector.windower.window),
+        "hidden": [
+            int(detector.model.layers[1].hidden),
+            int(detector.model.layers[2].hidden),
+        ],
+        "id_dim": int(embedding.id_embedding.dim),
+        "gap_dim": int(embedding.gap_embedding.dim),
+        "cell": detector.cell,
+        "dtype": str(detector.dtype),
+        "seed": int(detector.seed),
+        "threshold": float(threshold),
+    }
+
+
+def stage_release(
+    store: ArtifactStore,
+    detector: LSTMAnomalyDetector,
+    threshold: float,
+    groups: Optional[Dict[str, int]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Release:
+    """Publish a detector (weights + templates + threshold) atomically.
+
+    The release is everything needed to reconstruct the detector on a
+    cold start: the versioned weight archive, the serialized template
+    store, the model/threshold config, and (optionally) the device
+    group assignments.
+    """
+    buffer = io.BytesIO()
+    detector.model.save(buffer)
+    artifacts = {
+        "weights.npz": buffer.getvalue(),
+        "templates.json": store_to_json(detector.store).encode(),
+        "config.json": json.dumps(
+            release_config(detector, threshold), indent=2
+        ).encode(),
+    }
+    if groups is not None:
+        artifacts["groups.json"] = json.dumps(
+            groups, sort_keys=True
+        ).encode()
+    return store.publish(artifacts, metadata)
+
+
+def detector_from_release(
+    store: ArtifactStore, release_id: int
+) -> "tuple[LSTMAnomalyDetector, float]":
+    """Reconstruct the detector and threshold of one release."""
+    release = store.manifest(release_id)
+    config = json.loads(store.read(release_id, "config.json"))
+    template_store = store_from_json(
+        store.read(release_id, "templates.json")
+    )
+    detector = LSTMAnomalyDetector(
+        template_store,
+        vocabulary_capacity=config["capacity"],
+        window=config["window"],
+        hidden=(config["hidden"][0], config["hidden"][1]),
+        id_dim=config["id_dim"],
+        gap_dim=config["gap_dim"],
+        cell=config.get("cell", "lstm"),
+        dtype=np.dtype(config.get("dtype", "float64")),
+        seed=config.get("seed", 0),
+    )
+    weights_path = store.object_path(
+        release.artifacts["weights.npz"]
+    )
+    detector.restore_weights(str(weights_path))
+    return detector, float(config["threshold"])
+
+
+# -- the supervisor -------------------------------------------------------
+
+
+class MonitorService:
+    """WAL-backed, checkpointed supervisor around an online monitor.
+
+    Build one with :meth:`open` (from the artifact store's current
+    release) and drive it by calling :meth:`process_tick` per batch of
+    arrivals.  Attributes of note:
+
+    Attributes:
+        cursor: journal sequence of the last applied record.
+        n_ticks: tick records applied over the service's lifetime
+            (across restarts) — the feed position for resumption.
+        active_release: release id whose weights are currently live.
+        fault_hook: optional test hook called at named supervisor
+            points (see ``FAULT_*`` constants); raising from it
+            simulates a crash at that point.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        monitor: OnlineMonitor,
+        store: ArtifactStore,
+        active_release: int,
+    ) -> None:
+        self.config = config
+        self.monitor = monitor
+        self.store = store
+        self.active_release = int(active_release)
+        self.wal = WriteAheadLog(
+            config.wal_dir,
+            segment_bytes=config.segment_bytes,
+            fsync=config.fsync,
+        )
+        self.cursor = 0
+        self.n_ticks = 0
+        self.pending_release: Optional[int] = None
+        self.fault_hook: Optional[Callable[[str, int], None]] = None
+        self._closed = False
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        config: ServiceConfig,
+        cluster_min_size: int = 2,
+        cluster_max_gap: Optional[float] = None,
+        cooldown: Optional[float] = None,
+    ) -> "MonitorService":
+        """Open a service on the store's current release.
+
+        The store must hold at least one release (see
+        :func:`stage_release`); recovery of checkpoint/WAL state is a
+        separate, explicit :meth:`recover` call.
+        """
+        store = ArtifactStore(
+            config.store_dir, keep_releases=config.keep_releases
+        )
+        current = store.current_id()
+        if current is None:
+            raise ServiceError(
+                f"{store.directory} holds no release; publish one "
+                "with stage_release() before opening the service"
+            )
+        detector, threshold = detector_from_release(store, current)
+        kwargs: Dict[str, object] = {}
+        if cluster_max_gap is not None:
+            kwargs["cluster_max_gap"] = cluster_max_gap
+        if cooldown is not None:
+            kwargs["cooldown"] = cooldown
+        monitor = OnlineMonitor(
+            detector,
+            threshold=threshold,
+            cluster_min_size=cluster_min_size,
+            strict_order=config.strict_order,
+            **kwargs,
+        )
+        return cls(config, monitor, store, current)
+
+    # -- durability -----------------------------------------------------
+
+    def _fault(self, point: str, sequence: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point, sequence)
+
+    def checkpoint_now(self) -> int:
+        """Snapshot the engine state at the current cursor; prune WAL.
+
+        Returns the checkpoint size in bytes.
+        """
+        self._fault(FAULT_BEFORE_CHECKPOINT, self.cursor)
+        with telemetry.timed("runtime.checkpoint.seconds"):
+            size = write_checkpoint(
+                self.config.checkpoint_path,
+                self.monitor,
+                self.cursor,
+                extra={
+                    "n_ticks": self.n_ticks,
+                    "active_release": self.active_release,
+                },
+            )
+        self.wal.prune(self.cursor)
+        return size
+
+    def recover(self) -> ReplayReport:
+        """Restore the checkpoint, then replay unacknowledged records.
+
+        Replayed ticks are re-scored through the exact restored state,
+        so their float64 scores and emitted warnings are bitwise
+        identical to the crashed run's (and to an uninterrupted run).
+        Journaled swaps are re-applied at the same boundaries.
+        """
+        checkpoint_cursor = 0
+        if self.config.checkpoint_path.exists():
+            checkpoint = read_checkpoint(self.config.checkpoint_path)
+            checkpoint.restore(self.monitor)
+            self.cursor = checkpoint.cursor
+            self.n_ticks = int(checkpoint.extra["n_ticks"])
+            checkpoint_cursor = checkpoint.cursor
+            restored_release = int(checkpoint.extra["active_release"])
+            if restored_release != self.active_release:
+                self._load_release(restored_release)
+        results: List[TickResult] = []
+        records = ticks = messages = swaps = 0
+        for record in self.wal.replay(after=self.cursor):
+            payload = json.loads(record.payload.decode())
+            records += 1
+            if payload["kind"] == _KIND_SWAP:
+                self._load_release(int(payload["release"]))
+                swaps += 1
+            elif payload["kind"] == _KIND_TICK:
+                batch = [
+                    message_from_row(raw)
+                    for raw in payload["messages"]
+                ]
+                results.append(self._score_tick(record.sequence, batch))
+                ticks += 1
+                messages += len(batch)
+            else:
+                raise ServiceError(
+                    f"unknown journal record kind {payload['kind']!r} "
+                    f"at sequence {record.sequence}"
+                )
+            self.cursor = record.sequence
+        registry = telemetry.default_registry()
+        registry.counter("runtime.wal.records_replayed").inc(records)
+        registry.counter("runtime.recoveries").inc()
+        return ReplayReport(
+            checkpoint_cursor=checkpoint_cursor,
+            records_replayed=records,
+            ticks_replayed=ticks,
+            messages_replayed=messages,
+            swaps_replayed=swaps,
+            results=results,
+        )
+
+    # -- the tick loop --------------------------------------------------
+
+    def _score_tick(
+        self, sequence: int, messages: Sequence[SyslogMessage]
+    ) -> TickResult:
+        outcomes = self.monitor.observe_batch(list(messages))
+        warnings = [w for w in outcomes if w is not None]
+        batch = self.monitor.last_batch
+        self.n_ticks += 1
+        return TickResult(
+            tick=sequence,
+            scores=batch.scores,
+            kept=batch.kept,
+            warnings=warnings,
+        )
+
+    def process_tick(
+        self, messages: Sequence[SyslogMessage]
+    ) -> TickResult:
+        """Journal, score and (at cadence) checkpoint one tick.
+
+        Order of operations is the durability contract: the tick is
+        appended to the WAL first, so a crash anywhere after the
+        append replays it on recovery; a crash before the append means
+        the feeder never saw it acknowledged.  A staged model swap is
+        applied at the boundary *before* the tick, so every message is
+        scored exactly once, under exactly one model.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        self._ensure_activation_record()
+        swapped = None
+        if self.pending_release is not None:
+            swapped = self._journal_and_apply_swap()
+        sequence = self.cursor + 1
+        self.wal.append(sequence, tick_payload(messages))
+        self._fault(FAULT_AFTER_WAL_APPEND, sequence)
+        result = self._score_tick(sequence, messages)
+        self.cursor = sequence
+        telemetry.counter("runtime.ticks").inc()
+        if self.n_ticks % self.config.checkpoint_every == 0:
+            self.checkpoint_now()
+        if swapped is not None:
+            result = TickResult(
+                tick=result.tick,
+                scores=result.scores,
+                kept=result.kept,
+                warnings=result.warnings,
+                swapped_release=swapped,
+            )
+        return result
+
+    def _ensure_activation_record(self) -> None:
+        """Journal which release a brand-new journal starts under.
+
+        Without this, a crash after a release is *published* (flipping
+        the store's ``CURRENT``) but before its swap record lands
+        would make a checkpoint-less recovery replay early ticks under
+        the wrong model.  The first journal record therefore pins the
+        opening release; replaying it is an idempotent re-load.
+        """
+        if (
+            self.cursor == 0
+            and self.wal.last_sequence == 0
+            and not self.config.checkpoint_path.exists()
+        ):
+            payload = json.dumps(
+                {"kind": _KIND_SWAP, "release": self.active_release},
+                separators=(",", ":"),
+            ).encode()
+            self.wal.append(1, payload)
+            self.cursor = 1
+
+    # -- hot model swap -------------------------------------------------
+
+    def _validate_swap(self, release_id: int) -> None:
+        config = json.loads(self.store.read(release_id, "config.json"))
+        detector = self.monitor.detector
+        if config["window"] != detector.windower.window:
+            raise ServiceError(
+                f"release {release_id} window {config['window']} does "
+                f"not match the live window "
+                f"{detector.windower.window}; a hot swap cannot "
+                "resize ring buffers — restart the service instead"
+            )
+        if config["capacity"] != detector.vocabulary_capacity:
+            raise ServiceError(
+                f"release {release_id} capacity "
+                f"{config['capacity']} does not match the live "
+                f"capacity {detector.vocabulary_capacity}"
+            )
+
+    def request_swap(self, release_id: int) -> None:
+        """Stage a release for hot swap at the next tick boundary.
+
+        The release must exist and be ring-buffer compatible (same
+        context window and vocabulary capacity) — validation happens
+        now so an incompatible release fails fast, not mid-stream.
+        """
+        self._validate_swap(release_id)
+        self.pending_release = int(release_id)
+        registry = telemetry.default_registry()
+        registry.counter("runtime.swap.staged").inc()
+        registry.gauge("runtime.swap.pending_release").set(release_id)
+
+    def _load_release(self, release_id: int) -> None:
+        """Point the live engine at a release's model (in place).
+
+        The detector object (shared by monitor and scorer) keeps its
+        identity; its template store, weights and threshold are
+        replaced, and the ring buffers are untouched — contexts carry
+        template *ids*, which releases preserve.
+        """
+        detector, threshold = detector_from_release(
+            self.store, release_id
+        )
+        live = self.monitor.detector
+        live.store = detector.store
+        live.model.set_weights(detector.model.get_weights())
+        self.monitor.threshold = threshold
+        self.active_release = int(release_id)
+
+    def _journal_and_apply_swap(self) -> int:
+        release_id = self.pending_release
+        assert release_id is not None
+        sequence = self.cursor + 1
+        payload = json.dumps(
+            {"kind": _KIND_SWAP, "release": release_id},
+            separators=(",", ":"),
+        ).encode()
+        self.wal.append(sequence, payload)
+        self._fault(FAULT_AFTER_WAL_APPEND, sequence)
+        self._load_release(release_id)
+        self.cursor = sequence
+        self.pending_release = None
+        registry = telemetry.default_registry()
+        registry.counter("runtime.swap.applied").inc()
+        registry.gauge("runtime.swap.active_release").set(release_id)
+        return release_id
+
+    def adapt(
+        self,
+        messages: Sequence[SyslogMessage],
+        threshold: Optional[float] = None,
+        epochs: int = 3,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> Release:
+        """Fine-tune on fresh data, publish the student, stage a swap.
+
+        Runs the paper's transfer adaptation
+        (:func:`repro.core.adaptation.transfer_adapt`) on the live
+        detector, publishes the student as a new release (new weights,
+        extended template store, carried-over or overridden
+        threshold), and stages it for hot swap at the next tick
+        boundary.
+        """
+        student = transfer_adapt(
+            self.monitor.detector, list(messages), epochs=epochs
+        )
+        release = stage_release(
+            self.store,
+            student,
+            self.monitor.threshold if threshold is None else threshold,
+            metadata=metadata,
+        )
+        self.request_swap(release.release_id)
+        return release
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: final checkpoint, prune, release files."""
+        if self._closed:
+            return
+        self.checkpoint_now()
+        self.wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "MonitorService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "FAULT_AFTER_WAL_APPEND",
+    "FAULT_BEFORE_CHECKPOINT",
+    "MonitorService",
+    "ReplayReport",
+    "ServiceConfig",
+    "ServiceError",
+    "TickResult",
+    "detector_from_release",
+    "release_config",
+    "stage_release",
+    "tick_payload",
+]

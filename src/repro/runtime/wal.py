@@ -1,0 +1,335 @@
+"""Append-only, segment-rotated write-ahead log.
+
+The durable monitoring service appends every ingested tick to this
+log *before* scoring it, so a crash between ingest and checkpoint
+loses nothing: on restart the unacknowledged records are replayed
+through the restored engine and produce bitwise-identical float64
+scores to an uninterrupted run.
+
+Layout: the log is a directory of segment files named
+``seg-<first_seq>.wal``.  Each record is::
+
+    u64 sequence | u32 payload length | u32 CRC32 | payload
+
+where the CRC covers the sequence, length and payload together
+
+(little-endian header).  Records carry monotonically increasing
+sequence numbers (the service uses the tick id).  Segments rotate
+once they exceed ``segment_bytes``; :meth:`WriteAheadLog.prune`
+deletes segments whose every record has been captured by a
+checkpoint.
+
+Failure semantics on replay:
+
+* a *torn tail* — a truncated header, truncated payload, or CRC
+  mismatch at the very end of the **last** segment — is the expected
+  residue of a crash mid-append: replay stops there, the damage is
+  counted, and the next append truncates the torn bytes away;
+* the same damage anywhere else (mid-segment with valid data after
+  it, or in a non-final segment) means the log was corrupted at rest,
+  and replay raises :class:`WalCorruptionError` rather than silently
+  skipping acknowledged data.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro import telemetry
+
+#: Record header: sequence number, payload length, record CRC32.
+_HEADER = struct.Struct("<QII")
+
+#: The CRC-covered header prefix (sequence + length): a bit flip in
+#: the header is as fatal as one in the payload, so both are covered.
+_SEQLEN = struct.Struct("<QI")
+
+
+def _record_crc(sequence: int, payload: bytes) -> int:
+    return zlib.crc32(
+        payload, zlib.crc32(_SEQLEN.pack(sequence, len(payload)))
+    )
+
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".wal"
+
+#: Default segment-rotation threshold (bytes).
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+class WalCorruptionError(RuntimeError):
+    """Raised when a WAL record is damaged anywhere but the tail."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed record: its sequence number and payload bytes."""
+
+    sequence: int
+    payload: bytes
+
+
+def _segment_path(directory: pathlib.Path, first_seq: int) -> pathlib.Path:
+    return directory / f"{_SEGMENT_PREFIX}{first_seq:016d}{_SEGMENT_SUFFIX}"
+
+
+class WriteAheadLog:
+    """Durable tick journal for the monitoring service.
+
+    Args:
+        directory: where segment files live (created if missing).
+        segment_bytes: rotate to a fresh segment once the current one
+            reaches this size.
+        fsync: when True every append is fsync'd (durable against
+            power loss, much slower); when False appends are flushed
+            to the OS only (durable against process crashes — the
+            default, matching the crash model the tests exercise).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: bool = False,
+    ) -> None:
+        if segment_bytes < _HEADER.size + 1:
+            raise ValueError(
+                f"segment_bytes must be > {_HEADER.size}, "
+                f"got {segment_bytes}"
+            )
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = int(segment_bytes)
+        self.fsync = bool(fsync)
+        self._handle = None
+        self._handle_path: Optional[pathlib.Path] = None
+        self.last_sequence = self._scan_last_sequence()
+
+    # -- introspection --------------------------------------------------
+
+    def segments(self) -> List[pathlib.Path]:
+        """Segment files, oldest first."""
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if path.name.startswith(_SEGMENT_PREFIX)
+            and path.name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    def _scan_last_sequence(self) -> int:
+        last = 0
+        for record in self.replay():
+            last = record.sequence
+        return last
+
+    # -- append ---------------------------------------------------------
+
+    def _open_for_append(self, sequence: int) -> None:
+        segments = self.segments()
+        if segments:
+            current = segments[-1]
+            # Drop a torn tail left by a crash mid-append before
+            # writing after it; valid records are never touched.
+            valid_bytes = _valid_prefix_bytes(current)
+            if valid_bytes < current.stat().st_size:
+                with open(current, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+            if current.stat().st_size < self.segment_bytes:
+                self._handle = open(current, "ab")
+                self._handle_path = current
+                return
+        path = _segment_path(self.directory, sequence)
+        self._handle = open(path, "ab")
+        self._handle_path = path
+
+    def append(self, sequence: int, payload: bytes) -> None:
+        """Durably append one record.
+
+        Sequence numbers must be strictly increasing; the service uses
+        the tick id, so replay order equals ingest order.
+        """
+        if sequence <= self.last_sequence:
+            raise ValueError(
+                f"sequence {sequence} is not after the log's last "
+                f"sequence {self.last_sequence}"
+            )
+        if self._handle is None:
+            self._open_for_append(sequence)
+        elif self._handle.tell() >= self.segment_bytes:
+            self._handle.close()
+            self._handle = None
+            self._handle_path = None
+            self._open_for_append(sequence)
+        header = _HEADER.pack(
+            sequence, len(payload), _record_crc(sequence, payload)
+        )
+        self._handle.write(header)
+        self._handle.write(payload)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.last_sequence = sequence
+        registry = telemetry.default_registry()
+        registry.counter("runtime.wal.appends").inc()
+        registry.counter("runtime.wal.bytes_written").inc(
+            _HEADER.size + len(payload)
+        )
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self, after: int = 0) -> Iterator[WalRecord]:
+        """Yield records with ``sequence > after``, oldest first.
+
+        Tolerates a torn tail on the final segment; raises
+        :class:`WalCorruptionError` for damage anywhere else.
+        """
+        segments = self.segments()
+        for index, segment in enumerate(segments):
+            is_last = index == len(segments) - 1
+            for record in _read_segment(segment, is_last):
+                if record.sequence > after:
+                    yield record
+
+    def prune(self, upto: int) -> int:
+        """Delete segments whose records are all ``<= upto``.
+
+        Called after a checkpoint captures the state through sequence
+        ``upto``; returns the number of segments removed.  The segment
+        currently being appended to is never removed.
+        """
+        removed = 0
+        segments = self.segments()
+        # The newest segment is kept even when fully checkpointed: it
+        # is (or will become) the append target.
+        for segment in segments[:-1]:
+            if segment == self._handle_path:
+                break
+            last = _last_sequence_of(segment)
+            if last is None or last <= upto:
+                segment.unlink()
+                removed += 1
+            else:
+                break
+        if removed:
+            telemetry.counter("runtime.wal.segments_pruned").inc(
+                removed
+            )
+        return removed
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the active segment handle."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+            self._handle_path = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _read_record(
+    data: bytes, offset: int
+) -> Tuple[Optional[WalRecord], int, bool]:
+    """Parse one record at ``offset``.
+
+    Returns ``(record, next_offset, damaged)``; ``record`` is None at
+    end-of-data or damage, and ``damaged`` distinguishes the two.
+    """
+    if offset == len(data):
+        return None, offset, False
+    if offset + _HEADER.size > len(data):
+        return None, offset, True
+    sequence, length, crc = _HEADER.unpack_from(data, offset)
+    start = offset + _HEADER.size
+    stop = start + length
+    if stop > len(data):
+        return None, offset, True
+    payload = data[start:stop]
+    if _record_crc(sequence, payload) != crc:
+        return None, offset, True
+    return WalRecord(sequence, payload), stop, False
+
+
+def _read_segment(
+    path: pathlib.Path, tolerate_tail: bool
+) -> Iterator[WalRecord]:
+    data = path.read_bytes()
+    offset = 0
+    torn = False
+    while True:
+        record, offset, damaged = _read_record(data, offset)
+        if record is not None:
+            yield record
+            continue
+        if not damaged:
+            break
+        if not tolerate_tail:
+            raise WalCorruptionError(
+                f"{path}: damaged record at byte {offset} with valid "
+                "data after it (corruption at rest, not a torn tail)"
+            )
+        # Torn tail: only tolerable when nothing valid follows.  A
+        # valid record *after* the damage means bytes were flipped,
+        # not torn off — refuse to silently drop acknowledged data.
+        if _any_valid_record_after(data, offset):
+            raise WalCorruptionError(
+                f"{path}: damaged record at byte {offset} followed by "
+                "an intact record; the segment is corrupt"
+            )
+        torn = True
+        break
+    if torn:
+        telemetry.counter("runtime.wal.torn_tails").inc()
+
+
+def _any_valid_record_after(data: bytes, damage_offset: int) -> bool:
+    """Whether any complete, CRC-clean record starts past the damage."""
+    for offset in range(damage_offset + 1, len(data) - _HEADER.size + 1):
+        record, _, _ = _read_record(data, offset)
+        if record is not None:
+            return True
+    return False
+
+
+def _valid_prefix_bytes(path: pathlib.Path) -> int:
+    """Length of the longest valid record prefix of a segment."""
+    data = path.read_bytes()
+    offset = 0
+    while True:
+        record, next_offset, _ = _read_record(data, offset)
+        if record is None:
+            return offset
+        offset = next_offset
+
+
+def _last_sequence_of(path: pathlib.Path) -> Optional[int]:
+    """The final intact record's sequence number (None if empty)."""
+    last: Optional[int] = None
+    data = path.read_bytes()
+    offset = 0
+    while True:
+        record, offset, _ = _read_record(data, offset)
+        if record is None:
+            return last
+        last = record.sequence
+
+
+__all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "WalCorruptionError",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -276,3 +276,61 @@ class TestStrictOrder:
             is None
         )
         assert monitor.n_reordered == 1
+
+
+class TestStateDict:
+    def test_roundtrip_warning_parity(self, detector, threshold):
+        """Restore mid-incident: the warning cluster must survive."""
+        normal = cyclic_stream(120)
+        burst = [
+            make_message(
+                timestamp=TRACE_START + 1200.0 + t,
+                text=ANOMALY_TEXT,
+            )
+            for t in (0.0, 30.0, 60.0)
+        ]
+        stream = sorted(normal + burst, key=lambda m: m.timestamp)
+        cut = next(
+            i
+            for i, m in enumerate(stream)
+            if m.text == ANOMALY_TEXT
+        ) + 1  # split right after the first anomaly of the cluster
+
+        straight = OnlineMonitor(detector, threshold)
+        expected = straight.run(stream)
+
+        source = OnlineMonitor(detector, threshold)
+        head_warnings = source.run(stream[:cut])
+        restored = OnlineMonitor(detector, threshold)
+        restored.load_state_dict(source.state_dict())
+        tail_warnings = restored.run(stream[cut:])
+
+        assert head_warnings + tail_warnings == expected
+        assert expected, "fixture must actually emit a warning"
+        assert restored.n_observed == straight.n_observed
+        assert restored.n_anomalies == straight.n_anomalies
+
+    def test_state_is_json_safe_except_scorer_arrays(
+        self, detector, threshold
+    ):
+        import json
+
+        monitor = OnlineMonitor(detector, threshold)
+        monitor.run(cyclic_stream(40))
+        state = monitor.state_dict()
+        scorer_state = state.pop("scorer")
+        json.dumps(state)  # must not raise
+        json.dumps(
+            {
+                k: v
+                for k, v in scorer_state.items()
+                if not isinstance(v, np.ndarray)
+            }
+        )
+
+    def test_version_validated(self, detector, threshold):
+        monitor = OnlineMonitor(detector, threshold)
+        state = monitor.state_dict()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            OnlineMonitor(detector, threshold).load_state_dict(state)

@@ -253,3 +253,60 @@ class TestUnknownTemplateClamp:
         out = clamp_template_ids(ids, 16)
         assert out is ids
         assert np.array_equal(ids, [0, 3, 15, 0, 0])
+
+
+class TestStateDict:
+    def test_roundtrip_continuation_is_bitwise(self, detector):
+        _, merged = interleaved_streams(3, per_device=40)
+        head, tail = merged[:60], merged[60:]
+
+        straight = StreamScorer(detector)
+        straight.observe_batch(head)
+        expected = straight.observe_batch(tail)
+
+        source = StreamScorer(detector)
+        source.observe_batch(head)
+        restored = StreamScorer(detector)
+        restored.load_state_dict(source.state_dict())
+        got = restored.observe_batch(tail)
+
+        assert np.array_equal(
+            expected.scores, got.scores, equal_nan=True
+        )
+        assert np.array_equal(expected.kept, got.kept)
+        assert restored.n_scored == straight.n_scored
+
+    def test_snapshot_is_immune_to_later_ingest(self, detector):
+        scorer = StreamScorer(detector)
+        scorer.observe_batch(cyclic_stream(10))
+        state = scorer.state_dict()
+        fills_before = state["fill"].copy()
+        scorer.observe_batch(
+            cyclic_stream(10, start=TRACE_START + 1000.0)
+        )
+        assert np.array_equal(state["fill"], fills_before)
+
+    def test_strict_order_restored(self, detector):
+        lax = StreamScorer(detector, strict_order=False)
+        lax.observe_batch(cyclic_stream(6))
+        restored = StreamScorer(detector, strict_order=True)
+        restored.load_state_dict(lax.state_dict())
+        assert restored.strict_order is False
+
+    def test_version_and_window_validated(self, detector):
+        scorer = StreamScorer(detector)
+        state = scorer.state_dict()
+        bad = dict(state, version=99)
+        with pytest.raises(ValueError, match="version"):
+            StreamScorer(detector).load_state_dict(bad)
+        bad = dict(state, window=WINDOW + 1)
+        with pytest.raises(ValueError, match="window"):
+            StreamScorer(detector).load_state_dict(bad)
+
+    def test_shape_mismatch_rejected(self, detector):
+        scorer = StreamScorer(detector)
+        scorer.observe_batch(cyclic_stream(6))
+        state = scorer.state_dict()
+        state["contexts"] = state["contexts"][:, :2, :]
+        with pytest.raises(ValueError, match="shape"):
+            StreamScorer(detector).load_state_dict(state)

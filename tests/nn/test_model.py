@@ -201,3 +201,61 @@ class TestCloneAndPersistence:
         model.load(path)
         layer = model.layers[0]
         assert layer.params["ids.E"] is layer.id_embedding.params["E"]
+
+
+class TestWeightFormat:
+    def test_archive_carries_tags(self, tmp_path):
+        from repro.nn.model import (
+            _DTYPE_KEY,
+            _FORMAT_KEY,
+            WEIGHTS_FORMAT_VERSION,
+        )
+
+        model = small_classifier()
+        path = str(tmp_path / "w.npz")
+        model.save(path)
+        with np.load(path) as archive:
+            assert int(archive[_FORMAT_KEY]) == WEIGHTS_FORMAT_VERSION
+            assert str(archive[_DTYPE_KEY]) == "float64"
+
+    def test_legacy_untagged_archive_loads(self, tmp_path):
+        model = small_classifier()
+        x, y = toy_data(50)
+        model.fit(x, y, SoftmaxCrossEntropy(), Adam(0.01), epochs=1)
+        path = str(tmp_path / "legacy.npz")
+        np.savez(path, **model.get_weights())  # pre-versioning layout
+        fresh = small_classifier(seed=99)
+        fresh.load(path)
+        assert np.allclose(fresh.predict(x), model.predict(x))
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        from repro.nn.model import _FORMAT_KEY
+
+        model = small_classifier()
+        path = str(tmp_path / "future.npz")
+        payload = model.get_weights()
+        payload[_FORMAT_KEY] = np.array(999, dtype=np.int64)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="format version 999"):
+            small_classifier().load(path)
+
+    def test_dtype_mismatch_rejected_unless_cast(self, tmp_path):
+        from repro.nn.model import _DTYPE_KEY, _FORMAT_KEY
+        from repro.nn.model import WEIGHTS_FORMAT_VERSION
+
+        model = small_classifier()
+        path = str(tmp_path / "f32.npz")
+        payload = model.get_weights()
+        payload[_FORMAT_KEY] = np.array(
+            WEIGHTS_FORMAT_VERSION, dtype=np.int64
+        )
+        payload[_DTYPE_KEY] = np.array("float32")
+        np.savez(path, **payload)
+        target = small_classifier()
+        with pytest.raises(ValueError, match="float32"):
+            target.load(path)
+        target.load(path, allow_cast=True)
+        assert np.allclose(
+            target.get_weights()["out.W"],
+            model.get_weights()["out.W"],
+        )

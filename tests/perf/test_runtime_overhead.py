@@ -1,0 +1,66 @@
+"""WAL-overhead gate for the durable runtime (``-m perf``).
+
+Drains the reduced fleet stream twice — once through a bare
+:class:`~repro.core.online.OnlineMonitor` (WAL off), once through a
+:class:`~repro.runtime.service.MonitorService` journaling every tick
+(WAL on) — and pins the journaling side's overhead at under 5%.  The
+positional row codec and per-tick (never per-message) appends are what
+keep this bound cheap to hold.  Deselected by default via
+``addopts = '-m "not perf"'``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+_BENCH_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+)
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+#: The ISSUE acceptance bound; best-of-repeats timing absorbs most CI
+#: noise, the gap between the ~1% measured and 5% absorbs the rest.
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+@pytest.fixture(scope="module")
+def runtime_module():
+    import runtime
+
+    return runtime
+
+
+@pytest.fixture(scope="module")
+def wal_record(runtime_module):
+    scale = runtime_module.SCALES["reduced"]
+    detector = runtime_module.build_detector(scale)
+    return runtime_module.bench_wal_overhead(scale, detector)
+
+
+def test_record_shape(wal_record):
+    assert wal_record["devices"] == 16
+    assert wal_record["timed_messages"] > 0
+    assert wal_record["wal_off_s"] > 0
+    assert wal_record["wal_on_s"] > 0
+    assert wal_record["wal_on_msgs_per_s"] > 0
+
+
+def test_wal_overhead_under_five_percent(wal_record):
+    assert wal_record["overhead_fraction"] < MAX_OVERHEAD_FRACTION, (
+        "journaling every tick costs "
+        f"{wal_record['overhead_fraction']:.2%} over the bare "
+        "monitor drain"
+    )
+
+
+def test_checkpoint_roundtrip_latency(runtime_module):
+    scale = runtime_module.SCALES["reduced"]
+    detector = runtime_module.build_detector(scale)
+    record = runtime_module.bench_checkpoint(scale, detector)
+    assert record["checkpoint_bytes"] > 0
+    assert record["write_s"] > 0
+    assert record["restore_s"] > 0

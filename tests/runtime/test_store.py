@@ -1,0 +1,107 @@
+"""Tests for repro.runtime.store (versioned artifact releases)."""
+
+import pytest
+
+from repro.runtime.store import ArtifactStore, StoreError
+
+
+def publish(store, tag, extra=None):
+    artifacts = {"weights.npz": tag, "config.json": b'{"t": 1}'}
+    if extra:
+        artifacts.update(extra)
+    return store.publish(artifacts, metadata={"tag": tag.decode()})
+
+
+class TestPublishRead:
+    def test_publish_and_read_back(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        release = publish(store, b"v1")
+        assert release.release_id == 1
+        assert store.current_id() == 1
+        assert store.read(1, "weights.npz") == b"v1"
+        assert store.current().metadata == {"tag": "v1"}
+
+    def test_ids_increase(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert [publish(store, t).release_id for t in (b"a", b"b")] == [
+            1,
+            2,
+        ]
+        assert store.current_id() == 2
+
+    def test_empty_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.current() is None
+        with pytest.raises(StoreError, match="no release"):
+            store.manifest(1)
+
+    def test_unknown_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        publish(store, b"v1")
+        with pytest.raises(StoreError, match="no artifact"):
+            store.read(1, "missing.bin")
+
+    def test_no_empty_release(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path).publish({})
+
+
+class TestContentAddressing:
+    def test_identical_artifacts_share_blobs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        r1 = publish(store, b"same")
+        r2 = publish(store, b"same")
+        assert r1.artifacts["weights.npz"] == r2.artifacts["weights.npz"]
+
+    def test_corrupt_object_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        release = publish(store, b"v1")
+        blob = store.object_path(release.artifacts["weights.npz"])
+        blob.write_bytes(b"tampered")
+        with pytest.raises(StoreError, match="content verification"):
+            store.read(1, "weights.npz")
+
+
+class TestRetention:
+    def test_old_releases_pruned_and_blobs_collected(self, tmp_path):
+        store = ArtifactStore(tmp_path, keep_releases=2)
+        doomed = publish(store, b"old-only-blob")
+        for tag in (b"v2", b"v3"):
+            publish(store, tag)
+        assert store.release_ids() == [2, 3]
+        with pytest.raises(StoreError, match="missing object"):
+            store.object_path(doomed.artifacts["weights.npz"])
+        # the shared config blob is still referenced and must survive
+        assert store.read(3, "config.json") == b'{"t": 1}'
+
+    def test_retention_depth_one(self, tmp_path):
+        store = ArtifactStore(tmp_path, keep_releases=1)
+        for tag in (b"a", b"b", b"c"):
+            publish(store, tag)
+        assert store.release_ids() == [3]
+        assert store.current_id() == 3
+
+    def test_rollback_flips_pointer(self, tmp_path):
+        store = ArtifactStore(tmp_path, keep_releases=3)
+        for tag in (b"a", b"b"):
+            publish(store, tag)
+        assert store.rollback().release_id == 1
+        assert store.current_id() == 1
+        assert store.read(1, "weights.npz") == b"a"
+
+    def test_rollback_without_predecessor(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(StoreError, match="nothing published"):
+            store.rollback()
+        publish(store, b"only")
+        with pytest.raises(StoreError, match="no retained"):
+            store.rollback()
+
+    def test_publish_after_rollback_supersedes(self, tmp_path):
+        store = ArtifactStore(tmp_path, keep_releases=3)
+        for tag in (b"a", b"b"):
+            publish(store, tag)
+        store.rollback()
+        release = publish(store, b"c")
+        assert release.release_id == 3
+        assert store.current_id() == 3

@@ -1,0 +1,152 @@
+"""Tests for repro.runtime.wal (the tick journal).
+
+The failure-mode tests damage real segment bytes on disk: truncating
+the tail simulates a crash mid-append (tolerated), flipping bytes in
+the middle simulates corruption at rest (refused).
+"""
+
+import struct
+
+import pytest
+
+from repro.runtime.wal import (
+    WalCorruptionError,
+    WriteAheadLog,
+)
+
+_HEADER = struct.Struct("<QII")
+
+
+def fill(wal, n, start=1, payload=b"x" * 40):
+    for seq in range(start, start + n):
+        wal.append(seq, payload + str(seq).encode())
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, b"alpha")
+            wal.append(2, b"bravo")
+        with WriteAheadLog(tmp_path) as wal:
+            records = list(wal.replay())
+        assert [(r.sequence, r.payload) for r in records] == [
+            (1, b"alpha"),
+            (2, b"bravo"),
+        ]
+
+    def test_replay_after_cursor(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, 10)
+            assert [r.sequence for r in wal.replay(after=7)] == [8, 9, 10]
+
+    def test_sequences_must_increase(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(5, b"x")
+            with pytest.raises(ValueError, match="not after"):
+                wal.append(5, b"y")
+            with pytest.raises(ValueError, match="not after"):
+                wal.append(4, b"y")
+
+    def test_last_sequence_survives_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, 3)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_sequence == 3
+            wal.append(4, b"next")
+            assert [r.sequence for r in wal.replay()] == [1, 2, 3, 4]
+
+    def test_empty_payload_roundtrips(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(1, b"")
+            assert list(wal.replay())[0].payload == b""
+
+
+class TestRotation:
+    def test_segments_rotate_and_replay_spans_them(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+            assert len(wal.segments()) > 1
+            assert [r.sequence for r in wal.replay()] == list(
+                range(1, 31)
+            )
+
+    def test_prune_keeps_unacknowledged_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+            before = len(wal.segments())
+            removed = wal.prune(upto=30)
+            assert removed > 0
+            assert len(wal.segments()) == before - removed
+            # nothing acknowledged: nothing may be removed
+            assert wal.prune(upto=0) == 0
+            # records after the pruned prefix still replay intact
+            survivors = [r.sequence for r in wal.replay()]
+            assert survivors == sorted(survivors)
+            assert survivors[-1] == 30
+
+    def test_prune_never_removes_append_target(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+            wal.prune(upto=30)
+            wal.append(31, b"after prune")
+            assert [r.sequence for r in wal.replay(after=30)] == [31]
+
+
+def damage_tail(segment, keep_fraction=0.5):
+    """Truncate a segment mid-record, like a crash during append."""
+    data = segment.read_bytes()
+    segment.write_bytes(data[: len(data) - 7])
+
+
+class TestFailureModes:
+    def test_torn_tail_tolerated(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, 5)
+        damage_tail(wal.segments()[-1])
+        with WriteAheadLog(tmp_path) as wal:
+            assert [r.sequence for r in wal.replay()] == [1, 2, 3, 4]
+
+    def test_torn_tail_truncated_on_next_append(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, 5)
+        damage_tail(wal.segments()[-1])
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_sequence == 4
+            wal.append(5, b"rewritten")
+            records = list(wal.replay())
+        assert [r.sequence for r in records] == [1, 2, 3, 4, 5]
+        assert records[-1].payload == b"rewritten"
+
+    @pytest.mark.parametrize("flip_at", [4, 20])
+    def test_bitflip_mid_segment_raises(self, tmp_path, flip_at):
+        """Damage with intact records after it is never a torn tail.
+
+        ``flip_at`` hits the second record's header (4) or payload
+        (20) — the CRC covers both.
+        """
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, 5)
+        segment = wal.segments()[-1]
+        data = bytearray(segment.read_bytes())
+        record_size = _HEADER.size + 41  # fill() payloads are 41 bytes
+        data[record_size + flip_at] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="corrupt"):
+            list(WriteAheadLog(tmp_path).replay())
+
+    def test_damage_in_non_final_segment_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+        first = wal.segments()[0]
+        damage_tail(first)
+        with pytest.raises(WalCorruptionError):
+            list(WriteAheadLog(tmp_path).replay())
+
+    def test_header_only_tail_tolerated(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, 3)
+        segment = wal.segments()[-1]
+        with open(segment, "ab") as handle:
+            handle.write(_HEADER.pack(99, 1000, 0))  # header, no payload
+        with WriteAheadLog(tmp_path) as wal:
+            assert [r.sequence for r in wal.replay()] == [1, 2, 3]

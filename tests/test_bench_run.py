@@ -104,3 +104,11 @@ def test_corrupt_trajectory_rejected_before_running(
 def test_validate_record_accepts_real_shape():
     assert run.validate_record(GOOD_RECORD) == ""
     assert run.validate_record({"benchmarks": 3, "scale": "x"}) != ""
+
+
+def test_every_suite_has_printer_and_output():
+    """A suite added to the dispatcher must also get a printer and a
+    trajectory file, or ``main`` crashes after the slow run."""
+    assert set(run._PRINTERS) == set(run.SUITE_OUTPUTS)
+    for suite, path in run.SUITE_OUTPUTS.items():
+        assert path.name == f"BENCH_{suite}.json"

@@ -166,6 +166,100 @@ class TestTelemetrySubcommand:
         assert rebuilt.to_prometheus() == text
 
 
+class TestServe:
+    """The durable-service subcommand, including the crash drill the
+    CI ``service-e2e`` job runs: kill a run mid-tick, replay, and
+    expect the score CSVs to unify with an uninterrupted run's."""
+
+    SERVE_ARGS = [
+        "--threshold", "4.0", "--tick-size", "64",
+        "--checkpoint-every", "5",
+    ]
+
+    def serve(self, workflow, data_dir, *extra):
+        return main([
+            "serve", "--data-dir", str(data_dir),
+            "--trace", str(workflow["trace"]),
+            "--model", str(workflow["model"]),
+            *self.SERVE_ARGS, *extra,
+        ])
+
+    @staticmethod
+    def rows(path):
+        return set(path.read_text().splitlines())
+
+    def test_bootstrap_requires_model(self, tmp_path):
+        assert main([
+            "serve", "--data-dir", str(tmp_path / "svc"),
+        ]) == 2
+
+    def test_crash_replay_matches_uninterrupted(
+        self, workflow, tmp_path, capsys
+    ):
+        a_csv = tmp_path / "a.csv"
+        b_csv = tmp_path / "b.csv"
+        assert self.serve(
+            workflow, tmp_path / "a", "--scores-out", str(a_csv)
+        ) == 0
+        assert self.serve(
+            workflow, tmp_path / "b", "--scores-out", str(b_csv),
+            "--kill-after-ticks", "12",
+        ) == 3
+        assert "simulated crash" in capsys.readouterr().err
+        assert self.serve(
+            workflow, tmp_path / "b", "--scores-out", str(b_csv),
+            "--replay",
+        ) == 0
+        assert self.rows(a_csv) == self.rows(b_csv)
+        assert len(self.rows(a_csv)) > 100
+
+    def test_blind_restart_refused(self, workflow, tmp_path, capsys):
+        data = tmp_path / "svc"
+        assert self.serve(workflow, data, "--max-ticks", "3") == 0
+        assert self.serve(workflow, data) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_resume_continues_feed(self, workflow, tmp_path):
+        data = tmp_path / "svc"
+        out = tmp_path / "scores.csv"
+        full = tmp_path / "full.csv"
+        assert self.serve(
+            workflow, data, "--max-ticks", "4",
+            "--scores-out", str(out),
+        ) == 0
+        assert self.serve(
+            workflow, data, "--replay", "--max-ticks", "4",
+            "--scores-out", str(out),
+        ) == 0
+        assert self.serve(
+            workflow, tmp_path / "ref", "--max-ticks", "8",
+            "--scores-out", str(full),
+        ) == 0
+        assert self.rows(full) <= self.rows(out)
+
+    def test_rollback_requires_history(self, workflow, tmp_path):
+        data = tmp_path / "svc"
+        assert self.serve(workflow, data, "--max-ticks", "1") == 0
+        from repro.runtime.store import StoreError
+
+        with pytest.raises(StoreError, match="no retained"):
+            main([
+                "serve", "--data-dir", str(data), "--rollback",
+            ])
+
+    def test_telemetry_out_written(self, workflow, tmp_path):
+        out = tmp_path / "telemetry.json"
+        assert self.serve(
+            workflow, tmp_path / "svc", "--max-ticks", "4",
+            "--telemetry-out", str(out),
+        ) == 0
+        snapshot = json.loads(out.read_text())
+        counters = snapshot["counters"]
+        assert counters["runtime.ticks"] == 4
+        assert counters["runtime.wal.appends"] >= 4
+        assert counters["runtime.checkpoint.writes"] >= 1
+
+
 class TestParser:
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
@@ -181,7 +275,7 @@ class TestParser:
         "subcommand",
         [
             "simulate", "mine", "train", "detect", "report",
-            "telemetry",
+            "telemetry", "serve",
         ],
     )
     def test_subcommand_help_exits_zero(self, subcommand, capsys):

@@ -82,6 +82,44 @@ class TestExamples:
             assert '__name__ == "__main__"' in source, path.name
 
 
+class TestServiceDocs:
+    """README's service section mirrors the real serve CLI."""
+
+    def test_readme_has_service_section(self):
+        assert "## Running as a service" in read("README.md")
+
+    def test_every_serve_flag_documented(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        serve = subparsers.choices["serve"]
+        flags = {
+            option
+            for action in serve._actions
+            for option in action.option_strings
+            if option.startswith("--") and option != "--help"
+        }
+        assert flags, "serve must define long options"
+        readme = read("README.md")
+        section = readme.split("## Running as a service", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        missing = sorted(f for f in flags if f not in section)
+        assert not missing, (
+            f"serve flags absent from the README service section: "
+            f"{missing}"
+        )
+
+    def test_design_documents_runtime_layer(self):
+        design = read("DESIGN.md")
+        assert "repro.runtime" in design
+        assert "python -m repro serve" in design
+
+
 class TestStaticAnalysisDocs:
     """The README codes table mirrors `python -m repro check --list`."""
 
