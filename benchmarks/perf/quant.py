@@ -1,0 +1,198 @@
+"""Quantized-inference benchmarks: int8 vs float32 streaming.
+
+One suite, one question: what does the opt-in int8 path
+(:mod:`repro.nn.quant`) buy over the float32 deployment fast path,
+and what does it cost in decisions?  The same fleet stream is drained
+through two :class:`~repro.core.stream.StreamScorer` instances:
+
+* ``f32`` — the float32 twin of the trained detector, today's fast
+  path (the ``BENCH_streaming.json`` reference);
+* ``int8`` — the float64 detector scored through
+  ``StreamScorer(..., quantized=True)``: fused embedding+input
+  projection table, per-tensor symmetric int8 weights dequantized to
+  float32 operands, tanh-identity sigmoid.
+
+Throughput is best-of wall time.  Fidelity is *decision agreement*:
+both sides' scores are thresholded at the float64 reference's 95th
+percentile (snapped between adjacent score levels so clustered
+synthetic scores don't turn the comparison into a float tie-break) and
+the fraction of matching anomaly decisions against the float64 ground
+truth is reported.  The acceptance gates pin int8 at
+>= 1.5x float32 throughput with >= 99% agreement.
+
+``run(scale)`` returns a JSON-ready record; ``run.py quant`` appends
+it to ``BENCH_quant.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+import streaming
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.stream import StreamScorer
+from repro.logs.message import SyslogMessage
+
+
+@dataclass(frozen=True)
+class QuantScale:
+    """One quantized-benchmark operating point."""
+
+    name: str
+    devices: int
+    timed_messages: int
+    repeats: int = 3
+    tick_size: int = 1024
+    threshold_quantile: float = 0.95
+
+
+SCALES: Dict[str, QuantScale] = {
+    # The reference point BENCH_quant.json records: the full-fleet
+    # single-scorer regime where inference dominates.
+    "default": QuantScale(
+        name="default", devices=512, timed_messages=16384
+    ),
+    # CI / perf-marked pytest smoke.
+    "reduced": QuantScale(
+        name="reduced", devices=32, timed_messages=4096, repeats=2
+    ),
+}
+
+
+def _drain(
+    scorer: StreamScorer,
+    warm: List[SyslogMessage],
+    ticks: List[List[SyslogMessage]],
+) -> Tuple[float, np.ndarray]:
+    """Drain warmed ticks; return (wall seconds, concatenated scores)."""
+    scorer.observe_batch(warm)
+    chunks = []
+    start = time.perf_counter()
+    for tick in ticks:
+        chunks.append(scorer.observe_batch(tick).scores)
+    elapsed = time.perf_counter() - start
+    return elapsed, np.concatenate(chunks)
+
+
+def _best_of(
+    make_scorer,
+    warm: List[SyslogMessage],
+    ticks: List[List[SyslogMessage]],
+    repeats: int,
+) -> Tuple[float, np.ndarray]:
+    best = float("inf")
+    scores = None
+    for _ in range(repeats):
+        elapsed, run_scores = _drain(make_scorer(), warm, ticks)
+        if elapsed < best:
+            best = elapsed
+        scores = run_scores  # identical across repeats per scorer
+    return best, scores
+
+
+def _snap_threshold(scores: np.ndarray, quantile: float) -> float:
+    """The score quantile, snapped between adjacent score levels.
+
+    The synthetic fleet's scores are heavily clustered, so the raw
+    quantile routinely lands *exactly on* a populated score level:
+    thresholding then becomes a knife-edge float comparison that a
+    float32 twin fails as badly as int8 (the ulp of difference flips
+    every message sitting on the atom).  Snapping to the midpoint
+    between the two distinct levels straddling the quantile keeps every
+    engine's scores safely on one side, so the agreement metric
+    measures quantization fidelity instead of tie-breaking luck.
+    """
+    levels = np.unique(scores)
+    if len(levels) == 1:
+        return float(levels[0])
+    raw = np.quantile(scores, quantile)
+    upper = int(np.searchsorted(levels, raw, side="right"))
+    if upper == len(levels):
+        # Quantile at the top level: snap below it, so the top atom's
+        # messages are anomalous under every engine instead of sitting
+        # exactly on the threshold.
+        upper -= 1
+    return float(0.5 * (levels[upper - 1] + levels[upper]))
+
+
+def _agreement(
+    reference: np.ndarray, candidate: np.ndarray, threshold: float
+) -> Tuple[float, int]:
+    """Fraction of matching anomaly decisions over scored messages."""
+    decided = np.isfinite(reference) & np.isfinite(candidate)
+    ref_flag = reference[decided] > threshold
+    cand_flag = candidate[decided] > threshold
+    n = int(decided.sum())
+    if n == 0:
+        return 1.0, 0
+    return float(np.mean(ref_flag == cand_flag)), n
+
+
+def bench_quantized(scale: QuantScale) -> Dict[str, float]:
+    """int8 vs f32 streaming throughput and decision fidelity."""
+    stream_scale = streaming.SCALES[
+        "reduced" if scale.name == "reduced" else "default"
+    ]
+    f64, f32 = streaming.build_detectors(stream_scale)
+    warmup = scale.devices * (stream_scale.window + 2)
+    stream = streaming.fleet_stream(
+        scale.devices, warmup + scale.timed_messages
+    )
+    warm, timed = stream[:warmup], stream[warmup:]
+    ticks = [
+        timed[index:index + scale.tick_size]
+        for index in range(0, len(timed), scale.tick_size)
+    ]
+
+    # Float64 ground truth (untimed): the decision reference and the
+    # source of the operating threshold.
+    _, ref_scores = _drain(StreamScorer(f64), warm, ticks)
+    finite = ref_scores[np.isfinite(ref_scores)]
+    threshold = _snap_threshold(finite, scale.threshold_quantile)
+
+    f32_s, f32_scores = _best_of(
+        lambda: StreamScorer(f32), warm, ticks, scale.repeats
+    )
+    int8_s, int8_scores = _best_of(
+        lambda: StreamScorer(f64, quantized=True),
+        warm,
+        ticks,
+        scale.repeats,
+    )
+    f32_rate = len(timed) / f32_s
+    int8_rate = len(timed) / int8_s
+    f32_agree, _ = _agreement(ref_scores, f32_scores, threshold)
+    int8_agree, n_decisions = _agreement(
+        ref_scores, int8_scores, threshold
+    )
+    return {
+        "devices": scale.devices,
+        "timed_messages": len(timed),
+        "tick_size": scale.tick_size,
+        "window": stream_scale.window,
+        "hidden": stream_scale.hidden,
+        "f32_msgs_per_s": f32_rate,
+        "int8_msgs_per_s": int8_rate,
+        "speedup_vs_f32": int8_rate / f32_rate,
+        "threshold_quantile": scale.threshold_quantile,
+        "threshold": threshold,
+        "n_decisions": n_decisions,
+        "f32_decision_agreement": f32_agree,
+        "decision_agreement": int8_agree,
+    }
+
+
+def run(scale_name: str = "default") -> Dict:
+    """Run the quantized-inference bench at the named scale."""
+    scale = SCALES[scale_name]
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "benchmarks": {
+            "quantized_inference": bench_quantized(scale),
+        },
+    }

@@ -16,11 +16,15 @@ Suites:
   ``BENCH_streaming.json``;
 * ``runtime`` — durable-service costs (WAL-on vs WAL-off ingest,
   checkpoint write/restore latency), appended to
-  ``BENCH_runtime.json``.
+  ``BENCH_runtime.json``;
+* ``quant`` — opt-in int8 inference vs the float32 fast path
+  (throughput and decision agreement), appended to
+  ``BENCH_quant.json``.
 
 Each invocation appends one timestamped run record to the suite's
 trajectory file at the repository root, building the performance
-history later PRs must beat.
+history later PRs must beat.  ``--keep N`` (default 20) prunes the
+oldest runs past N so trajectory files stay bounded.
 """
 
 from __future__ import annotations
@@ -43,7 +47,11 @@ SUITE_OUTPUTS = {
     "hotpath": ROOT / "BENCH_hotpath.json",
     "streaming": ROOT / "BENCH_streaming.json",
     "runtime": ROOT / "BENCH_runtime.json",
+    "quant": ROOT / "BENCH_quant.json",
 }
+
+#: Default trajectory depth: ``--keep 0`` disables pruning.
+DEFAULT_KEEP = 20
 
 # Kept for backwards compatibility with older tooling/tests.
 RESULTS_PATH = SUITE_OUTPUTS["hotpath"]
@@ -71,10 +79,22 @@ def load_payload(path: pathlib.Path) -> dict:
     return payload
 
 
-def append_record(record: dict, path: pathlib.Path = RESULTS_PATH) -> dict:
-    """Append one run record to the JSON trajectory file."""
+def append_record(
+    record: dict,
+    path: pathlib.Path = RESULTS_PATH,
+    keep: int = 0,
+) -> dict:
+    """Append one run record to the JSON trajectory file.
+
+    ``keep > 0`` prunes the trajectory to its newest ``keep`` runs
+    (including the one just appended); 0 keeps everything.
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
     payload = load_payload(path)
     payload.setdefault("runs", []).append(record)
+    if keep:
+        payload["runs"] = payload["runs"][-keep:]
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
@@ -142,6 +162,24 @@ def _print_runtime(record: dict) -> None:
     )
 
 
+def _print_quant(record: dict) -> None:
+    quant = record["benchmarks"]["quantized_inference"]
+    print(
+        f"scale: {record['scale']}  ({quant['devices']} devices, "
+        f"tick {quant['tick_size']})"
+    )
+    print(
+        f"inference: f32 {quant['f32_msgs_per_s']:>9.0f} msgs/s, "
+        f"int8 {quant['int8_msgs_per_s']:>9.0f} msgs/s "
+        f"({quant['speedup_vs_f32']:.2f}x)"
+    )
+    print(
+        f"decisions: {quant['decision_agreement']:.4f} agreement "
+        f"vs f64 over {quant['n_decisions']} messages "
+        f"(threshold p{quant['threshold_quantile'] * 100:.0f})"
+    )
+
+
 def run_suite(suite: str, scale: str) -> dict:
     """Import and execute one suite, returning its run record."""
     if suite == "hotpath":
@@ -156,6 +194,10 @@ def run_suite(suite: str, scale: str) -> dict:
         import runtime
 
         return runtime.run(scale)
+    if suite == "quant":
+        import quant
+
+        return quant.run(scale)
     raise ValueError(f"unknown suite {suite!r}")
 
 
@@ -163,6 +205,7 @@ _PRINTERS = {
     "hotpath": _print_hotpath,
     "streaming": _print_streaming,
     "runtime": _print_runtime,
+    "quant": _print_quant,
 }
 
 
@@ -204,7 +247,16 @@ def main(argv=None) -> int:
         help="JSON trajectory file to append to "
         "(default: the suite's BENCH_<suite>.json)",
     )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=DEFAULT_KEEP,
+        help="newest runs to keep in the trajectory "
+        f"(default {DEFAULT_KEEP}; 0 keeps everything)",
+    )
     args = parser.parse_args(argv)
+    if args.keep < 0:
+        parser.error("--keep must be >= 0")
     output = pathlib.Path(args.output or SUITE_OUTPUTS[args.suite])
     load_payload(output)  # reject a bad trajectory file up front
 
@@ -225,7 +277,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    append_record(record, output)
+    append_record(record, output, keep=args.keep)
     _PRINTERS[args.suite](record)
     print(f"appended to {output}")
     return 0

@@ -5,8 +5,8 @@ Two questions, one suite:
 * what does journaling cost?  The same fleet stream is drained twice
   through an identical :class:`~repro.core.online.OnlineMonitor` —
   once bare (WAL off) and once with the service's journaling step
-  bolted on before each tick (WAL on: row-encode via
-  :func:`~repro.runtime.service.tick_payload`, CRC, append).  Holding
+  bolted on before each tick (WAL on: arena-encode via
+  :class:`~repro.runtime.codec.TickEncoder`, CRC, append).  Holding
   the scoring engine object identical isolates the journal cost; the
   service's remaining per-tick bookkeeping is a handful of integer
   checks.  The acceptance bound pins the overhead fraction under 5%;
@@ -33,7 +33,7 @@ from repro.core.detector import LSTMAnomalyDetector
 from repro.core.online import OnlineMonitor
 from repro.logs.message import SyslogMessage
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
-from repro.runtime.service import tick_payload
+from repro.runtime.codec import TickEncoder
 from repro.runtime.wal import WriteAheadLog
 
 
@@ -117,10 +117,10 @@ def _time_journaled_drain(
     """Best-of wall time for the WAL-on side (journal, then score).
 
     Runs the exact journaling step ``MonitorService.process_tick``
-    runs — :func:`tick_payload` encode, CRC, segment append — in front
-    of the same ``observe_batch`` the WAL-off side times, so the delta
-    between the two sides is the journal alone.  Checkpointing is
-    cadence-driven and benched separately.
+    runs — one :class:`TickEncoder` arena encode, CRC, segment append
+    — in front of the same ``observe_batch`` the WAL-off side times,
+    so the delta between the two sides is the journal alone.
+    Checkpointing is cadence-driven and benched separately.
     """
     best = float("inf")
     for _ in range(repeats):
@@ -130,10 +130,11 @@ def _time_journaled_drain(
                 detector, threshold=float("inf"), strict_order=False
             )
             monitor.observe_batch(warm)
+            encoder = TickEncoder()
             with WriteAheadLog(data_dir) as wal:
                 start = time.perf_counter()
                 for sequence, tick in enumerate(ticks, start=1):
-                    wal.append(sequence, tick_payload(tick))
+                    wal.append(sequence, encoder.encode(tick))
                     monitor.observe_batch(tick)
                 best = min(best, time.perf_counter() - start)
         finally:

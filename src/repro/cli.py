@@ -49,6 +49,7 @@ from repro.logs.persistence import store_from_json, store_to_json
 from repro.logs.templates import TemplateStore
 from repro.runtime.service import (
     FAULT_AFTER_WAL_APPEND,
+    AdaptiveTicker,
     MonitorService,
     ServiceConfig,
     TickResult,
@@ -436,6 +437,7 @@ def _run_serve(
         data_dir=args.data_dir,
         checkpoint_every=args.checkpoint_every,
         keep_releases=args.keep_releases,
+        quantized=args.quantized,
     )
     store = ArtifactStore(
         config.store_dir, keep_releases=config.keep_releases
@@ -496,17 +498,19 @@ def _run_serve(
             )
         if args.trace:
             feed = _serve_feed(pathlib.Path(args.trace))
-            tick = args.tick_size
-            start = service.n_ticks * tick
-            for offset in range(start, len(feed), tick):
-                if (
-                    args.max_ticks is not None
-                    and n_live >= args.max_ticks
-                ):
-                    break
-                result = service.process_tick(
-                    feed[offset:offset + tick]
+            ticker = None
+            if args.adaptive_tick:
+                ticker = AdaptiveTicker(
+                    initial=args.tick_size,
+                    min_size=min(64, args.tick_size),
+                    max_size=max(8192, args.tick_size),
                 )
+            for result in service.drain(
+                feed,
+                tick_size=args.tick_size,
+                ticker=ticker,
+                max_ticks=args.max_ticks,
+            ):
                 writer.write([result])
                 n_live += 1
                 n_warnings += len(result.warnings)
@@ -733,6 +737,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default=None)
     p.add_argument("--threshold", type=float, default=None)
     p.add_argument("--tick-size", type=int, default=256)
+    p.add_argument(
+        "--adaptive-tick",
+        action="store_true",
+        help="size ticks from backpressure (starts at --tick-size)",
+    )
+    p.add_argument(
+        "--quantized",
+        action="store_true",
+        help="score through int8-quantized inference (lossy, faster)",
+    )
     p.add_argument("--checkpoint-every", type=int, default=16)
     p.add_argument("--keep-releases", type=int, default=3)
     p.add_argument(

@@ -7,15 +7,27 @@ and scores all devices' ready windows in a single fused forward pass
 through the model's inference-only path — so the matmul cost of a
 forward is amortized over the whole fleet instead of paid per message.
 
-Within a tick, arrivals are decomposed into *rounds*: round ``r``
-holds the ``r``-th accepted arrival of each device in the tick.  Every
-round touches each device at most once, so the round's ready windows
-can be gathered with one fancy index and scored in one
-``model.infer`` call, while per-device sequential semantics (each
+Within a tick, each device's history plus its accepted arrivals are
+laid out as one contiguous *virtual sequence* in a per-tick buffer,
+so every ready window of the whole tick is a contiguous slice of
+that buffer.  All windows are gathered with one fancy index and
+scored in a single batched forward through the model's
+inference-only path, while per-device sequential semantics (each
 arrival scored against the context *before* it) are preserved
-exactly.  At float64 the scores are bitwise identical to feeding the
-same stream one message at a time — :meth:`Sequential.infer` pads
-single-row batches so results are independent of batch composition.
+exactly — the window for a device's ``r``-th arrival contains the
+device's previous ``window`` tuples whether they came from the ring
+or from earlier arrivals in the same tick.  At float64 the scores
+are bitwise identical to feeding the same stream one message at a
+time: :meth:`Sequential.infer` results are row-wise independent of
+batch composition (single-row batches are padded), which makes the
+batch shape — per message, per round, or per tick — irrelevant to
+the bits.
+
+An opt-in ``quantized=True`` scorer swaps the fused forward for the
+int8 engine (:class:`repro.nn.quant.QuantizedModel`), rebuilt
+automatically whenever the detector's weights version moves (hot
+swap, checkpoint restore).  Quantized scores are approximate — the
+contract is anomaly-decision agreement, not bitwise parity.
 
 Out-of-order arrivals either raise (``strict_order=True``, the
 historical behavior) or are counted in :attr:`n_reordered` and
@@ -38,9 +50,10 @@ import numpy as np
 from repro import telemetry
 from repro.core.base import clamp_template_ids
 from repro.core.detector import LSTMAnomalyDetector
-from repro.logs.message import SyslogMessage
+from repro.logs.message import SyslogMessage, message_columns
 from repro.logs.sequences import GAP_BUCKET_EDGES
 from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.quant import QuantizedModel
 
 
 @dataclass(frozen=True)
@@ -69,6 +82,10 @@ class StreamScorer:
             is dropped and counted in :attr:`n_reordered`.
         initial_devices: ring-buffer rows to preallocate; the table
             doubles automatically as new hosts appear.
+        quantized: when True, score through the int8 engine
+            (:class:`repro.nn.quant.QuantizedModel`) instead of the
+            bitwise float path; the engine is rebuilt whenever the
+            detector model's ``weights_version`` changes.
     """
 
     def __init__(
@@ -76,12 +93,16 @@ class StreamScorer:
         detector: LSTMAnomalyDetector,
         strict_order: bool = True,
         initial_devices: int = 16,
+        quantized: bool = False,
     ) -> None:
         if initial_devices < 1:
             raise ValueError("initial_devices must be >= 1")
         self.detector = detector
         self.window = int(detector.windower.window)
         self.strict_order = bool(strict_order)
+        self.quantized = bool(quantized)
+        self._qmodel: "QuantizedModel | None" = None
+        self._qmodel_version = -1
         self.n_reordered = 0
         self.n_scored = 0
         self._index: Dict[str, int] = {}
@@ -119,19 +140,41 @@ class StreamScorer:
             [self._last_time, np.full(new - old, np.nan)]
         )
 
-    def _rows(self, messages: Sequence[SyslogMessage]) -> np.ndarray:
-        rows = np.empty(len(messages), dtype=np.int64)
+    def _rows(
+        self, hosts: List[str]
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Group a tick's hosts into device runs; grow the table.
+
+        Returns ``(run_of, run_rows)``: per-message run index and, per
+        run, the ring-buffer row.  One vectorized unique pass replaces
+        the old per-message dict loop — the Python work left is one
+        dict probe per *distinct* host in the tick, not per message.
+        """
+        unique, run_of = np.unique(
+            np.asarray(hosts), return_inverse=True
+        )
+        run_rows = np.empty(unique.size, dtype=np.int64)
         index = self._index
-        for i, message in enumerate(messages):
-            row = index.get(message.host)
+        for u in range(unique.size):
+            host = str(unique[u])
+            row = index.get(host)
             if row is None:
                 row = len(self._hosts)
                 if row >= self._contexts.shape[0]:
                     self._grow(row + 1)
-                index[message.host] = row
-                self._hosts.append(message.host)
-            rows[i] = row
-        return rows
+                index[host] = row
+                self._hosts.append(host)
+            run_rows[u] = row
+        return run_of, run_rows
+
+    def _quantized_model(self) -> "QuantizedModel":
+        """The int8 engine for the current weights (cached per version)."""
+        model = self.detector.model
+        version = model.weights_version
+        if self._qmodel is None or self._qmodel_version != version:
+            self._qmodel = QuantizedModel.from_model(model)
+            self._qmodel_version = version
+        return self._qmodel
 
     def context_of(self, host: str) -> np.ndarray:
         """The device's current context, oldest first (for inspection)."""
@@ -242,112 +285,164 @@ class StreamScorer:
             np.count_nonzero(ids >= detector.vocabulary_capacity)
         )
         clamp_template_ids(ids, detector.vocabulary_capacity)
-        times = np.fromiter(
-            (message.timestamp for message in messages),
-            dtype=np.float64,
-            count=n,
-        )
-        rows = self._rows(messages)
+        times, hosts = message_columns(messages)
+        run_of, run_rows = self._rows(hosts)
+        n_runs = run_rows.size
 
-        # Group arrivals by device (stable: per-device order kept).
-        order = np.argsort(rows, kind="stable")
-        sorted_rows = rows[order]
-        starts = np.flatnonzero(
-            np.r_[True, sorted_rows[1:] != sorted_rows[:-1]]
-        )
-        lengths = np.diff(np.r_[starts, n])
+        # Group arrivals by device run (stable: per-device order kept).
+        order = np.argsort(run_of, kind="stable")
+        g_sorted = run_of[order]
         sorted_times = times[order]
+        counts_all = np.bincount(run_of, minlength=n_runs)
+        starts = np.zeros(n_runs, dtype=np.int64)
+        np.cumsum(counts_all[:-1], out=starts[1:])
+        last_run = self._last_time[run_rows]
 
-        # Per device run: validate ordering, compute gap buckets for
-        # accepted arrivals, and rank each accepted arrival within its
-        # device (rank r = the device's r-th arrival this tick).
-        keep_sorted = np.ones(n, dtype=bool)
-        gaps_sorted = np.zeros(n, dtype=np.int64)
-        rank_sorted = np.zeros(n, dtype=np.int64)
-        for start, length in zip(starts, lengths):
-            stop = start + length
-            row = sorted_rows[start]
-            t_run = sorted_times[start:stop]
-            last = self._last_time[row]
-            lower = -np.inf if np.isnan(last) else last
-            # An arrival is in order iff it is >= every accepted
-            # timestamp before it; the running max over *all* prior
-            # arrivals equals the one over accepted arrivals only,
-            # because a dropped arrival never raised the max.
-            floor = np.maximum.accumulate(
-                # Amortized: one allocation per device *run*, not per
-                # message; runs are bounded by the device count.
-                np.concatenate(([lower], t_run[:-1]))  # repro: noqa[RPR201]
-            )
-            ok = t_run >= floor
-            if not ok.all():
-                if self.strict_order:
-                    raise ValueError(
-                        f"out-of-order message for {self._hosts[row]}"
-                    )
-                keep_sorted[start:stop] = ok
-                t_kept = t_run[ok]
-            else:
-                t_kept = t_run
-            # Gap to the previous accepted arrival; the device's first
-            # ever message follows "nothing" (stored last is NaN), and
-            # searchsorted sends the NaN delta to the largest bucket.
-            previous = np.concatenate(([last], t_kept[:-1]))  # repro: noqa[RPR201]
-            gaps_sorted[start:stop][ok] = np.searchsorted(
-                GAP_BUCKET_EDGES, t_kept - previous, side="right"
-            )
-            rank_sorted[start:stop][ok] = np.arange(t_kept.size)  # repro: noqa[RPR201]
+        # Ordering fast path: when every arrival is >= its immediate
+        # predecessor (and the device's stored newest timestamp), the
+        # whole tick is in order — one vectorized compare, no per-run
+        # loop.  NaN "last" (fresh device) must not poison the compare,
+        # so it is floored to -inf for ordering only.
+        prev = np.empty(n, dtype=np.float64)
+        prev[1:] = sorted_times[:-1]
+        prev[starts] = last_run
+        in_order = sorted_times >= np.where(
+            np.isnan(prev), -np.inf, prev
+        )
+        if in_order.all():
+            keep_sorted = in_order
+        elif self.strict_order:
+            bad = int(np.flatnonzero(~in_order)[0])
+            host = self._hosts[int(run_rows[g_sorted[bad]])]
+            raise ValueError(f"out-of-order message for {host}")
+        else:
+            # Fallback for the violating runs only: an arrival is in
+            # order iff it is >= every accepted timestamp before it,
+            # and the running max over *all* prior arrivals equals the
+            # one over accepted arrivals only, because a dropped
+            # arrival never raised the max.
+            keep_sorted = in_order.copy()
+            bad_runs = np.unique(g_sorted[~in_order])
+            for g in bad_runs:
+                start = int(starts[g])
+                stop = start + int(counts_all[g])
+                t_run = sorted_times[start:stop]
+                last = last_run[g]
+                lower = -np.inf if np.isnan(last) else last
+                floor = np.maximum.accumulate(
+                    # Amortized: one allocation per *violating* run,
+                    # not per message; the in-order fast path above
+                    # never reaches this loop.
+                    np.concatenate(([lower], t_run[:-1]))  # repro: noqa[RPR201]
+                )
+                keep_sorted[start:stop] = t_run >= floor
 
         kept[order] = keep_sorted
-        n_dropped = int(n - keep_sorted.sum())
+        n_dropped = int(n - np.count_nonzero(keep_sorted))
         self.n_reordered += n_dropped
 
-        # Round decomposition: all rank-r arrivals form one micro-batch
-        # of distinct devices, scored with a single fused forward.
-        kept_positions = np.flatnonzero(keep_sorted)
-        if not kept_positions.size:
+        kept_idx = np.flatnonzero(keep_sorted)
+        if not kept_idx.size:
             self._publish_tick(n, n_dropped, 0, n_clamped, scores)
             return StreamBatch(scores, kept)
-        ranks = rank_sorted[kept_positions]
-        round_order = np.argsort(ranks, kind="stable")
-        by_round = kept_positions[round_order]
-        ranks = ranks[round_order]
-        round_starts = np.flatnonzero(
-            np.r_[True, ranks[1:] != ranks[:-1]]
+
+        # Per kept arrival (still grouped by run, arrival order within
+        # each run): its run, original position, rank within the run,
+        # and gap bucket to the previous accepted arrival.  The
+        # device's first ever message follows "nothing" (stored last
+        # is NaN) and searchsorted sends the NaN delta to the largest
+        # bucket.
+        g_of = g_sorted[kept_idx]
+        t_kept = sorted_times[kept_idx]
+        orig = order[kept_idx]
+        m = kept_idx.size
+        counts = np.bincount(g_of, minlength=n_runs)
+        kstarts = np.zeros(n_runs, dtype=np.int64)
+        np.cumsum(counts[:-1], out=kstarts[1:])
+        r_of = np.arange(m) - kstarts[g_of]
+        prev_kept = np.empty(m, dtype=np.float64)
+        prev_kept[1:] = t_kept[:-1]
+        first_of_run = r_of == 0
+        prev_kept[first_of_run] = last_run[g_of[first_of_run]]
+        gaps = np.searchsorted(
+            GAP_BUCKET_EDGES, t_kept - prev_kept, side="right"
         )
-        round_stops = np.r_[round_starts[1:], by_round.size]
+
+        # Virtual-sequence buffer: per active run, `window` history
+        # columns then that run's kept arrivals, contiguously.  A
+        # still-warming device (fill < window, where the ring invariant
+        # guarantees pos == fill and data in slots [0, fill)) places
+        # history at [0, fill) — columns [fill, window) hold garbage
+        # that no window ever reads, because arrival r only becomes
+        # ready once fill + r >= window.
         window = self.window
+        active = np.flatnonzero(counts)
+        n_act = active.size
+        slot_of_run = np.zeros(n_runs, dtype=np.int64)
+        slot_of_run[active] = np.arange(n_act)
+        a_of = slot_of_run[g_of]
+        act_rows = run_rows[active]
+        counts_act = counts[active]
+        fills = self._fill[act_rows]
+        poss = self._pos[act_rows]
+        max_count = int(counts_act.max())
         arange_w = np.arange(window)
-        model = detector.model
-        n_scored_tick = 0
-        for a, b in zip(round_starts, round_stops):
-            orig = order[by_round[a:b]]
-            rows_r = rows[orig]
-            tids_r = ids[orig]
-            ready = self._fill[rows_r] == window
-            if ready.any():
-                ready_rows = rows_r[ready]
-                gather = (
-                    self._pos[ready_rows, None] + arange_w[None, :]
-                ) % window
-                windows = self._contexts[ready_rows[:, None], gather]
-                logits = model.infer(windows)
-                likelihoods = SoftmaxCrossEntropy.log_likelihoods(
-                    logits, tids_r[ready]
-                )
-                scores[orig[ready]] = -likelihoods
-                n_scored_tick += int(ready_rows.size)
-                self.n_scored += int(ready_rows.size)
-            # Push the arrivals into the rings after scoring: each
-            # message is scored against the context that preceded it.
-            slots = self._pos[rows_r]
-            self._contexts[rows_r, slots, 0] = tids_r
-            self._contexts[rows_r, slots, 1] = gaps_sorted[by_round[a:b]]
-            self._pos[rows_r] = (slots + 1) % window
-            self._fill[rows_r] = np.minimum(
-                self._fill[rows_r] + 1, window
+        buf = np.empty((n_act, window + max_count, 2), dtype=np.int64)
+        history_base = np.where(fills == window, poss, 0)
+        gather = (history_base[:, None] + arange_w[None, :]) % window
+        buf[:, :window] = self._contexts[act_rows[:, None], gather]
+        tids_kept = ids[orig]
+        vpos = fills[a_of] + r_of
+        buf[a_of, vpos, 0] = tids_kept
+        buf[a_of, vpos, 1] = gaps
+
+        # Score every ready window of the tick in one batched forward:
+        # arrival r of a run is ready when window prior tuples exist
+        # (history fill plus earlier same-tick arrivals).
+        ready = vpos >= window
+        n_scored_tick = int(np.count_nonzero(ready))
+        if n_scored_tick:
+            ready_runs = a_of[ready]
+            wstart = vpos[ready] - window
+            windows = buf[
+                ready_runs[:, None], wstart[:, None] + arange_w[None, :]
+            ]
+            if self.quantized:
+                logits = self._quantized_model().infer(windows)
+            else:
+                # predict() == chunked infer(): the same batching the
+                # offline scorer uses, and infer results are row-wise
+                # independent of batch composition — bitwise parity.
+                logits = detector.model.predict(windows)
+            likelihoods = SoftmaxCrossEntropy.log_likelihoods(
+                logits, tids_kept[ready]
             )
-            self._last_time[rows_r] = times[orig]
+            scores[orig[ready]] = -likelihoods
+            self.n_scored += n_scored_tick
+
+        # Write the rings back: the final min(window, fill + count)
+        # tuples of each virtual sequence, at ring slots starting from
+        # the new oldest position.  Rewriting unchanged history slots
+        # is idempotent, so one masked scatter covers full, warming
+        # and newly-filled devices alike.
+        ends = fills + counts_act
+        new_fill = np.minimum(ends, window)
+        full_after = ends >= window
+        new_pos = (poss + counts_act) % window
+        base = np.where(full_after, new_pos, 0)
+        col_mask = arange_w[None, :] < new_fill[:, None]
+        slots = (base[:, None] + arange_w[None, :]) % window
+        srccol = (ends - new_fill)[:, None] + arange_w[None, :]
+        vals = buf[np.arange(n_act)[:, None], srccol]
+        row_idx = np.broadcast_to(
+            act_rows[:, None], col_mask.shape
+        )[col_mask]
+        self._contexts[row_idx, slots[col_mask]] = vals[col_mask]
+        self._pos[act_rows] = new_pos
+        self._fill[act_rows] = new_fill
+        self._last_time[act_rows] = t_kept[
+            kstarts[active] + counts_act - 1
+        ]
         self._publish_tick(
             n, n_dropped, n_scored_tick, n_clamped, scores
         )

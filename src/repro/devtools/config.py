@@ -15,8 +15,10 @@ from typing import Dict, Tuple
 HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/nn/lstm.py",
     "repro/nn/gru.py",
+    "repro/nn/quant.py",
     "repro/core/stream.py",
     "repro/logs/templates.py",
+    "repro/runtime/codec.py",
 )
 
 #: Per-code path-suffix allowlist: locations where a check does not

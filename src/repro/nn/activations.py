@@ -14,21 +14,36 @@ import numpy as np
 Activation = Callable[[np.ndarray], np.ndarray]
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(
+    x: np.ndarray, out: "np.ndarray | None" = None
+) -> np.ndarray:
     """Numerically stable logistic sigmoid (dtype-preserving).
 
-    ``exp(-|x|)`` never overflows, and both branch expressions reduce
-    to the same per-element arithmetic as the classic masked
-    formulation, so results are bitwise identical to it — without the
-    fancy-index gather/scatter that dominated LSTM forward time.
+    ``exp(-|x|)`` never overflows; with ``t = exp(-|x|)`` both halves
+    of the classic masked formulation share the denominator ``1 + t``
+    (numerator ``1`` where ``x >= 0``, else ``t``), so one divide
+    covers both branches.  The numerator select runs as an exact 0/1
+    arithmetic blend — ``m + (1 - m) t`` with ``m`` the comparison
+    cast to 1.0/0.0 — because ``np.where``/masked assignment costs
+    ~10x the surrounding ufuncs; multiplying by exact 0.0/1.0 and
+    adding leaves every element bitwise ``1.0`` or bitwise ``t``, so
+    results are unchanged down to the ulp (NaN propagates through the
+    ``(1 - m) t`` term).  ``out`` (optional) receives the result in
+    place; passing ``out=x`` is safe because ``x`` is fully consumed
+    before the divide writes.
     """
     x = np.asarray(x)
     if x.dtype not in (np.float32, np.float64):
         x = x.astype(np.float64)
     exp_neg = np.exp(-np.abs(x))
-    return np.where(
-        x >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg)
-    )
+    mask = np.greater_equal(x, 0).astype(x.dtype)
+    numerator = 1.0 - mask
+    numerator *= exp_neg
+    numerator += mask
+    exp_neg += 1.0
+    if out is None:
+        out = numerator
+    return np.divide(numerator, exp_neg, out=out)
 
 
 def sigmoid_grad(output: np.ndarray) -> np.ndarray:

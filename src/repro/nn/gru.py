@@ -167,25 +167,37 @@ class GRU(Layer):
             batch, steps, 3 * hidden
         )
         x_proj += bias
+        # Preallocated per-step buffers (see :meth:`LSTM.infer`); the
+        # loop writes in place, arithmetic mirrors :meth:`forward`.
+        u_zr = recurrent[:, :2 * hidden]
+        u_h = recurrent[:, 2 * hidden:]
         h_prev = np.zeros((batch, hidden), dtype=dtype)
+        h_buf = np.empty((batch, hidden), dtype=dtype)
+        gate = np.empty((batch, 2 * hidden), dtype=dtype)
+        rh = np.empty((batch, hidden), dtype=dtype)
+        candidate = np.empty((batch, hidden), dtype=dtype)
+        tmp = np.empty((batch, hidden), dtype=dtype)
         sequence = (
             np.empty((batch, steps, hidden), dtype=dtype)
             if self.return_sequences
             else None
         )
         for step in range(steps):
-            zr = h_prev @ recurrent[:, :2 * hidden]
-            zr += x_proj[:, step, :2 * hidden]
-            gate = sigmoid(zr)
+            np.matmul(h_prev, u_zr, out=gate)
+            gate += x_proj[:, step, :2 * hidden]
+            sigmoid(gate, out=gate)
             gate_z = gate[:, :hidden]
-            rh = gate[:, hidden:2 * hidden] * h_prev
-            candidate = np.tanh(
-                x_proj[:, step, 2 * hidden:]
-                + rh @ recurrent[:, 2 * hidden:]
-            )
-            h_new = gate_z * h_prev
-            h_new += (1.0 - gate_z) * candidate
-            h_prev = h_new
+            np.multiply(gate[:, hidden:2 * hidden], h_prev, out=rh)
+            # x_proj + rh @ U_h, summed in the same order as forward
+            # (IEEE addition is commutative, so matmul-first is safe).
+            np.matmul(rh, u_h, out=candidate)
+            candidate += x_proj[:, step, 2 * hidden:]
+            np.tanh(candidate, out=candidate)
+            np.multiply(gate_z, h_prev, out=h_buf)
+            np.subtract(1.0, gate_z, out=tmp)
+            tmp *= candidate
+            h_buf += tmp
+            h_prev, h_buf = h_buf, h_prev
             if sequence is not None:
                 sequence[:, step] = h_prev
         if sequence is not None:

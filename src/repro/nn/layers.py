@@ -253,6 +253,13 @@ class TupleEmbedding(Layer):
         self.gap_embedding = Embedding(
             gap_vocabulary, gap_dim, name="gaps", dtype=dtype
         )
+        # Fused lookup table for the inference hot path: row (i, g)
+        # holds concat(E_ids[i], E_gaps[g]) verbatim, so the per-tick
+        # lookup is one contiguous gather instead of two gathers plus a
+        # concatenate.  Built lazily; dropped whenever the tables can
+        # change (``zero_grads`` runs on every weight load and before
+        # every training step).
+        self._fused: Optional[np.ndarray] = None
 
     @property
     def output_dim(self) -> int:
@@ -284,8 +291,16 @@ class TupleEmbedding(Layer):
         return (*inner, self.output_dim)
 
     def zero_grads(self) -> None:
-        """Zero the accumulated gradients of every field table."""
+        """Zero the accumulated gradients of every field table.
+
+        Also invalidates the fused inference table: ``zero_grads``
+        runs at the start of every training step and at the end of
+        every ``Sequential.set_weights`` (hot swap, checkpoint
+        restore), which are exactly the points where the embedding
+        tables may change under the cache.
+        """
         super().zero_grads()
+        self._fused = None
         if self.built:
             self.id_embedding.grads["E"] = self.grads["ids.E"]
             self.gap_embedding.grads["E"] = self.grads["gaps.E"]
@@ -294,6 +309,31 @@ class TupleEmbedding(Layer):
         """Drop activations cached for backpropagation."""
         self.id_embedding.clear_cache()
         self.gap_embedding.clear_cache()
+        self._fused = None
+
+    def _fused_table(self) -> np.ndarray:
+        """The ``(id_vocab, gap_vocab, id_dim + gap_dim)`` gather table.
+
+        Each row is a bit-exact copy of the concatenation the unfused
+        path produces, so gathering from it is bitwise identical to
+        two per-field lookups plus ``np.concatenate``.
+        """
+        if self._fused is None:
+            ids_table = self.id_embedding.params["E"]
+            gaps_table = self.gap_embedding.params["E"]
+            split = self.id_embedding.dim
+            fused = np.empty(
+                (
+                    self.id_embedding.vocabulary,
+                    self.gap_embedding.vocabulary,
+                    self.output_dim,
+                ),
+                dtype=ids_table.dtype,
+            )
+            fused[:, :, :split] = ids_table[:, None, :]
+            fused[:, :, split:] = gaps_table[None, :, :]
+            self._fused = fused
+        return self._fused
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Per-field lookups concatenated; caches for :meth:`backward`."""
@@ -302,10 +342,27 @@ class TupleEmbedding(Layer):
         return np.concatenate([ids, gaps], axis=-1)
 
     def infer(self, x: np.ndarray) -> np.ndarray:
-        """Cache-free per-field lookup for inference."""
-        ids = self.id_embedding.infer(x[..., 0])
-        gaps = self.gap_embedding.infer(x[..., 1])
-        return np.concatenate([ids, gaps], axis=-1)
+        """Cache-free lookup via the fused table (one gather)."""
+        ids = np.asarray(x, dtype=np.int64)
+        tids = ids[..., 0]
+        gaps = ids[..., 1]
+        if (
+            tids.min(initial=0) < 0
+            or tids.max(initial=0) >= self.id_embedding.vocabulary
+        ):
+            raise ValueError(
+                "embedding ids out of range "
+                f"[0, {self.id_embedding.vocabulary})"
+            )
+        if (
+            gaps.min(initial=0) < 0
+            or gaps.max(initial=0) >= self.gap_embedding.vocabulary
+        ):
+            raise ValueError(
+                "embedding ids out of range "
+                f"[0, {self.gap_embedding.vocabulary})"
+            )
+        return self._fused_table()[tids, gaps]
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Split ``grad`` by field and scatter into each table."""

@@ -193,25 +193,38 @@ class LSTM(Layer):
         x_proj = (x.reshape(-1, features) @ weight).reshape(
             batch, steps, 4 * hidden
         )
+        # Every per-step temporary lives in a buffer allocated once
+        # before the recurrence; the loop itself only writes in place.
+        # Each arithmetic op matches :meth:`forward` exactly (same ops,
+        # same order), so values stay bitwise identical at float64.
         h_prev = np.zeros((batch, hidden), dtype=dtype)
         cell = np.zeros((batch, hidden), dtype=dtype)
+        z = np.empty((batch, 4 * hidden), dtype=dtype)
+        gate = np.empty((batch, 4 * hidden), dtype=dtype)
+        tmp = np.empty((batch, hidden), dtype=dtype)
         sequence = (
             np.empty((batch, steps, hidden), dtype=dtype)
             if self.return_sequences
             else None
         )
         for step in range(steps):
-            z = h_prev @ recurrent
+            np.matmul(h_prev, recurrent, out=z)
             z += x_proj[:, step]
             z += bias
-            gate = sigmoid(z)
+            sigmoid(z, out=gate)
             np.tanh(
                 z[:, 2 * hidden:3 * hidden],
                 out=gate[:, 2 * hidden:3 * hidden],
             )
             cell *= gate[:, hidden:2 * hidden]
-            cell += gate[:, :hidden] * gate[:, 2 * hidden:3 * hidden]
-            h_prev = gate[:, 3 * hidden:] * np.tanh(cell)
+            np.multiply(
+                gate[:, :hidden],
+                gate[:, 2 * hidden:3 * hidden],
+                out=tmp,
+            )
+            cell += tmp
+            np.tanh(cell, out=tmp)
+            np.multiply(gate[:, 3 * hidden:], tmp, out=h_prev)
             if sequence is not None:
                 sequence[:, step] = h_prev
         if sequence is not None:

@@ -74,6 +74,13 @@ class Sequential:
         self.layers: List[Layer] = list(layers)
         self.rng = rng or np.random.default_rng(0)
         self._built = False
+        #: Monotonic counter bumped by every :meth:`set_weights` call
+        #: (hot swap, checkpoint restore, archive load).  Derived
+        #: inference state — e.g. a quantized twin of this model — is
+        #: keyed on it and rebuilt when it moves.  Raw in-place
+        #: optimizer steps do not bump it; quantize from models that
+        #: are not mid-training.
+        self.weights_version = 0
 
     def build(self, input_shape: Tuple[int, ...]) -> "Sequential":
         """Build every layer given the per-sample input shape."""
@@ -302,8 +309,11 @@ class Sequential:
                 # loads float64 archives (and vice versa) cleanly.
                 param[...] = value.astype(param.dtype, copy=False)
         # TupleEmbedding shares buffers with child layers; re-link.
+        # zero_grads also drops per-layer derived caches (the fused
+        # embedding table) that the new weights invalidate.
         for layer in self.layers:
             layer.zero_grads()
+        self.weights_version += 1
 
     @property
     def dtype(self) -> np.dtype:
@@ -314,20 +324,33 @@ class Sequential:
                     return param.dtype
         return np.dtype(np.float64)
 
-    def save(self, path: str) -> None:
+    def save(self, path: str, quantize: bool = False) -> None:
         """Persist weights to a versioned ``.npz`` archive.
 
         Besides the weights the archive carries a format-version tag
         and the model's dtype, so :meth:`load` can reject archives
         written by an incompatible layout or precision instead of
         silently mis-loading them (the artifact store relies on this).
+
+        ``quantize=True`` writes an int8 archive instead: every 2-D+
+        float tensor is stored as symmetric int8 plus a ``<key>.scale``
+        factor (1-D biases stay float32).  Such archives are tagged
+        ``__repro_dtype__ = 'int8'`` and only load back with
+        ``allow_cast=True`` — the dequantized weights are approximate.
         """
         self._require_built()
-        payload = self.get_weights()
+        if quantize:
+            from repro.nn.quant import quantize_weights
+
+            payload = quantize_weights(self.get_weights())
+            dtype_tag = "int8"
+        else:
+            payload = self.get_weights()
+            dtype_tag = str(self.dtype)
         payload[_FORMAT_KEY] = np.array(
             WEIGHTS_FORMAT_VERSION, dtype=np.int64
         )
-        payload[_DTYPE_KEY] = np.array(str(self.dtype))
+        payload[_DTYPE_KEY] = np.array(dtype_tag)
         np.savez(path, **payload)
 
     def load(self, path: str, allow_cast: bool = False) -> None:
@@ -353,6 +376,17 @@ class Sequential:
                     f"{WEIGHTS_FORMAT_VERSION}); re-save the model "
                     "with a matching version of repro"
                 )
+            if dtype_tag is not None and str(dtype_tag) == "int8":
+                if not allow_cast:
+                    raise ValueError(
+                        f"{path}: archive holds int8-quantized weights "
+                        "(lossy); pass allow_cast=True to dequantize "
+                        "into this model explicitly"
+                    )
+                from repro.nn.quant import dequantize_weights
+
+                self.set_weights(dequantize_weights(weights))
+                return
             if dtype_tag is not None:
                 saved_dtype = np.dtype(str(dtype_tag))
                 if saved_dtype != self.dtype and not allow_cast:

@@ -33,14 +33,26 @@ import io
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
 from repro import telemetry
 from repro.core.adaptation import transfer_adapt
 from repro.core.detector import LSTMAnomalyDetector
-from repro.core.online import OnlineMonitor, WarningSignature
+from repro.core.online import (
+    AdaptiveTicker,
+    OnlineMonitor,
+    WarningSignature,
+)
 from repro.logs.message import (
     SyslogMessage,
     message_from_row,
@@ -51,6 +63,7 @@ from repro.runtime.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.runtime.codec import TICK_MAGIC, TickEncoder, decode_tick
 from repro.runtime.store import ArtifactStore, Release
 from repro.runtime.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
 
@@ -62,13 +75,17 @@ _KIND_SWAP = "swap"
 FAULT_AFTER_WAL_APPEND = "after-wal-append"
 FAULT_BEFORE_CHECKPOINT = "before-checkpoint"
 
+#: Leading byte of a binary tick record (see :mod:`repro.runtime.codec`).
+_TICK_MAGIC_BYTE = bytes([TICK_MAGIC])
+
 
 def tick_payload(messages: "Sequence[SyslogMessage]") -> bytes:
-    """The journal payload for one ingested tick.
+    """The *legacy* JSON journal payload for one ingested tick.
 
-    Factored out of :meth:`MonitorService.process_tick` so the runtime
-    benchmark times exactly the encoder the service runs; the
-    positional row codec keeps this off the throughput budget.
+    New ticks are journaled through the arena-backed binary codec
+    (:class:`repro.runtime.codec.TickEncoder`); this JSON form is kept
+    so journals written by earlier releases still replay, and as the
+    baseline the runtime benchmark compares the arena encoder against.
     """
     return json.dumps(
         {
@@ -100,6 +117,9 @@ class ServiceConfig:
         strict_order: the monitor's out-of-order policy; a durable
             service defaults to drop-and-count so one late message
             cannot wedge the tick loop.
+        quantized: score through the int8-quantized inference path
+            (:mod:`repro.nn.quant`) — faster, lossy, opt-in; replay
+            under a quantized service reproduces the quantized run.
     """
 
     data_dir: Union[str, pathlib.Path]
@@ -108,6 +128,7 @@ class ServiceConfig:
     segment_bytes: int = DEFAULT_SEGMENT_BYTES
     fsync: bool = False
     strict_order: bool = False
+    quantized: bool = False
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -246,7 +267,12 @@ class MonitorService:
     Attributes:
         cursor: journal sequence of the last applied record.
         n_ticks: tick records applied over the service's lifetime
-            (across restarts) — the feed position for resumption.
+            (across restarts) — the feed position for resumption
+            under a fixed tick size.
+        n_messages: messages applied over the service's lifetime —
+            the feed position for resumption under adaptive tick
+            sizing, where tick counts alone cannot locate the feed
+            offset.
         active_release: release id whose weights are currently live.
         fault_hook: optional test hook called at named supervisor
             points (see ``FAULT_*`` constants); raising from it
@@ -271,8 +297,10 @@ class MonitorService:
         )
         self.cursor = 0
         self.n_ticks = 0
+        self.n_messages = 0
         self.pending_release: Optional[int] = None
         self.fault_hook: Optional[Callable[[str, int], None]] = None
+        self._encoder = TickEncoder()
         self._closed = False
 
     # -- construction ---------------------------------------------------
@@ -311,6 +339,7 @@ class MonitorService:
             threshold=threshold,
             cluster_min_size=cluster_min_size,
             strict_order=config.strict_order,
+            quantized=config.quantized,
             **kwargs,
         )
         return cls(config, monitor, store, current)
@@ -334,6 +363,7 @@ class MonitorService:
                 self.cursor,
                 extra={
                     "n_ticks": self.n_ticks,
+                    "n_messages": self.n_messages,
                     "active_release": self.active_release,
                 },
             )
@@ -354,6 +384,11 @@ class MonitorService:
             checkpoint.restore(self.monitor)
             self.cursor = checkpoint.cursor
             self.n_ticks = int(checkpoint.extra["n_ticks"])
+            # Older checkpoints predate the message counter; replayed
+            # ticks below re-add their messages on top either way.
+            self.n_messages = int(
+                checkpoint.extra.get("n_messages", 0)
+            )
             checkpoint_cursor = checkpoint.cursor
             restored_release = int(checkpoint.extra["active_release"])
             if restored_release != self.active_release:
@@ -361,23 +396,44 @@ class MonitorService:
         results: List[TickResult] = []
         records = ticks = messages = swaps = 0
         for record in self.wal.replay(after=self.cursor):
-            payload = json.loads(record.payload.decode())
             records += 1
-            if payload["kind"] == _KIND_SWAP:
-                self._load_release(int(payload["release"]))
-                swaps += 1
-            elif payload["kind"] == _KIND_TICK:
-                batch = [
-                    message_from_row(raw)
-                    for raw in payload["messages"]
-                ]
-                results.append(self._score_tick(record.sequence, batch))
+            raw_payload = record.payload
+            # Binary tick records lead with TICK_MAGIC; everything
+            # else (legacy ticks, swap control records) is JSON and
+            # leads with '{'.
+            if raw_payload[:1] == _TICK_MAGIC_BYTE:
+                batch = decode_tick(raw_payload)
+                results.append(
+                    self._score_tick(record.sequence, batch)
+                )
                 ticks += 1
                 messages += len(batch)
+            elif raw_payload[:1] == b"{":
+                payload = json.loads(raw_payload.decode())
+                if payload["kind"] == _KIND_SWAP:
+                    self._load_release(int(payload["release"]))
+                    swaps += 1
+                elif payload["kind"] == _KIND_TICK:
+                    batch = [
+                        message_from_row(raw)
+                        for raw in payload["messages"]
+                    ]
+                    results.append(
+                        self._score_tick(record.sequence, batch)
+                    )
+                    ticks += 1
+                    messages += len(batch)
+                else:
+                    raise ServiceError(
+                        "unknown journal record kind "
+                        f"{payload['kind']!r} at sequence "
+                        f"{record.sequence}"
+                    )
             else:
                 raise ServiceError(
-                    f"unknown journal record kind {payload['kind']!r} "
-                    f"at sequence {record.sequence}"
+                    f"unrecognized journal record at sequence "
+                    f"{record.sequence}: leading byte "
+                    f"0x{raw_payload[0]:02X}"
                 )
             self.cursor = record.sequence
         registry = telemetry.default_registry()
@@ -401,6 +457,7 @@ class MonitorService:
         warnings = [w for w in outcomes if w is not None]
         batch = self.monitor.last_batch
         self.n_ticks += 1
+        self.n_messages += len(messages)
         return TickResult(
             tick=sequence,
             scores=batch.scores,
@@ -427,7 +484,7 @@ class MonitorService:
         if self.pending_release is not None:
             swapped = self._journal_and_apply_swap()
         sequence = self.cursor + 1
-        self.wal.append(sequence, tick_payload(messages))
+        self.wal.append(sequence, self._encoder.encode(messages))
         self._fault(FAULT_AFTER_WAL_APPEND, sequence)
         result = self._score_tick(sequence, messages)
         self.cursor = sequence
@@ -443,6 +500,47 @@ class MonitorService:
                 swapped_release=swapped,
             )
         return result
+
+    def drain(
+        self,
+        feed: Sequence[SyslogMessage],
+        tick_size: int = 256,
+        ticker: Optional[AdaptiveTicker] = None,
+        max_ticks: Optional[int] = None,
+    ) -> "Iterator[TickResult]":
+        """Process a feed tick by tick, resuming past applied work.
+
+        With a fixed ``tick_size`` the feed position is
+        ``n_ticks * tick_size`` (every prior tick had the same size,
+        so the arithmetic is exact across restarts).  With a
+        ``ticker`` the tick sizes vary, so resumption uses the
+        persisted :attr:`n_messages` message cursor instead; the
+        ticker is fed the remaining backlog after every tick.
+        Yields one :class:`TickResult` per processed tick, stopping
+        after ``max_ticks`` of them when given.
+        """
+        if tick_size < 1:
+            raise ValueError("tick_size must be >= 1")
+        yielded = 0
+        if ticker is None:
+            start = self.n_ticks * tick_size
+            for offset in range(start, len(feed), tick_size):
+                if max_ticks is not None and yielded >= max_ticks:
+                    return
+                yield self.process_tick(
+                    feed[offset:offset + tick_size]
+                )
+                yielded += 1
+            return
+        offset = self.n_messages
+        while offset < len(feed):
+            if max_ticks is not None and yielded >= max_ticks:
+                return
+            batch = feed[offset:offset + ticker.size]
+            yield self.process_tick(batch)
+            yielded += 1
+            offset += len(batch)
+            ticker.update(len(feed) - offset)
 
     def _ensure_activation_record(self) -> None:
         """Journal which release a brand-new journal starts under.
@@ -580,6 +678,7 @@ class MonitorService:
 __all__ = [
     "FAULT_AFTER_WAL_APPEND",
     "FAULT_BEFORE_CHECKPOINT",
+    "AdaptiveTicker",
     "MonitorService",
     "ReplayReport",
     "ServiceConfig",

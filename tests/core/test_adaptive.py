@@ -1,0 +1,136 @@
+"""Tests for repro.core.online.AdaptiveTicker (backpressure sizing).
+
+The ticker only resizes after ``hysteresis`` *consecutive* readings
+beyond a watermark — one bursty tick must not thrash the size — and
+always publishes the live size to the ``stream.tick_size`` gauge.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.online import AdaptiveTicker, OnlineMonitor
+from repro.logs.templates import TemplateStore
+from tests.core.test_online import cyclic_stream
+
+
+class TestResizing:
+    def test_grows_only_after_consecutive_overloads(self):
+        ticker = AdaptiveTicker(initial=1024, hysteresis=3)
+        assert ticker.update(4096) == 1024
+        assert ticker.update(4096) == 1024
+        assert ticker.update(4096) == 2048
+
+    def test_burst_does_not_thrash(self):
+        ticker = AdaptiveTicker(initial=1024, hysteresis=3)
+        ticker.update(4096)
+        ticker.update(4096)
+        ticker.update(1024)  # mid-band reading resets the streak
+        assert ticker.update(4096) == 1024
+        assert ticker.update(4096) == 1024
+        assert ticker.update(4096) == 2048
+
+    def test_shrinks_after_consecutive_idle_ticks(self):
+        ticker = AdaptiveTicker(initial=1024, hysteresis=2)
+        assert ticker.update(0) == 1024
+        assert ticker.update(0) == 512
+
+    def test_resize_needs_a_fresh_streak(self):
+        ticker = AdaptiveTicker(initial=64, hysteresis=2)
+        ticker.update(100_000)
+        ticker.update(100_000)
+        assert ticker.size == 128
+        ticker.update(100_000)
+        assert ticker.size == 128
+        ticker.update(100_000)
+        assert ticker.size == 256
+
+    def test_clamped_to_bounds(self):
+        ticker = AdaptiveTicker(
+            initial=128, min_size=64, max_size=256, hysteresis=1
+        )
+        assert ticker.update(10_000) == 256
+        assert ticker.update(10_000) == 256  # pinned at max
+        assert ticker.update(0) == 128
+        assert ticker.update(0) == 64
+        assert ticker.update(0) == 64  # pinned at min
+
+    def test_publishes_tick_size_gauge(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use(registry):
+            ticker = AdaptiveTicker(initial=256, hysteresis=1)
+            ticker.update(0)
+        assert registry.gauge("stream.tick_size").value == 128
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="min_size"):
+            AdaptiveTicker(min_size=0)
+        with pytest.raises(ValueError, match="min_size"):
+            AdaptiveTicker(initial=512, min_size=512, max_size=256)
+
+    def test_rejects_initial_outside_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            AdaptiveTicker(initial=32, min_size=64)
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError, match="watermark"):
+            AdaptiveTicker(low_watermark=2.0, high_watermark=1.0)
+        with pytest.raises(ValueError, match="watermark"):
+            AdaptiveTicker(low_watermark=-0.1)
+
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            AdaptiveTicker(hysteresis=0)
+
+    def test_rejects_negative_backlog(self):
+        with pytest.raises(ValueError, match="negative backlog"):
+            AdaptiveTicker().update(-1)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    train = cyclic_stream()
+    store = TemplateStore().fit(train)
+    return LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=16,
+        window=4,
+        hidden=(12, 12),
+        id_dim=8,
+        epochs=2,
+        oversample_rounds=0,
+        seed=0,
+    ).fit(train)
+
+
+class TestMonitorIntegration:
+    def test_adaptive_run_scores_identically_to_fixed(self, detector):
+        """Tick boundaries must not change scores (bitwise parity)."""
+        stream = cyclic_stream(500)
+        fixed = OnlineMonitor(detector, threshold=float("inf"))
+        fixed.run(stream, tick_size=97)
+        adaptive = OnlineMonitor(detector, threshold=float("inf"))
+        adaptive.run(
+            stream,
+            ticker=AdaptiveTicker(
+                initial=64, min_size=16, max_size=256, hysteresis=1
+            ),
+        )
+        assert adaptive.n_observed == fixed.n_observed == 500
+        assert np.array_equal(
+            np.asarray(adaptive.scorer.state_dict()["fill"]),
+            np.asarray(fixed.scorer.state_dict()["fill"]),
+        )
+
+    def test_adaptive_run_consumes_every_message(self, detector):
+        stream = cyclic_stream(333)
+        monitor = OnlineMonitor(detector, threshold=float("inf"))
+        ticker = AdaptiveTicker(
+            initial=16, min_size=16, max_size=64, hysteresis=1
+        )
+        monitor.run(stream, ticker=ticker)
+        assert monitor.n_observed == 333
+        assert ticker.size == 16  # backlog hit zero: shrunk to floor

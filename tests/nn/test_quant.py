@@ -1,0 +1,218 @@
+"""Tests for repro.nn.quant (opt-in int8 inference).
+
+Two contracts: the int8 archive codec round-trips through
+``Sequential.save/load`` behind an explicit ``allow_cast`` opt-in, and
+:class:`QuantizedModel` tracks the float64 reference closely enough
+that thresholded anomaly decisions agree.  The float64 default path
+must never be touched by any of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import LSTMAnomalyDetector
+from repro.core.stream import StreamScorer
+from repro.logs.templates import TemplateStore
+from repro.nn.quant import (
+    SCALE_SUFFIX,
+    QuantizedModel,
+    dequantize_weights,
+    quantize_weights,
+)
+from tests.core.test_online import cyclic_stream
+
+
+def build_detector(cell="lstm"):
+    train = cyclic_stream()
+    store = TemplateStore().fit(train)
+    return LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=16,
+        window=4,
+        hidden=(12, 12),
+        id_dim=8,
+        epochs=2,
+        oversample_rounds=0,
+        cell=cell,
+        seed=0,
+    ).fit(train)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return build_detector()
+
+
+def contexts(model, n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    embedding = model.layers[0]
+    return np.stack(
+        [
+            rng.integers(
+                0, embedding.id_embedding.vocabulary, (n, 4)
+            ),
+            rng.integers(
+                0, embedding.gap_embedding.vocabulary, (n, 4)
+            ),
+        ],
+        axis=-1,
+    )
+
+
+class TestWeightCodec:
+    def test_2d_tensors_become_int8_with_scales(self, detector):
+        payload = quantize_weights(detector.model.get_weights())
+        matrices = [
+            key
+            for key, value in payload.items()
+            if getattr(value, "dtype", None) == np.int8
+        ]
+        assert matrices
+        for key in matrices:
+            assert key + SCALE_SUFFIX in payload
+            assert int(np.abs(payload[key]).max()) <= 127
+
+    def test_biases_stay_float(self, detector):
+        payload = quantize_weights(detector.model.get_weights())
+        biases = [
+            key
+            for key, value in detector.model.get_weights().items()
+            if value.ndim == 1
+        ]
+        assert biases
+        for key in biases:
+            assert payload[key].dtype == np.float32
+
+    def test_dequantize_inverts_within_scale(self, detector):
+        weights = detector.model.get_weights()
+        restored = dequantize_weights(quantize_weights(weights))
+        assert set(restored) == set(weights)
+        for key, value in weights.items():
+            if value.ndim >= 2:
+                scale = float(np.max(np.abs(value))) / 127
+                assert np.allclose(
+                    restored[key], value, atol=scale / 2 + 1e-12
+                )
+
+    def test_missing_scale_entry_rejected(self, detector):
+        payload = quantize_weights(detector.model.get_weights())
+        key = next(
+            key
+            for key, value in payload.items()
+            if getattr(value, "dtype", None) == np.int8
+        )
+        del payload[key + SCALE_SUFFIX]
+        with pytest.raises(ValueError, match="missing"):
+            dequantize_weights(payload)
+
+
+class TestArchiveRoundtrip:
+    def test_int8_archive_demands_allow_cast(self, detector, tmp_path):
+        path = str(tmp_path / "int8.npz")
+        detector.model.save(path, quantize=True)
+        fresh = detector.model.clone()
+        with pytest.raises(ValueError, match="allow_cast"):
+            fresh.load(path)
+
+    def test_int8_archive_roundtrips_with_allow_cast(
+        self, detector, tmp_path
+    ):
+        path = str(tmp_path / "int8.npz")
+        detector.model.save(path, quantize=True)
+        fresh = detector.model.clone()
+        fresh.load(path, allow_cast=True)
+        x = contexts(detector.model)
+        reference = detector.model.predict(x)
+        restored = fresh.predict(x)
+        assert np.corrcoef(
+            reference.ravel(), restored.ravel()
+        )[0, 1] > 0.999
+
+    def test_float_archive_still_loads_without_cast(
+        self, detector, tmp_path
+    ):
+        path = str(tmp_path / "f64.npz")
+        detector.model.save(path)
+        fresh = detector.model.clone()
+        fresh.load(path)
+        x = contexts(detector.model)
+        assert np.array_equal(
+            detector.model.predict(x), fresh.predict(x)
+        )
+
+
+class TestQuantizedModel:
+    @pytest.mark.parametrize("cell", ["lstm", "gru"])
+    def test_tracks_float64_reference(self, cell):
+        detector = (
+            build_detector() if cell == "lstm" else build_detector(cell)
+        )
+        quantized = QuantizedModel.from_model(detector.model)
+        x = contexts(detector.model)
+        reference = detector.model.predict(x)
+        logits = quantized.infer(x)
+        assert logits.dtype == np.float32
+        assert logits.shape == reference.shape
+        assert float(np.max(np.abs(reference - logits))) < 0.05
+        assert np.corrcoef(
+            reference.ravel(), logits.ravel()
+        )[0, 1] > 0.999
+
+    def test_repeated_infer_is_deterministic(self, detector):
+        quantized = QuantizedModel.from_model(detector.model)
+        x = contexts(detector.model)
+        first = quantized.infer(x).copy()
+        assert np.array_equal(quantized.infer(x), first)
+
+    def test_batch_size_does_not_change_results(self, detector):
+        quantized = QuantizedModel.from_model(detector.model)
+        x = contexts(detector.model, n=64)
+        full = quantized.infer(x).copy()
+        halves = np.concatenate(
+            [quantized.infer(x[:32]).copy(), quantized.infer(x[32:])]
+        )
+        assert np.allclose(full, halves, atol=1e-5)
+
+    def test_rejects_bad_context_shape(self, detector):
+        quantized = QuantizedModel.from_model(detector.model)
+        with pytest.raises(ValueError, match="contexts"):
+            quantized.infer(np.zeros((4, 4), dtype=np.int64))
+
+    def test_rejects_unsupported_stacks(self):
+        class NotAModel:
+            layers = []
+
+        with pytest.raises(ValueError, match="detector stack"):
+            QuantizedModel.from_model(NotAModel())
+
+    def test_scales_exposed_per_tensor(self, detector):
+        quantized = QuantizedModel.from_model(detector.model)
+        assert all(
+            scale > 0 for scale in quantized.scales.values()
+        )
+        assert any(".U" in key for key in quantized.scales)
+
+
+class TestScorerIntegration:
+    def test_quantized_scorer_rebuilds_on_weight_change(self, detector):
+        scorer = StreamScorer(detector, quantized=True)
+        first = scorer._quantized_model()
+        assert scorer._quantized_model() is first  # cached
+        detector.model.set_weights(detector.model.get_weights())
+        assert scorer._quantized_model() is not first  # version bumped
+
+    def test_quantized_scorer_decisions_track_float64(self, detector):
+        stream = cyclic_stream(400)
+        exact = StreamScorer(detector).observe_batch(stream).scores
+        scorer = StreamScorer(detector, quantized=True)
+        approx = scorer.observe_batch(stream).scores
+        decided = np.isfinite(exact) & np.isfinite(approx)
+        assert decided.sum() > 300
+        # Threshold between the score levels, away from any atom.
+        levels = np.unique(exact[decided])
+        threshold = float(levels[-2:].mean())
+        agreement = np.mean(
+            (exact[decided] > threshold)
+            == (approx[decided] > threshold)
+        )
+        assert agreement >= 0.99

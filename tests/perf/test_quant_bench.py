@@ -1,0 +1,51 @@
+"""Smoke test for the quantized-inference benchmark (``-m perf``).
+
+Runs the reduced int8-vs-float32 comparison end to end and checks the
+record shape plus loose floors — loose because CI machines are noisy
+and the real acceptance numbers (>= 1.5x float32 throughput at >= 99%
+decision agreement) live in ``BENCH_quant.json`` at the default scale.
+Deselected by default via ``addopts = '-m "not perf"'``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+_BENCH_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+)
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+
+@pytest.fixture(scope="module")
+def quant_record():
+    import quant
+
+    return quant.run("reduced")
+
+
+def test_record_shape(quant_record):
+    assert quant_record["scale"] == "reduced"
+    record = quant_record["benchmarks"]["quantized_inference"]
+    assert record["devices"] == 32
+    assert record["timed_messages"] > 0
+    assert record["n_decisions"] > 0
+    assert record["f32_msgs_per_s"] > 0
+    assert record["int8_msgs_per_s"] > 0
+
+
+def test_int8_beats_f32(quant_record):
+    """The floor is far below the >= 1.5x default-scale acceptance
+    number on purpose: this is a smoke test on shared hardware."""
+    record = quant_record["benchmarks"]["quantized_inference"]
+    assert record["speedup_vs_f32"] > 1.1
+
+
+def test_decisions_agree_with_float64(quant_record):
+    record = quant_record["benchmarks"]["quantized_inference"]
+    assert record["decision_agreement"] >= 0.99
+    assert record["f32_decision_agreement"] >= 0.99

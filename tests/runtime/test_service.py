@@ -17,6 +17,7 @@ from repro.logs.templates import TemplateStore
 from repro.runtime.service import (
     FAULT_AFTER_WAL_APPEND,
     FAULT_BEFORE_CHECKPOINT,
+    AdaptiveTicker,
     MonitorService,
     ServiceConfig,
     ServiceError,
@@ -398,3 +399,142 @@ class TestHotSwap:
             assert service.active_release == 2
         store = ArtifactStore(config.store_dir)
         assert store.current_id() == 2
+
+
+class TestJournalCompat:
+    """The binary tick codec must coexist with legacy JSON journals."""
+
+    def test_mixed_binary_and_json_journal_replays(
+        self, tmp_path, detector, threshold, ticks
+    ):
+        from repro.runtime.service import tick_payload
+
+        # checkpoint_every high + no close(): a clean close writes a
+        # final checkpoint, which would advance the cursor past the
+        # binary records.  Dying uncleanly keeps all four tick records
+        # in replay range.
+        config = make_service(
+            tmp_path, detector, threshold, checkpoint_every=100
+        )
+        service = MonitorService.open(config)
+        service.recover()
+        for tick in ticks[:2]:  # binary records via the live path
+            service.process_tick(tick)
+        # Hand-write two more ticks the way earlier releases journaled
+        # them: JSON row payloads.
+        service.wal.append(4, tick_payload(ticks[2]))
+        service.wal.append(5, tick_payload(ticks[3]))
+        service.wal.close()  # the process "dies" without a checkpoint
+
+        revived = MonitorService.open(config)
+        report = revived.recover()
+        revived.close()
+        assert report.ticks_replayed == 4
+        assert report.messages_replayed == sum(
+            len(t) for t in ticks[:4]
+        )
+
+        reference = make_service(
+            tmp_path, detector, threshold, name="reference"
+        )
+        with MonitorService.open(reference) as ref:
+            ref.recover()
+            expected = [ref.process_tick(t) for t in ticks[:4]]
+        for before, after in zip(expected, report.results):
+            assert np.array_equal(
+                before.scores, after.scores, equal_nan=True
+            )
+            assert before.warnings == after.warnings
+
+    def test_unrecognized_journal_record_refused(
+        self, tmp_path, detector, threshold, ticks
+    ):
+        config = make_service(tmp_path, detector, threshold)
+        service = MonitorService.open(config)
+        service.recover()
+        service.process_tick(ticks[0])
+        service.wal.append(3, b"\x99mystery bytes")
+        service.close()
+        revived = MonitorService.open(config)
+        with pytest.raises(
+            ServiceError, match="unrecognized journal record"
+        ):
+            revived.recover()
+
+
+class TestDrain:
+    def _feed(self, ticks, n):
+        return [message for tick in ticks[:n] for message in tick]
+
+    def test_fixed_drain_resumes_at_tick_boundary(
+        self, tmp_path, detector, threshold, ticks
+    ):
+        feed = self._feed(ticks, 8)
+        config = make_service(tmp_path, detector, threshold)
+        service = MonitorService.open(config)
+        service.recover()
+        first = list(service.drain(feed, tick_size=8, max_ticks=3))
+        assert len(first) == 3
+        assert service.n_ticks == 3
+        rest = list(service.drain(feed, tick_size=8))
+        service.close()
+        assert len(first) + len(rest) == len(feed) // 8
+        scores = np.concatenate(
+            [r.scores for r in first + rest]
+        )
+        assert scores.shape[0] == len(feed)
+
+    def test_adaptive_drain_resumes_from_message_cursor(
+        self, tmp_path, detector, threshold, ticks
+    ):
+        feed = self._feed(ticks, 8)
+        config = make_service(tmp_path, detector, threshold)
+        service = MonitorService.open(config)
+        service.recover()
+        ticker = AdaptiveTicker(
+            initial=8, min_size=4, max_size=32, hysteresis=1
+        )
+        first = list(
+            service.drain(feed, ticker=ticker, max_ticks=2)
+        )
+        consumed = sum(len(r.scores) for r in first)
+        assert service.n_messages == consumed
+        rest = list(service.drain(feed, ticker=ticker))
+        service.close()
+        total = sum(len(r.scores) for r in first + rest)
+        assert total == len(feed)
+
+    def test_adaptive_drain_matches_fixed_scores(
+        self, tmp_path, detector, threshold, ticks
+    ):
+        feed = self._feed(ticks, 8)
+        fixed_config = make_service(
+            tmp_path, detector, threshold, name="fixed"
+        )
+        with MonitorService.open(fixed_config) as fixed:
+            fixed.recover()
+            fixed_scores = np.concatenate(
+                [r.scores for r in fixed.drain(feed, tick_size=8)]
+            )
+        adaptive_config = make_service(
+            tmp_path, detector, threshold, name="adaptive"
+        )
+        with MonitorService.open(adaptive_config) as adaptive:
+            adaptive.recover()
+            adaptive_scores = np.concatenate(
+                [
+                    r.scores
+                    for r in adaptive.drain(
+                        feed,
+                        ticker=AdaptiveTicker(
+                            initial=4,
+                            min_size=4,
+                            max_size=16,
+                            hysteresis=1,
+                        ),
+                    )
+                ]
+            )
+        assert np.array_equal(
+            fixed_scores, adaptive_scores, equal_nan=True
+        )

@@ -150,3 +150,48 @@ class TestFailureModes:
             handle.write(_HEADER.pack(99, 1000, 0))  # header, no payload
         with WriteAheadLog(tmp_path) as wal:
             assert [r.sequence for r in wal.replay()] == [1, 2, 3]
+
+
+class TestPruneEdgeCases:
+    def test_prune_at_exact_segment_boundary(self, tmp_path):
+        from repro.runtime.wal import _last_sequence_of
+
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+            first = wal.segments()[0]
+            boundary = _last_sequence_of(first)
+            # one short of the boundary: the segment must survive
+            assert wal.prune(upto=boundary - 1) == 0
+            assert first.exists()
+            # exactly the boundary: the segment is now fully covered
+            assert wal.prune(upto=boundary) == 1
+            assert not first.exists()
+            survivors = [r.sequence for r in wal.replay()]
+            assert survivors[0] == boundary + 1
+            assert survivors[-1] == 30
+
+    def test_prune_past_head_keeps_only_append_target(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+            before = wal.segments()
+            assert wal.prune(upto=1000) == len(before) - 1
+            assert wal.segments() == [before[-1]]
+            wal.append(31, b"still appendable")
+            assert [r.sequence for r in wal.replay()][-1] == 31
+
+    def test_prune_with_torn_tail_in_final_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=200) as wal:
+            fill(wal, 30)
+        damage_tail(wal.segments()[-1])
+        with WriteAheadLog(tmp_path) as wal:
+            head = wal.last_sequence
+            assert head < 30  # the torn record fell off the tail
+            n_segments = len(wal.segments())
+            removed = wal.prune(upto=30)
+            # everything but the (torn) final segment goes; the final
+            # segment is the append target and is never removed
+            assert removed == n_segments - 1
+            survivors = [r.sequence for r in wal.replay()]
+            assert survivors[-1] == head
+            wal.append(head + 1, b"rewrites the torn tail")
+            assert [r.sequence for r in wal.replay()][-1] == head + 1

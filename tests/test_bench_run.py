@@ -112,3 +112,64 @@ def test_every_suite_has_printer_and_output():
     assert set(run._PRINTERS) == set(run.SUITE_OUTPUTS)
     for suite, path in run.SUITE_OUTPUTS.items():
         assert path.name == f"BENCH_{suite}.json"
+
+
+def test_keep_prunes_oldest_runs(monkeypatch, trajectory):
+    monkeypatch.setattr(
+        run, "run_suite", lambda suite, scale: dict(GOOD_RECORD)
+    )
+    monkeypatch.setattr(
+        run, "_PRINTERS", {"hotpath": lambda record: None}
+    )
+    for _ in range(3):
+        code = run.main(
+            ["hotpath", "--output", str(trajectory), "--keep", "2"]
+        )
+        assert code == 0
+    payload = json.loads(trajectory.read_text())
+    assert len(payload["runs"]) == 2
+    # the seed run was the oldest: pruned first
+    assert all(r["scale"] == "reduced" for r in payload["runs"])
+
+
+def test_keep_zero_disables_pruning(monkeypatch, trajectory):
+    monkeypatch.setattr(
+        run, "run_suite", lambda suite, scale: dict(GOOD_RECORD)
+    )
+    monkeypatch.setattr(
+        run, "_PRINTERS", {"hotpath": lambda record: None}
+    )
+    for _ in range(3):
+        run.main(["hotpath", "--output", str(trajectory), "--keep", "0"])
+    payload = json.loads(trajectory.read_text())
+    assert len(payload["runs"]) == 4  # seed + 3 appends
+
+
+def test_default_keep_bounds_trajectory(monkeypatch, tmp_path):
+    path = tmp_path / "BENCH_deep.json"
+    path.write_text(
+        json.dumps({"runs": [dict(GOOD_RECORD)] * (run.DEFAULT_KEEP + 5)})
+    )
+    monkeypatch.setattr(
+        run, "run_suite", lambda suite, scale: dict(GOOD_RECORD)
+    )
+    monkeypatch.setattr(
+        run, "_PRINTERS", {"hotpath": lambda record: None}
+    )
+    assert run.main(["hotpath", "--output", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert len(payload["runs"]) == run.DEFAULT_KEEP
+
+
+def test_negative_keep_rejected(monkeypatch, trajectory):
+    def forbidden(suite, scale):
+        raise AssertionError("suite must not run on bad arguments")
+
+    monkeypatch.setattr(run, "run_suite", forbidden)
+    with pytest.raises(SystemExit):
+        run.main(["hotpath", "--output", str(trajectory), "--keep", "-1"])
+
+
+def test_append_record_rejects_negative_keep(trajectory):
+    with pytest.raises(ValueError, match="keep"):
+        run.append_record(dict(GOOD_RECORD), trajectory, keep=-3)
