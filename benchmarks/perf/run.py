@@ -19,7 +19,10 @@ Suites:
   ``BENCH_runtime.json``;
 * ``quant`` — opt-in int8 inference vs the float32 fast path
   (throughput and decision agreement), appended to
-  ``BENCH_quant.json``.
+  ``BENCH_quant.json``;
+* ``fleet`` — sharded fleet runtime: shards x devices aggregate
+  throughput sweep plus the kill-one-shard replay drill, appended
+  to ``BENCH_fleet.json``.
 
 Each invocation appends one timestamped run record to the suite's
 trajectory file at the repository root, building the performance
@@ -43,18 +46,48 @@ ROOT = HERE.parent.parent
 sys.path.insert(0, str(HERE))
 sys.path.insert(0, str(ROOT / "src"))
 
-SUITE_OUTPUTS = {
-    "hotpath": ROOT / "BENCH_hotpath.json",
-    "streaming": ROOT / "BENCH_streaming.json",
-    "runtime": ROOT / "BENCH_runtime.json",
-    "quant": ROOT / "BENCH_quant.json",
-}
+#: Registered suites: name -> trajectory path / printer / runner.
+#: Populate via :func:`register_suite` only — direct dict writes skip
+#: the duplicate-name check that keeps one suite from silently
+#: shadowing another's trajectory file.
+SUITE_OUTPUTS = {}
+_PRINTERS = {}
+_RUNNERS = {}
 
 #: Default trajectory depth: ``--keep 0`` disables pruning.
 DEFAULT_KEEP = 20
 
 # Kept for backwards compatibility with older tooling/tests.
-RESULTS_PATH = SUITE_OUTPUTS["hotpath"]
+RESULTS_PATH = ROOT / "BENCH_hotpath.json"
+
+
+def register_suite(name, printer, runner):
+    """Register one benchmark suite under a unique name.
+
+    The trajectory file is derived (``BENCH_<name>.json`` at the repo
+    root) so the name/printer/output triple can never drift apart.
+    Raises ``ValueError`` on a duplicate name instead of silently
+    shadowing the earlier registration.
+    """
+    if name in SUITE_OUTPUTS:
+        raise ValueError(
+            f"duplicate benchmark suite {name!r}; already writes to "
+            f"{SUITE_OUTPUTS[name]}"
+        )
+    SUITE_OUTPUTS[name] = ROOT / f"BENCH_{name}.json"
+    _PRINTERS[name] = printer
+    _RUNNERS[name] = runner
+
+
+def _import_runner(module_name):
+    """A runner that imports the suite module lazily (suites are slow
+    to import; only the requested one should load)."""
+
+    def runner(scale):
+        module = __import__(module_name)
+        return module.run(scale)
+
+    return runner
 
 
 def load_payload(path: pathlib.Path) -> dict:
@@ -180,33 +213,47 @@ def _print_quant(record: dict) -> None:
     )
 
 
+def _print_fleet(record: dict) -> None:
+    fleet = record["benchmarks"]["fleet_scaling"]
+    drill = record["benchmarks"]["kill_drill"]
+    print(
+        f"scale: {record['scale']}  (tick {fleet['tick_size']}, "
+        f"host cores {fleet['host_cores']})"
+    )
+    for point in fleet["sweep"]:
+        print(
+            f"devices {point['devices']:>6d} x "
+            f"{point['shards']} shard(s): "
+            f"{point['msgs_per_s']:>9.0f} msgs/s "
+            f"({point['scaling_vs_1shard']:.2f}x vs 1 shard)"
+        )
+    print(
+        f"kill drill: shard {drill['killed_shard']} killed after "
+        f"{drill['kill_after_ticks']} ticks, "
+        f"{drill['replayed_ticks']} replayed; "
+        f"survivors stalled: {drill['survivors_stalled']}, "
+        f"score parity: {drill['score_parity']}, "
+        f"dropped: {drill['dropped_rows']}, "
+        f"double-scored: {drill['double_scored_rows']}"
+    )
+
+
 def run_suite(suite: str, scale: str) -> dict:
     """Import and execute one suite, returning its run record."""
-    if suite == "hotpath":
-        import hotpath
-
-        return hotpath.run(scale)
-    if suite == "streaming":
-        import streaming
-
-        return streaming.run(scale)
-    if suite == "runtime":
-        import runtime
-
-        return runtime.run(scale)
-    if suite == "quant":
-        import quant
-
-        return quant.run(scale)
-    raise ValueError(f"unknown suite {suite!r}")
+    try:
+        runner = _RUNNERS[suite]
+    except KeyError:
+        raise ValueError(f"unknown suite {suite!r}") from None
+    return runner(scale)
 
 
-_PRINTERS = {
-    "hotpath": _print_hotpath,
-    "streaming": _print_streaming,
-    "runtime": _print_runtime,
-    "quant": _print_quant,
-}
+register_suite("hotpath", _print_hotpath, _import_runner("hotpath"))
+register_suite(
+    "streaming", _print_streaming, _import_runner("streaming")
+)
+register_suite("runtime", _print_runtime, _import_runner("runtime"))
+register_suite("quant", _print_quant, _import_runner("quant"))
+register_suite("fleet", _print_fleet, _import_runner("fleet"))
 
 
 def validate_record(record: object) -> str:
@@ -233,7 +280,8 @@ def main(argv=None) -> int:
         nargs="?",
         choices=tuple(SUITE_OUTPUTS),
         default="hotpath",
-        help="benchmark suite to run (default: hotpath)",
+        help="benchmark suite to run, one of: "
+        f"{', '.join(SUITE_OUTPUTS)} (default: hotpath)",
     )
     parser.add_argument(
         "--scale",

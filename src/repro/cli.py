@@ -47,6 +47,13 @@ from repro.logs.message import (
 )
 from repro.logs.persistence import store_from_json, store_to_json
 from repro.logs.templates import TemplateStore
+from repro.runtime.fleet import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetError,
+    fleet_has_state,
+    load_ring,
+)
 from repro.runtime.service import (
     FAULT_AFTER_WAL_APPEND,
     AdaptiveTicker,
@@ -419,13 +426,130 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     Bootstraps the artifact store from ``--model``/``--threshold`` on
     first run; on later runs ``--replay`` restores the checkpoint and
-    replays unacknowledged WAL ticks before resuming the feed.  Exit
-    codes: 0 on success, 2 on operator error, 3 when
-    ``--kill-after-ticks`` simulated a crash.
+    replays unacknowledged WAL ticks before resuming the feed.  With
+    ``--shards N`` (N > 1) the same feed runs through the sharded
+    fleet runtime instead: one worker process per shard, routed by the
+    consistent-hash ring.  Exit codes: 0 on success, 2 on operator
+    error, 3 when a crash was simulated (``--kill-after-ticks``, or
+    ``--kill-shard K --after-ticks T`` in fleet mode).
     """
     registry = telemetry.MetricsRegistry()
     with telemetry.use(registry):
-        exit_code = _run_serve(args, registry)
+        if args.shards > 1:
+            exit_code = _run_fleet_serve(args, registry)
+        else:
+            exit_code = _run_serve(args, registry)
+    return exit_code
+
+
+def _run_fleet_serve(
+    args: argparse.Namespace, registry: "telemetry.MetricsRegistry"
+) -> int:
+    """The ``serve --shards N`` workflow over the fleet coordinator."""
+    if args.rollback:
+        print(
+            "--rollback applies to single-shard stores; roll back "
+            "each shard-NN/store directory individually",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kill_after_ticks is not None:
+        print(
+            "--kill-after-ticks is the single-shard drill; fleet "
+            "mode uses --kill-shard K --after-ticks T",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.kill_shard is None) != (args.after_ticks is None):
+        print(
+            "--kill-shard and --after-ticks go together",
+            file=sys.stderr,
+        )
+        return 2
+    config = FleetConfig(
+        data_dir=args.data_dir,
+        shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        keep_releases=args.keep_releases,
+        quantized=args.quantized,
+        scores_out=args.scores_out,
+        warnings_out=args.warnings_out,
+        kill_shard=args.kill_shard,
+        kill_after_ticks=args.after_ticks,
+    )
+    try:
+        ring = load_ring(config)
+    except FleetError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for shard in ring.shards:
+        store = ArtifactStore(
+            config.shard_config(shard).store_dir,
+            keep_releases=config.keep_releases,
+        )
+        if store.current_id() is not None:
+            continue
+        if args.model is None or args.threshold is None:
+            print(
+                f"shard {shard} holds no release; bootstrap needs "
+                "--model and --threshold",
+                file=sys.stderr,
+            )
+            return 2
+        detector = _load_detector(pathlib.Path(args.model))
+        release = stage_release(store, detector, args.threshold)
+        print(
+            f"published release {release.release_id} to shard {shard}"
+        )
+    if fleet_has_state(config) and not args.replay:
+        print(
+            f"{config.data_dir} has prior fleet state; rerun with "
+            "--replay to recover it (refusing to ingest blind)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        coordinator = FleetCoordinator.open(config)
+    except FleetError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    exit_code = 0
+    try:
+        if args.replay:
+            print(
+                f"recovered {config.shards} shards; replayed "
+                f"{coordinator.replayed_ticks} ticks"
+            )
+        if args.trace:
+            feed = _serve_feed(pathlib.Path(args.trace))
+            report = coordinator.drain(
+                feed,
+                tick_size=args.tick_size,
+                adaptive=args.adaptive_tick,
+                max_ticks=args.max_ticks,
+            )
+            print(
+                f"served {report.ticks} ticks "
+                f"({report.messages} messages, "
+                f"{report.warnings} warnings) across "
+                f"{len(coordinator.ring)} shards at "
+                f"{report.msgs_per_s:.0f} msgs/s"
+            )
+            if report.dead_shards:
+                print(
+                    "shards died mid-drain: "
+                    f"{list(report.dead_shards)}; their backlog "
+                    "resumes after restart with --replay",
+                    file=sys.stderr,
+                )
+                exit_code = 3
+    finally:
+        coordinator.close()
+        if args.telemetry_out:
+            pathlib.Path(args.telemetry_out).write_text(
+                registry.to_json()
+            )
+    print(f"fleet state in {config.data_dir}")
     return exit_code
 
 
@@ -645,10 +769,34 @@ def _telemetry_smoke(args: argparse.Namespace) -> None:
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
-    """Run the end-to-end smoke and print/check its telemetry snapshot."""
+    """Run the end-to-end smoke and print/check its telemetry snapshot.
+
+    With ``--merge FILE...`` no smoke runs; the named JSON snapshots
+    are folded into one registry instead (counters sum, gauges take
+    the last write, histograms merge bucket-wise) — the multi-run /
+    multi-shard aggregation view.
+    """
     registry = telemetry.MetricsRegistry()
-    with telemetry.use(registry):
-        _telemetry_smoke(args)
+    if args.merge:
+        if args.check:
+            print(
+                "--check asserts the smoke-run invariants; it does "
+                "not apply to --merge aggregation",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            snapshots = [
+                json.loads(pathlib.Path(path).read_text())
+                for path in args.merge
+            ]
+            registry.merge(snapshots)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot merge snapshots: {error}", file=sys.stderr)
+            return 2
+    else:
+        with telemetry.use(registry):
+            _telemetry_smoke(args)
     if args.format == "prometheus":
         rendered = registry.to_prometheus()
     else:
@@ -769,6 +917,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scores-out", default=None)
     p.add_argument("--warnings-out", default=None)
     p.add_argument("--telemetry-out", default=None)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the sharded fleet runtime with N worker processes",
+    )
+    p.add_argument(
+        "--kill-shard",
+        type=int,
+        default=None,
+        help="fleet crash drill: shard to kill (with --after-ticks)",
+    )
+    p.add_argument(
+        "--after-ticks",
+        type=int,
+        default=None,
+        help="kill --kill-shard after N journaled ticks (exit 3)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -786,6 +952,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="assert the telemetry invariants (CI gate)",
+    )
+    p.add_argument(
+        "--merge",
+        nargs="+",
+        metavar="FILE",
+        default=None,
+        help="skip the smoke; merge these JSON snapshots instead",
     )
     p.set_defaults(func=cmd_telemetry)
 

@@ -14,7 +14,14 @@ in-memory streaming engine:
   scorer ring buffers, monitor warning state and tick cursor;
 * :mod:`repro.runtime.service` — the supervisor tying tick loop,
   WAL, checkpoint cadence, hot model swap and graceful shutdown
-  together (``python -m repro serve`` drives it from the CLI).
+  together (``python -m repro serve`` drives it from the CLI);
+* :mod:`repro.runtime.lock` — pid-stamped owner lockfiles so two
+  processes can never append to one service's WAL;
+* :mod:`repro.runtime.ring` — the deterministic consistent-hash
+  ring mapping devices to shards;
+* :mod:`repro.runtime.fleet` — the shared-nothing sharded fleet: a
+  coordinator routing ingest to per-shard worker processes
+  (``python -m repro serve --shards N``).
 """
 
 from repro.runtime.checkpoint import (
@@ -22,6 +29,17 @@ from repro.runtime.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.runtime.fleet import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetDrainReport,
+    FleetError,
+    ShardDrain,
+    bootstrap_fleet,
+    fleet_has_state,
+)
+from repro.runtime.lock import LockHeldError, OwnerLock
+from repro.runtime.ring import HashRing
 from repro.runtime.service import (
     MonitorService,
     ReplayReport,
@@ -41,17 +59,27 @@ from repro.runtime.wal import (
 __all__ = [
     "ArtifactStore",
     "Checkpoint",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetDrainReport",
+    "FleetError",
+    "HashRing",
+    "LockHeldError",
     "MonitorService",
+    "OwnerLock",
     "Release",
     "ReplayReport",
     "ServiceConfig",
     "ServiceError",
+    "ShardDrain",
     "StoreError",
     "TickResult",
     "WalCorruptionError",
     "WalRecord",
     "WriteAheadLog",
+    "bootstrap_fleet",
     "detector_from_release",
+    "fleet_has_state",
     "read_checkpoint",
     "stage_release",
     "write_checkpoint",

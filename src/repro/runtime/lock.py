@@ -1,0 +1,136 @@
+"""Exclusive owner lockfiles for service data directories.
+
+Two :class:`~repro.runtime.service.MonitorService` instances appending
+to one WAL would interleave sequences and corrupt the journal's total
+order, so every data directory is guarded by a pid-stamped lockfile:
+
+* acquisition is atomic (``O_CREAT | O_EXCL``) — there is no window
+  where two processes both think they created the file;
+* a lock whose owner pid is dead is *stale* (the owner crashed before
+  releasing); recovery removes it and retries, so a crash never
+  requires manual cleanup;
+* re-acquisition by the owning pid succeeds — a process that lost its
+  service object to a simulated crash may reopen the same directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Union
+
+from repro import telemetry
+
+#: Lockfile name inside a guarded data directory.
+LOCK_FILENAME = "LOCK"
+
+
+class LockHeldError(RuntimeError):
+    """The directory is owned by another *live* process."""
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a process we could signal.
+
+    ``kill(pid, 0)`` delivers nothing but performs the existence and
+    permission checks; a pid we cannot signal but which exists
+    (``EPERM``) is conservatively treated as alive.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class OwnerLock:
+    """A pid-stamped exclusive lock on one directory.
+
+    Attributes:
+        path: the lockfile path.
+        held: whether this object currently holds the lock.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self.held = False
+
+    def _read_owner(self) -> int:
+        """The pid recorded in the lockfile (0 if unreadable)."""
+        try:
+            return int(self.path.read_text().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def acquire(self) -> None:
+        """Take the lock, cleaning a stale (dead-owner) lockfile.
+
+        Raises:
+            LockHeldError: a different, live process owns the lock.
+        """
+        if self.held:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(8):
+            try:
+                fd = os.open(
+                    self.path,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                owner = self._read_owner()
+                if owner == os.getpid():
+                    # Same process reopening after an in-process crash
+                    # of the previous service object: already ours.
+                    self.held = True
+                    return
+                if pid_alive(owner):
+                    raise LockHeldError(
+                        f"{self.path} is held by live pid {owner}; "
+                        "refusing to share a service data directory"
+                    )
+                # Stale lock from a crashed owner: clean and retry.
+                # A concurrent cleaner may win the unlink/create race,
+                # in which case the next round sees its live pid.
+                try:
+                    self.path.unlink()
+                except FileNotFoundError:
+                    pass
+                # Stale cleanups are rare one-off events (the retry
+                # loop is bounded at 8), not a per-item hot path.
+                telemetry.counter(  # repro: noqa[RPR301]
+                    "runtime.lock.stale_cleaned"
+                ).inc()
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{os.getpid()}\n")
+            self.held = True
+            return
+        raise LockHeldError(
+            f"could not acquire {self.path}: lost the creation race "
+            "repeatedly"
+        )
+
+    def release(self) -> None:
+        """Drop the lock (a no-op when not held)."""
+        if not self.held:
+            return
+        self.held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "OwnerLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+__all__ = ["LOCK_FILENAME", "LockHeldError", "OwnerLock", "pid_alive"]

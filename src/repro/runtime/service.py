@@ -64,6 +64,7 @@ from repro.runtime.checkpoint import (
     write_checkpoint,
 )
 from repro.runtime.codec import TICK_MAGIC, TickEncoder, decode_tick
+from repro.runtime.lock import LOCK_FILENAME, OwnerLock
 from repro.runtime.store import ArtifactStore, Release
 from repro.runtime.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
 
@@ -148,6 +149,11 @@ class ServiceConfig:
     def checkpoint_path(self) -> pathlib.Path:
         """The (single, atomically replaced) checkpoint file."""
         return pathlib.Path(self.data_dir) / "checkpoint.npz"
+
+    @property
+    def lock_path(self) -> pathlib.Path:
+        """The pid-stamped owner lockfile guarding this directory."""
+        return pathlib.Path(self.data_dir) / LOCK_FILENAME
 
 
 @dataclass(frozen=True)
@@ -290,6 +296,11 @@ class MonitorService:
         self.monitor = monitor
         self.store = store
         self.active_release = int(active_release)
+        # The lock comes first: two processes must never both open the
+        # WAL below.  Stale locks (dead owner pid) are cleaned inside
+        # acquire(), so crash recovery needs no manual unlink.
+        self.lock = OwnerLock(config.lock_path)
+        self.lock.acquire()
         self.wal = WriteAheadLog(
             config.wal_dir,
             segment_bytes=config.segment_bytes,
@@ -666,6 +677,7 @@ class MonitorService:
             return
         self.checkpoint_now()
         self.wal.close()
+        self.lock.release()
         self._closed = True
 
     def __enter__(self) -> "MonitorService":

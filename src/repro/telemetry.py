@@ -237,6 +237,38 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    def merge(self, snapshots: Sequence[Dict]) -> "MetricsRegistry":
+        """Fold :meth:`snapshot` dicts into this registry, in order.
+
+        The fleet coordinator uses this to aggregate per-shard worker
+        registries into one fleet view; ``repro telemetry --merge``
+        exposes the same fold for multi-run aggregation.  Semantics per
+        kind: counters *sum* (event counts are additive across shards),
+        gauges are *last write wins* (later snapshots overwrite), and
+        histograms merge *bucket-wise* (their edges must agree — there
+        is no meaningful rebinning between different bucket layouts).
+
+        Returns this registry, so merges chain.
+        """
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                self.counter(name).inc(int(value))
+            for name, value in snap.get("gauges", {}).items():
+                self.gauge(name).set(float(value))
+            for name, data in snap.get("histograms", {}).items():
+                edges = [float(e) for e in data["edges"]]
+                metric = self.histogram(name, edges=edges)
+                if list(metric.edges) != edges:
+                    raise ValueError(
+                        f"histogram {name!r} bucket edges differ "
+                        "between snapshots; cannot merge bucket-wise"
+                    )
+                for index, count in enumerate(data["counts"]):
+                    metric.counts[index] += int(count)
+                metric.sum += float(data["sum"])
+                metric.count += int(data["count"])
+        return self
+
     # -- exporters --------------------------------------------------------
 
     def snapshot(self) -> Dict:

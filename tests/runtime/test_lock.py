@@ -1,0 +1,195 @@
+"""Owner lockfiles: atomic create, stale cleanup, service guard.
+
+The lock's job is to make two *live* processes appending to one WAL
+impossible while keeping crashes self-healing: a dead owner's lock is
+stale garbage, not a permanent outage.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.detector import LSTMAnomalyDetector
+from repro.logs.templates import TemplateStore
+from repro.runtime.lock import (
+    LOCK_FILENAME,
+    LockHeldError,
+    OwnerLock,
+    pid_alive,
+)
+from repro.runtime.service import (
+    MonitorService,
+    ServiceConfig,
+    stage_release,
+)
+from repro.runtime.store import ArtifactStore
+from repro.timeutil import TRACE_START
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def live_foreign_pid():
+    """A pid that is alive for the duration of the test but not ours."""
+    proc = subprocess.Popen(
+        [sys.executable, "-c", "import time; time.sleep(60)"]
+    )
+    try:
+        yield proc.pid
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+@pytest.fixture
+def dead_pid():
+    """A pid guaranteed dead (spawned, exited and reaped)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_dead_pid_is_dead(self, dead_pid):
+        assert not pid_alive(dead_pid)
+
+    def test_nonpositive_pids_never_alive(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+class TestOwnerLock:
+    def test_acquire_writes_pid_release_unlinks(self, tmp_path):
+        lock = OwnerLock(tmp_path / "dir" / LOCK_FILENAME)
+        lock.acquire()
+        assert lock.held
+        assert int(lock.path.read_text()) == os.getpid()
+        lock.release()
+        assert not lock.held
+        assert not lock.path.exists()
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / LOCK_FILENAME
+        with OwnerLock(path) as lock:
+            assert lock.held
+            assert path.exists()
+        assert not path.exists()
+
+    def test_live_foreign_owner_blocks(self, tmp_path, live_foreign_pid):
+        path = tmp_path / LOCK_FILENAME
+        path.write_text(f"{live_foreign_pid}\n")
+        with pytest.raises(LockHeldError, match="live pid"):
+            OwnerLock(path).acquire()
+        # the refusal must not destroy the legitimate owner's lock
+        assert int(path.read_text()) == live_foreign_pid
+
+    def test_stale_lock_cleaned_and_acquired(self, tmp_path, dead_pid):
+        path = tmp_path / LOCK_FILENAME
+        path.write_text(f"{dead_pid}\n")
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use(registry):
+            lock = OwnerLock(path)
+            lock.acquire()
+        assert lock.held
+        assert int(path.read_text()) == os.getpid()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["runtime.lock.stale_cleaned"] == 1
+
+    def test_garbage_lockfile_treated_as_stale(self, tmp_path):
+        path = tmp_path / LOCK_FILENAME
+        path.write_text("not a pid\n")
+        lock = OwnerLock(path)
+        lock.acquire()
+        assert int(path.read_text()) == os.getpid()
+
+    def test_same_pid_reacquires(self, tmp_path):
+        """Crash-and-reopen inside one process: the second lock object
+        for the same directory takes over instead of deadlocking."""
+        path = tmp_path / LOCK_FILENAME
+        first = OwnerLock(path)
+        first.acquire()
+        second = OwnerLock(path)
+        second.acquire()  # must not raise
+        assert second.held
+
+    def test_acquire_is_idempotent(self, tmp_path):
+        lock = OwnerLock(tmp_path / LOCK_FILENAME)
+        lock.acquire()
+        lock.acquire()
+        lock.release()
+        lock.release()  # no-op, no error
+        assert not lock.path.exists()
+
+
+@pytest.fixture(scope="module")
+def tiny_config_factory():
+    """A factory for tiny bootstrapped service dirs (module-scoped
+    detector fit; per-test data dirs)."""
+    train = [
+        make_message(
+            timestamp=TRACE_START + i * 10.0,
+            host="vpe00",
+            text=f"EVENT {('ABC')[i % 3]}: ok",
+        )
+        for i in range(240)
+    ]
+    store = TemplateStore().fit(train)
+    detector = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=8,
+        window=4,
+        hidden=(6, 6),
+        id_dim=4,
+        epochs=2,
+        oversample_rounds=0,
+        seed=0,
+    ).fit(train)
+    scores = detector.score(train).scores
+    threshold = float(np.nanquantile(scores, 0.999)) + 0.25
+
+    def factory(data_dir):
+        config = ServiceConfig(data_dir=data_dir)
+        artifact_store = ArtifactStore(
+            config.store_dir, keep_releases=config.keep_releases
+        )
+        stage_release(artifact_store, detector, threshold)
+        return config
+
+    return factory
+
+
+class TestServiceIntegration:
+    def test_service_holds_lock_while_open(
+        self, tmp_path, tiny_config_factory
+    ):
+        config = tiny_config_factory(tmp_path / "svc")
+        service = MonitorService.open(config)
+        assert config.lock_path.exists()
+        assert int(config.lock_path.read_text()) == os.getpid()
+        service.close()
+        assert not config.lock_path.exists()
+
+    def test_foreign_live_lock_blocks_service_open(
+        self, tmp_path, tiny_config_factory, live_foreign_pid
+    ):
+        config = tiny_config_factory(tmp_path / "svc")
+        config.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        config.lock_path.write_text(f"{live_foreign_pid}\n")
+        with pytest.raises(LockHeldError, match="live pid"):
+            MonitorService.open(config)
+
+    def test_stale_lock_does_not_block_service_open(
+        self, tmp_path, tiny_config_factory, dead_pid
+    ):
+        config = tiny_config_factory(tmp_path / "svc")
+        config.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        config.lock_path.write_text(f"{dead_pid}\n")
+        service = MonitorService.open(config)
+        assert int(config.lock_path.read_text()) == os.getpid()
+        service.close()

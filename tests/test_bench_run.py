@@ -173,3 +173,39 @@ def test_negative_keep_rejected(monkeypatch, trajectory):
 def test_append_record_rejects_negative_keep(trajectory):
     with pytest.raises(ValueError, match="keep"):
         run.append_record(dict(GOOD_RECORD), trajectory, keep=-3)
+
+
+def test_duplicate_suite_registration_rejected():
+    with pytest.raises(ValueError, match="duplicate benchmark suite"):
+        run.register_suite(
+            "hotpath", lambda record: None, lambda scale: {}
+        )
+    # the failed registration must not clobber the original
+    assert run.SUITE_OUTPUTS["hotpath"].name == "BENCH_hotpath.json"
+
+
+def test_register_suite_derives_trajectory_path():
+    name = "zz_probe"
+    try:
+        run.register_suite(name, lambda r: None, lambda s: {})
+        assert run.SUITE_OUTPUTS[name] == run.ROOT / "BENCH_zz_probe.json"
+        assert name in run._PRINTERS
+        assert name in run._RUNNERS
+    finally:
+        run.SUITE_OUTPUTS.pop(name, None)
+        run._PRINTERS.pop(name, None)
+        run._RUNNERS.pop(name, None)
+
+
+def test_help_lists_every_registered_suite(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run.main(["--help"])
+    assert excinfo.value.code == 0
+    text = capsys.readouterr().out
+    for suite in run.SUITE_OUTPUTS:
+        assert suite in text
+
+
+def test_unknown_suite_raises_value_error():
+    with pytest.raises(ValueError, match="unknown suite"):
+        run.run_suite("nonesuch", "reduced")

@@ -283,3 +283,179 @@ class TestParser:
             main([subcommand, "--help"])
         assert excinfo.value.code == 0
         assert "usage:" in capsys.readouterr().out
+
+
+class TestFleetServe:
+    """``serve --shards N``: the fleet runtime from the CLI, including
+    the kill-one-shard drill CI's ``fleet-e2e`` job scripts: crash a
+    shard mid-drain (exit 3), restart with ``--replay``, and expect
+    the unioned per-shard CSVs to match an uninterrupted fleet's."""
+
+    SERVE_ARGS = [
+        "--threshold", "4.0", "--tick-size", "64",
+        "--checkpoint-every", "5", "--shards", "3",
+    ]
+
+    def serve(self, workflow, data_dir, *extra):
+        return main([
+            "serve", "--data-dir", str(data_dir),
+            "--trace", str(workflow["trace"]),
+            "--model", str(workflow["model"]),
+            *self.SERVE_ARGS, *extra,
+        ])
+
+    @staticmethod
+    def rows(base):
+        merged = set()
+        for path in sorted(base.parent.glob(base.name + ".shard*")):
+            merged.update(path.read_text().splitlines())
+        return merged
+
+    @staticmethod
+    def busiest_shard():
+        from repro.runtime.ring import HashRing
+
+        ring = HashRing(shards=(0, 1, 2))
+        loads = {shard: 0 for shard in ring.shards}
+        for host in ("vpe00", "vpe01", "vpe02"):
+            loads[ring.assign(host)] += 1
+        return max(loads, key=loads.get)
+
+    def test_fleet_run_scores_whole_feed(
+        self, workflow, tmp_path, capsys
+    ):
+        out = tmp_path / "scores.csv"
+        assert self.serve(
+            workflow, tmp_path / "fleet", "--scores-out", str(out)
+        ) == 0
+        text = capsys.readouterr().out
+        assert "across 3 shards" in text
+        assert "fleet state in" in text
+        merged = self.rows(out)
+        assert len(merged) > 100
+        shards_seen = {row.split(",")[0] for row in merged}
+        assert len(shards_seen) >= 2, "feed must spread over shards"
+
+    def test_kill_drill_replay_reaches_parity(
+        self, workflow, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.csv"
+        drilled = tmp_path / "drilled.csv"
+        assert self.serve(
+            workflow, tmp_path / "a", "--scores-out", str(baseline)
+        ) == 0
+        victim = self.busiest_shard()
+        assert self.serve(
+            workflow, tmp_path / "b", "--scores-out", str(drilled),
+            "--kill-shard", str(victim),
+            "--after-ticks", "2",
+        ) == 3
+        assert "shards died mid-drain" in capsys.readouterr().err
+        assert self.serve(
+            workflow, tmp_path / "b", "--scores-out", str(drilled),
+            "--replay",
+        ) == 0
+        assert "replayed" in capsys.readouterr().out
+        assert self.rows(baseline) == self.rows(drilled)
+
+    def test_blind_fleet_restart_refused(
+        self, workflow, tmp_path, capsys
+    ):
+        data = tmp_path / "fleet"
+        assert self.serve(workflow, data, "--max-ticks", "3") == 0
+        assert self.serve(workflow, data) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_shard_count_must_match_journal(
+        self, workflow, tmp_path, capsys
+    ):
+        data = tmp_path / "fleet"
+        assert self.serve(workflow, data, "--max-ticks", "3") == 0
+        assert main([
+            "serve", "--data-dir", str(data),
+            "--trace", str(workflow["trace"]),
+            "--threshold", "4.0", "--shards", "4", "--replay",
+        ]) == 2
+        assert "records 3 shards" in capsys.readouterr().err
+
+    def test_kill_knobs_must_pair(self, workflow, tmp_path, capsys):
+        assert self.serve(
+            workflow, tmp_path / "fleet", "--kill-shard", "1"
+        ) == 2
+        assert "go together" in capsys.readouterr().err
+
+    def test_single_shard_drill_flag_refused(
+        self, workflow, tmp_path, capsys
+    ):
+        assert self.serve(
+            workflow, tmp_path / "fleet", "--kill-after-ticks", "2"
+        ) == 2
+        assert "--kill-shard" in capsys.readouterr().err
+
+    def test_rollback_refused_in_fleet_mode(
+        self, workflow, tmp_path, capsys
+    ):
+        assert self.serve(
+            workflow, tmp_path / "fleet", "--rollback"
+        ) == 2
+        assert "shard-NN" in capsys.readouterr().err
+
+    def test_fleet_telemetry_out(self, workflow, tmp_path):
+        out = tmp_path / "telemetry.json"
+        assert self.serve(
+            workflow, tmp_path / "fleet",
+            "--telemetry-out", str(out),
+        ) == 0
+        snapshot = json.loads(out.read_text())
+        counters = snapshot["counters"]
+        assert counters["fleet.messages_routed"] > 0
+        # worker registries merged in: runtime totals span the fleet
+        assert counters["runtime.ticks"] == counters[
+            "fleet.ticks_routed"
+        ]
+        assert snapshot["gauges"]["fleet.shards"] == 3
+
+
+class TestTelemetryMerge:
+    def snapshot_file(self, tmp_path, name, ticks):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("runtime.ticks").inc(ticks)
+        registry.gauge("runtime.backlog").set(float(ticks))
+        path = tmp_path / name
+        path.write_text(json.dumps(registry.snapshot()))
+        return path
+
+    def test_merge_sums_counters(self, tmp_path, capsys):
+        a = self.snapshot_file(tmp_path, "a.json", 3)
+        b = self.snapshot_file(tmp_path, "b.json", 4)
+        assert main([
+            "telemetry", "--merge", str(a), str(b),
+        ]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["counters"]["runtime.ticks"] == 7
+        assert merged["gauges"]["runtime.backlog"] == 4.0
+
+    def test_merge_writes_out_file(self, tmp_path):
+        a = self.snapshot_file(tmp_path, "a.json", 2)
+        out = tmp_path / "merged.json"
+        assert main([
+            "telemetry", "--merge", str(a), "--out", str(out),
+        ]) == 0
+        assert json.loads(out.read_text())["counters"][
+            "runtime.ticks"
+        ] == 2
+
+    def test_merge_rejects_check(self, tmp_path, capsys):
+        a = self.snapshot_file(tmp_path, "a.json", 1)
+        assert main([
+            "telemetry", "--merge", str(a), "--check",
+        ]) == 2
+        assert "does not apply" in capsys.readouterr().err
+
+    def test_merge_missing_file_errors(self, tmp_path, capsys):
+        assert main([
+            "telemetry", "--merge", str(tmp_path / "nope.json"),
+        ]) == 2
+        assert "cannot merge" in capsys.readouterr().err

@@ -141,3 +141,72 @@ class TestStaticAnalysisDocs:
         design = read("DESIGN.md")
         assert "repro.devtools" in design
         assert "python -m repro check" in design
+
+
+class TestFleetDocs:
+    """README's fleet section mirrors the fleet CLI and BENCH table."""
+
+    def section(self):
+        readme = read("README.md")
+        assert "## Fleet serving" in readme
+        section = readme.split("## Fleet serving", 1)[1]
+        return section.split("\n## ", 1)[0]
+
+    def test_fleet_flags_documented(self):
+        section = self.section()
+        for flag in ("--shards", "--kill-shard", "--after-ticks"):
+            assert flag in section, flag
+
+    def test_fleet_mechanics_documented(self):
+        section = self.section()
+        for term in (
+            "ring.jsonl",
+            "shard-NN/",
+            "BENCH_fleet.json",
+            "sort -u",
+            "--merge",
+        ):
+            assert term in section, term
+
+    def newest_default_run(self):
+        import json
+
+        payload = json.loads(read("BENCH_fleet.json"))
+        runs = [
+            run
+            for run in payload["runs"]
+            if run.get("scale") == "default"
+        ]
+        assert runs, "BENCH_fleet.json must hold a default-scale run"
+        return runs[-1]
+
+    def test_bench_fleet_trajectory_shape(self):
+        record = self.newest_default_run()
+        assert "fleet_scaling" in record["benchmarks"]
+        assert "kill_drill" in record["benchmarks"]
+        drill = record["benchmarks"]["kill_drill"]
+        assert drill["score_parity"] is True
+        assert drill["dropped_rows"] == 0
+        assert drill["double_scored_rows"] == 0
+
+    def test_readme_table_matches_newest_default_run(self):
+        """The README throughput table cites the newest default-scale
+        BENCH_fleet.json run: 1-shard baselines as msgs/s, multi-shard
+        points as scaling ratios.  Rerun the suite, refresh the table."""
+        section = self.section()
+        record = self.newest_default_run()
+        for point in record["benchmarks"]["fleet_scaling"]["sweep"]:
+            if point["shards"] == 1:
+                cell = f"{round(point['msgs_per_s']):,} msgs/s"
+            else:
+                cell = f"{point['scaling_vs_1shard']:.2f}×"
+            assert cell in section, (
+                f"devices={point['devices']} shards={point['shards']}:"
+                f" expected {cell!r} in the README fleet table"
+            )
+
+    def test_design_documents_fleet_layer(self):
+        design = read("DESIGN.md")
+        assert "repro.runtime.fleet" in design
+        assert "repro.runtime.ring" in design
+        assert "serve\n  --shards N" in design or "--shards" in design

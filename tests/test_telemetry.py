@@ -293,3 +293,79 @@ class TestLayerInstrumentation:
         assert snapshot["gauges"]["adapt.cosine_similarity"] == (
             pytest.approx(similarity)
         )
+
+
+class TestMerge:
+    def _shard_snapshot(self, ticks, backlog, observations):
+        shard = MetricsRegistry()
+        shard.counter("runtime.ticks").inc(ticks)
+        shard.gauge("runtime.backlog").set(backlog)
+        histogram = shard.histogram(
+            "stream.scores", edges=(1.0, 2.0)
+        )
+        for value in observations:
+            histogram.observe(value)
+        return shard.snapshot()
+
+    def test_counters_sum(self, registry):
+        registry.merge(
+            [
+                self._shard_snapshot(3, 1.0, []),
+                self._shard_snapshot(4, 2.0, []),
+            ]
+        )
+        assert registry.snapshot()["counters"]["runtime.ticks"] == 7
+
+    def test_gauges_last_write_wins(self, registry):
+        registry.merge(
+            [
+                self._shard_snapshot(0, 5.0, []),
+                self._shard_snapshot(0, 9.0, []),
+            ]
+        )
+        assert (
+            registry.snapshot()["gauges"]["runtime.backlog"] == 9.0
+        )
+
+    def test_histograms_merge_bucket_wise(self, registry):
+        registry.merge(
+            [
+                self._shard_snapshot(0, 0.0, [0.5, 1.5]),
+                self._shard_snapshot(0, 0.0, [1.5, 3.0]),
+            ]
+        )
+        merged = registry.snapshot()["histograms"]["stream.scores"]
+        assert merged["counts"] == [1, 2, 1]
+        assert merged["count"] == 4
+        assert merged["sum"] == pytest.approx(6.5)
+
+    def test_merge_into_populated_registry_accumulates(self, registry):
+        registry.counter("runtime.ticks").inc(10)
+        registry.merge([self._shard_snapshot(5, 0.0, [])])
+        assert registry.snapshot()["counters"]["runtime.ticks"] == 15
+
+    def test_mismatched_histogram_edges_refused(self, registry):
+        other = MetricsRegistry()
+        other.histogram("stream.scores", edges=(10.0,)).observe(1.0)
+        with pytest.raises(ValueError, match="bucket edges differ"):
+            registry.merge(
+                [
+                    self._shard_snapshot(0, 0.0, [0.5]),
+                    other.snapshot(),
+                ]
+            )
+
+    def test_merge_returns_self_for_chaining(self, registry):
+        result = registry.merge([]).merge(
+            [self._shard_snapshot(1, 0.0, [])]
+        )
+        assert result is registry
+        assert registry.snapshot()["counters"]["runtime.ticks"] == 1
+
+    def test_merged_snapshot_roundtrips_through_json(self, registry):
+        registry.merge(
+            [self._shard_snapshot(2, 1.0, [0.5, 1.5, 9.0])]
+        )
+        encoded = json.loads(json.dumps(registry.snapshot()))
+        fresh = MetricsRegistry().merge([encoded])
+        assert fresh.snapshot() == registry.snapshot()
