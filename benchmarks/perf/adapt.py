@@ -1,0 +1,350 @@
+"""Closed-loop adaptation benchmarks: fine-tune, swap, ingest dip.
+
+Three costs decide whether ``serve --auto-adapt`` is deployable:
+
+* ``fine_tune`` — wall time of the transfer fine-tune over the replay
+  window plus the artifact-store publish (the end-to-end latency from
+  trigger to a swappable release);
+* ``swap_pause`` — how much longer the boundary tick that applies a
+  journaled hot swap takes than an ordinary tick (the only ingest
+  pause the swap introduces);
+* ``background_ingest`` — tick throughput while a background
+  fine-tune worker is actually training, against the same service's
+  pre-trigger throughput.  The acceptance gate pins the dip at
+  < 20%: adaptation must not stall ingest.
+
+``run(scale)`` returns a JSON-ready record; ``run.py adapt`` appends
+it to ``BENCH_adapt.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.adaptation import transfer_adapt
+from repro.core.detector import LSTMAnomalyDetector
+from repro.logs.message import Severity, SyslogMessage
+from repro.logs.templates import TemplateStore
+from repro.runtime.adapt import (
+    AdaptConfig,
+    AdaptationController,
+    PHASE_TUNING,
+    PHASE_WATCHING,
+)
+from repro.runtime.service import (
+    MonitorService,
+    ServiceConfig,
+    detector_from_release,
+    stage_release,
+)
+from repro.runtime.store import ArtifactStore
+
+NORMAL_TEXTS = [
+    f"{name}: routine phase {i} complete"
+    for i, name in enumerate(
+        ["ALPHA", "BRAVO", "CHARLIE", "DELTA",
+         "EPSILON", "ZETA", "ETA", "THETA"]
+    )
+]
+DRIFT_TEXTS = [
+    f"{name}: updated daemon event {i}"
+    for i, name in enumerate(
+        ["IOTA", "KAPPA", "LAMBDA", "MU",
+         "NU", "XI", "OMICRON", "PI"]
+    )
+]
+
+START = 1_500_000_000.0
+
+
+@dataclass(frozen=True)
+class AdaptScale:
+    """One adaptation-benchmark operating point."""
+
+    name: str
+    train_messages: int
+    tick_size: int
+    window: int
+    hidden: Tuple[int, int]
+    replay_ticks: int
+    epochs: int
+    devices: int = 8
+    baseline_ticks: int = 24
+
+
+SCALES: Dict[str, AdaptScale] = {
+    # The reference point BENCH_adapt.json records.
+    "default": AdaptScale(
+        name="default",
+        train_messages=3000,
+        tick_size=256,
+        window=8,
+        hidden=(16, 16),
+        replay_ticks=8,
+        epochs=3,
+    ),
+    # CI / perf-marked pytest smoke.
+    "reduced": AdaptScale(
+        name="reduced",
+        train_messages=1200,
+        tick_size=128,
+        window=4,
+        hidden=(12, 12),
+        replay_ticks=6,
+        epochs=2,
+        baseline_ticks=12,
+    ),
+}
+
+
+def stream(
+    texts: List[str],
+    n: int,
+    start: float,
+    devices: int,
+) -> List[SyslogMessage]:
+    return [
+        SyslogMessage(
+            timestamp=start + i * 2.0,
+            host=f"vpe{i % devices:02d}",
+            process="rpd",
+            text=texts[i % len(texts)],
+            severity=Severity.INFO,
+        )
+        for i in range(n)
+    ]
+
+
+def build_detector(
+    scale: AdaptScale,
+) -> Tuple[LSTMAnomalyDetector, float]:
+    """A detector fitted on both mixes (drift stays count-based)."""
+    normal = stream(NORMAL_TEXTS, scale.train_messages, START, 1)
+    drifted = stream(
+        DRIFT_TEXTS,
+        scale.train_messages // 2,
+        START + 1e6,
+        1,
+    )
+    store = TemplateStore().fit(normal + drifted)
+    detector = LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=32,
+        window=scale.window,
+        hidden=scale.hidden,
+        id_dim=8,
+        epochs=3,
+        oversample_rounds=0,
+        seed=0,
+    ).fit(normal + drifted)
+    scores = detector.score(normal[: scale.train_messages // 2]).scores
+    threshold = float(np.nanquantile(scores, 0.999)) + 0.5
+    return detector, threshold
+
+
+def ticks_of(
+    texts: List[str],
+    n_ticks: int,
+    start: float,
+    scale: AdaptScale,
+) -> List[List[SyslogMessage]]:
+    feed = stream(
+        texts, n_ticks * scale.tick_size, start, scale.devices
+    )
+    return [
+        feed[i:i + scale.tick_size]
+        for i in range(0, len(feed), scale.tick_size)
+    ]
+
+
+def bench_fine_tune(
+    scale: AdaptScale,
+    detector: LSTMAnomalyDetector,
+    threshold: float,
+) -> Dict[str, float]:
+    """Trigger-to-release latency: fine-tune + publish."""
+    replay = stream(
+        DRIFT_TEXTS,
+        scale.replay_ticks * scale.tick_size,
+        START + 2e6,
+        scale.devices,
+    )
+    start = time.perf_counter()
+    student = transfer_adapt(detector, replay, epochs=scale.epochs)
+    fine_tune_s = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp), keep_releases=4)
+        start = time.perf_counter()
+        stage_release(store, student, threshold)
+        publish_s = time.perf_counter() - start
+    return {
+        "replay_messages": len(replay),
+        "epochs": scale.epochs,
+        "fine_tune_s": fine_tune_s,
+        "publish_s": publish_s,
+        "total_s": fine_tune_s + publish_s,
+        "train_msgs_per_s": len(replay) * scale.epochs / fine_tune_s,
+    }
+
+
+def _open_service(
+    tmp: str,
+    detector: LSTMAnomalyDetector,
+    threshold: float,
+) -> MonitorService:
+    config = ServiceConfig(
+        data_dir=Path(tmp) / "svc", checkpoint_every=1_000_000
+    )
+    store = ArtifactStore(
+        config.store_dir, keep_releases=config.keep_releases
+    )
+    stage_release(store, detector, threshold)
+    service = MonitorService.open(config)
+    service.recover()
+    return service
+
+
+def bench_swap_pause(
+    scale: AdaptScale,
+    detector: LSTMAnomalyDetector,
+    threshold: float,
+) -> Dict[str, float]:
+    """Extra wall time of the tick boundary that applies a hot swap."""
+    with tempfile.TemporaryDirectory() as tmp:
+        service = _open_service(tmp, detector, threshold)
+        ticks = ticks_of(
+            NORMAL_TEXTS, scale.baseline_ticks + 1, START + 3e6, scale
+        )
+        plain: List[float] = []
+        for tick in ticks[:-1]:
+            start = time.perf_counter()
+            service.process_tick(tick)
+            plain.append(time.perf_counter() - start)
+        variant, _ = detector_from_release(service.store, 1)
+        variant.model.set_weights(
+            {
+                name: w * 1.01
+                for name, w in variant.model.get_weights().items()
+            }
+        )
+        release = stage_release(
+            service.store, variant, threshold
+        )
+        service.request_swap(release.release_id)
+        start = time.perf_counter()
+        result = service.process_tick(ticks[-1])
+        swap_tick_s = time.perf_counter() - start
+        assert result.swapped_release == release.release_id
+        service.close()
+    median_tick_s = statistics.median(plain[2:])  # skip warmup
+    return {
+        "tick_size": scale.tick_size,
+        "median_tick_s": median_tick_s,
+        "swap_tick_s": swap_tick_s,
+        "pause_s": max(0.0, swap_tick_s - median_tick_s),
+    }
+
+
+def bench_background_ingest(
+    scale: AdaptScale,
+    detector: LSTMAnomalyDetector,
+    threshold: float,
+) -> Dict[str, float]:
+    """Ingest throughput while the fine-tune worker is training.
+
+    One service, one stream: normal traffic establishes the baseline
+    tick rate and the drift reference, drifted traffic trips the
+    trigger, and every tick served while the controller sits in
+    ``tuning`` (worker process alive) is timed separately.
+    """
+    adapt_config = AdaptConfig(
+        drift_threshold=0.5,
+        drift_checks=2,
+        check_every_ticks=1,
+        reference_ticks=4,
+        recent_ticks=4,
+        replay_ticks=scale.replay_ticks,
+        probation_ticks=8,
+        epochs=scale.epochs,
+        cooldown_ticks=8,
+        inline=False,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        service = _open_service(tmp, detector, threshold)
+        service.controller = AdaptationController(adapt_config)
+        controller = service.controller
+        normal = ticks_of(
+            NORMAL_TEXTS,
+            scale.baseline_ticks + adapt_config.reference_ticks
+            + adapt_config.recent_ticks,
+            START + 4e6,
+            scale,
+        )
+        # enough drifted ticks to trigger and outlast the fine-tune
+        drifted = ticks_of(
+            DRIFT_TEXTS, 400, START + 5e6, scale
+        )
+        baseline: List[float] = []
+        for tick in normal:
+            start = time.perf_counter()
+            service.process_tick(tick)
+            if controller.phase == PHASE_WATCHING:
+                baseline.append(time.perf_counter() - start)
+        tuning: List[float] = []
+        tuning_ticks = 0
+        for tick in drifted:
+            was_tuning = controller.phase == PHASE_TUNING
+            start = time.perf_counter()
+            service.process_tick(tick)
+            elapsed = time.perf_counter() - start
+            if was_tuning and controller.phase == PHASE_TUNING:
+                tuning.append(elapsed)
+                tuning_ticks += 1
+            if controller.swaps:
+                break
+        swaps = controller.swaps
+        service.close()
+    baseline_med = statistics.median(baseline[2:])
+    tuning_med = (
+        statistics.median(tuning) if tuning else baseline_med
+    )
+    baseline_rate = scale.tick_size / baseline_med
+    tuning_rate = scale.tick_size / tuning_med
+    return {
+        "tick_size": scale.tick_size,
+        "baseline_ticks": len(baseline),
+        "tuning_ticks": tuning_ticks,
+        "swaps": swaps,
+        "baseline_msgs_per_s": baseline_rate,
+        "tuning_msgs_per_s": tuning_rate,
+        "dip_fraction": max(0.0, 1.0 - tuning_rate / baseline_rate),
+    }
+
+
+def run(scale_name: str = "default") -> Dict:
+    """Run the adaptation bench at the named scale."""
+    scale = SCALES[scale_name]
+    with telemetry.use(telemetry.MetricsRegistry()):
+        detector, threshold = build_detector(scale)
+        fine_tune = bench_fine_tune(scale, detector, threshold)
+        swap = bench_swap_pause(scale, detector, threshold)
+        background = bench_background_ingest(
+            scale, detector, threshold
+        )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "benchmarks": {
+            "fine_tune": fine_tune,
+            "swap_pause": swap,
+            "background_ingest": background,
+        },
+    }

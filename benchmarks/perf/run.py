@@ -22,7 +22,10 @@ Suites:
   ``BENCH_quant.json``;
 * ``fleet`` — sharded fleet runtime: shards x devices aggregate
   throughput sweep plus the kill-one-shard replay drill, appended
-  to ``BENCH_fleet.json``.
+  to ``BENCH_fleet.json``;
+* ``adapt`` — closed-loop adaptation costs (fine-tune latency, hot
+  swap pause, ingest throughput while the background worker trains),
+  appended to ``BENCH_adapt.json``.
 
 Each invocation appends one timestamped run record to the suite's
 trajectory file at the repository root, building the performance
@@ -238,6 +241,30 @@ def _print_fleet(record: dict) -> None:
     )
 
 
+def _print_adapt(record: dict) -> None:
+    tune = record["benchmarks"]["fine_tune"]
+    swap = record["benchmarks"]["swap_pause"]
+    ingest = record["benchmarks"]["background_ingest"]
+    print(f"scale: {record['scale']}")
+    print(
+        f"fine-tune: {tune['fine_tune_s']:.2f}s over "
+        f"{tune['replay_messages']} msgs x {tune['epochs']} epochs, "
+        f"publish {tune['publish_s'] * 1e3:.1f} ms"
+    )
+    print(
+        f"swap pause: {swap['pause_s'] * 1e3:.1f} ms "
+        f"(swap tick {swap['swap_tick_s'] * 1e3:.1f} ms vs median "
+        f"{swap['median_tick_s'] * 1e3:.1f} ms)"
+    )
+    print(
+        f"ingest during training: "
+        f"{ingest['tuning_msgs_per_s']:>9.0f} msgs/s vs baseline "
+        f"{ingest['baseline_msgs_per_s']:>9.0f} msgs/s "
+        f"(dip {ingest['dip_fraction']:.2%} over "
+        f"{ingest['tuning_ticks']} ticks)"
+    )
+
+
 def run_suite(suite: str, scale: str) -> dict:
     """Import and execute one suite, returning its run record."""
     try:
@@ -254,6 +281,7 @@ register_suite(
 register_suite("runtime", _print_runtime, _import_runner("runtime"))
 register_suite("quant", _print_quant, _import_runner("quant"))
 register_suite("fleet", _print_fleet, _import_runner("fleet"))
+register_suite("adapt", _print_adapt, _import_runner("adapt"))
 
 
 def validate_record(record: object) -> str:

@@ -1,0 +1,80 @@
+"""Fail CI when line coverage drops below the checked-in floor.
+
+Usage::
+
+    python scripts/coverage_gate.py coverage.xml COVERAGE_FLOOR
+
+The first argument is a Cobertura-style ``coverage.xml`` (what
+``pytest --cov=repro --cov-report=xml`` writes); the second is a file
+holding a single float — the accepted line rate.  The gate tolerates
+a one-point dip so unrelated refactors don't flap, and asks for the
+floor to be raised when coverage has genuinely grown, keeping the
+floor a ratchet instead of a stale lower bound.
+
+Stdlib only: CI installs pytest-cov, but this script itself must run
+anywhere the repo does.
+"""
+
+import pathlib
+import sys
+import xml.etree.ElementTree as ET
+
+#: How far below the floor the measured rate may fall before the gate
+#: fails.  One point: enough slack for line-count churn in a refactor,
+#: small enough that deleting a test file trips it.
+TOLERANCE = 0.01
+
+#: Headroom above the floor that triggers the "raise the floor"
+#: reminder (non-fatal).
+RATCHET_SLACK = 0.03
+
+
+def read_line_rate(xml_path):
+    """The overall ``line-rate`` from a coverage.xml root element."""
+    root = ET.parse(str(xml_path)).getroot()
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(f"{xml_path}: root element has no line-rate")
+    return float(rate)
+
+
+def read_floor(floor_path):
+    """The accepted line rate recorded in the floor file."""
+    text = pathlib.Path(str(floor_path)).read_text().strip()
+    try:
+        floor = float(text)
+    except ValueError:
+        raise SystemExit(f"{floor_path}: expected a float, got {text!r}")
+    if not 0.0 <= floor <= 1.0:
+        raise SystemExit(f"{floor_path}: floor {floor} outside [0, 1]")
+    return floor
+
+
+def gate(rate, floor):
+    """(exit_code, message) for a measured rate against the floor."""
+    if rate < floor - TOLERANCE:
+        return 1, (
+            f"coverage gate FAILED: line rate {rate:.4f} fell more "
+            f"than {TOLERANCE:.2f} below the floor {floor:.4f}"
+        )
+    if rate > floor + RATCHET_SLACK:
+        return 0, (
+            f"coverage gate passed: line rate {rate:.4f} vs floor "
+            f"{floor:.4f} — raise COVERAGE_FLOOR to lock in the gain"
+        )
+    return 0, (
+        f"coverage gate passed: line rate {rate:.4f} vs floor {floor:.4f}"
+    )
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    code, message = gate(read_line_rate(argv[1]), read_floor(argv[2]))
+    print(message, file=sys.stderr if code else sys.stdout)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

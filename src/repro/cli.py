@@ -54,6 +54,7 @@ from repro.runtime.fleet import (
     fleet_has_state,
     load_ring,
 )
+from repro.runtime.adapt import AdaptConfig, AdaptationController
 from repro.runtime.service import (
     FAULT_AFTER_WAL_APPEND,
     AdaptiveTicker,
@@ -62,8 +63,13 @@ from repro.runtime.service import (
     TickResult,
     stage_release,
 )
-from repro.runtime.store import ArtifactStore
-from repro.synthesis import FleetDataset, FleetSimulator, SimulationConfig
+from repro.runtime.store import ArtifactStore, StoreError
+from repro.synthesis import (
+    FleetDataset,
+    FleetSimulator,
+    SimulationConfig,
+    update_soak_config,
+)
 from repro.tickets.ticket import RootCause, TroubleTicket
 from repro.timeutil import DAY, MONTH, WEEK
 
@@ -171,14 +177,27 @@ def _normal_messages(
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Generate a synthetic fleet trace and write it to ``--out``."""
-    config = SimulationConfig(
-        n_vpes=args.vpes,
-        n_months=args.months,
-        seed=args.seed,
-        base_rate_per_hour=args.rate,
-        update_month=args.update_month,
-        n_fleet_events=args.fleet_events,
-    )
+    if args.scenario == "update-soak":
+        config = update_soak_config(
+            n_vpes=args.vpes,
+            n_months=args.months,
+            seed=args.seed,
+            base_rate_per_hour=args.rate,
+            update_month=(
+                args.update_month
+                if args.update_month is not None
+                else max(1, args.months // 2)
+            ),
+        )
+    else:
+        config = SimulationConfig(
+            n_vpes=args.vpes,
+            n_months=args.months,
+            seed=args.seed,
+            base_rate_per_hour=args.rate,
+            update_month=args.update_month,
+            n_fleet_events=args.fleet_events,
+        )
     dataset = FleetSimulator(config).run()
     out_dir = pathlib.Path(args.out)
     write_trace(dataset, out_dir)
@@ -446,6 +465,14 @@ def _run_fleet_serve(
     args: argparse.Namespace, registry: "telemetry.MetricsRegistry"
 ) -> int:
     """The ``serve --shards N`` workflow over the fleet coordinator."""
+    if args.auto_adapt:
+        print(
+            "--auto-adapt is a single-shard control loop; fleet "
+            "shards adapt individually (run each shard data dir "
+            "through serve --auto-adapt)",
+            file=sys.stderr,
+        )
+        return 2
     if args.rollback:
         print(
             "--rollback applies to single-shard stores; roll back "
@@ -553,6 +580,68 @@ def _run_fleet_serve(
     return exit_code
 
 
+def _run_rollback(
+    config: ServiceConfig, store: ArtifactStore
+) -> int:
+    """``serve --rollback``: the journaled service rollback path.
+
+    Shares :meth:`MonitorService.rollback` with the auto-adapt
+    probation guard: the store pointer flip, the journaled swap and
+    the closing checkpoint land together, so a later ``--replay``
+    resumes under the rolled-back model with no tick re-scored under
+    the wrong weights (and none double-scored).
+    """
+    if store.current_id() is None:
+        print(
+            "store holds no release; nothing to roll back",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        service = MonitorService.open(config)
+    except Exception as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        has_state = (
+            config.checkpoint_path.exists()
+            or service.wal.last_sequence > 0
+        )
+        if has_state:
+            # Restore the tick-boundary state first so the rollback
+            # swap journals after every applied record.
+            service.recover()
+        release_id = service.rollback()
+        print(f"rolled back to release {release_id}")
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        service.wal.close()
+        service.lock.release()
+        return 2
+    service.close()
+    return 0
+
+
+def _build_controller(
+    args: argparse.Namespace,
+) -> Optional[AdaptationController]:
+    """The ``--auto-adapt`` controller for a serve run (or None)."""
+    if not args.auto_adapt:
+        return None
+    adapt_config = AdaptConfig(
+        drift_threshold=args.drift_threshold,
+        drift_checks=args.drift_checks,
+        replay_ticks=args.adapt_replay_ticks,
+        probation_ticks=args.probation_ticks,
+        rollback_ratio=args.rollback_ratio,
+        epochs=args.adapt_epochs,
+        cooldown_ticks=args.adapt_cooldown_ticks,
+        inline=args.adapt_inline,
+        poison=args.adapt_poison,
+    )
+    return AdaptationController(adapt_config)
+
+
 def _run_serve(
     args: argparse.Namespace, registry: "telemetry.MetricsRegistry"
 ) -> int:
@@ -567,9 +656,7 @@ def _run_serve(
         config.store_dir, keep_releases=config.keep_releases
     )
     if args.rollback:
-        release = store.rollback()
-        print(f"rolled back to release {release.release_id}")
-        return 0
+        return _run_rollback(config, store)
     if store.current_id() is None:
         if args.model is None or args.threshold is None:
             print(
@@ -582,6 +669,9 @@ def _run_serve(
         release = stage_release(store, detector, args.threshold)
         print(f"published release {release.release_id}")
     service = MonitorService.open(config)
+    # Attach the adaptation controller before any recovery so WAL
+    # replay rebuilds its drift windows and probation state.
+    service.controller = _build_controller(args)
     has_state = (
         config.checkpoint_path.exists()
         or service.wal.last_sequence > 0
@@ -643,6 +733,11 @@ def _run_serve(
             f"served {n_live} live ticks ({n_warnings} warnings); "
             f"state in {config.data_dir}"
         )
+        if service.controller is not None:
+            print(
+                f"adaptation: {service.controller.swaps} swap(s), "
+                f"{service.controller.rollbacks} rollback(s) this run"
+            )
     except _SimulatedCrash as crash:
         # Simulated kill: no close(), no final checkpoint — the next
         # run must recover from the WAL exactly like a real crash.
@@ -841,6 +936,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=8.0)
     p.add_argument("--update-month", type=int, default=None)
     p.add_argument("--fleet-events", type=int, default=0)
+    p.add_argument(
+        "--scenario",
+        choices=("default", "update-soak"),
+        default="default",
+        help=(
+            "named preset: update-soak drifts the whole fleet at "
+            "--update-month (default: mid-trace)"
+        ),
+    )
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("mine", help="mine syslog templates")
@@ -905,7 +1009,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--rollback",
         action="store_true",
-        help="flip the store to the previous release and exit",
+        help=(
+            "roll back to the previous release through the "
+            "journaled swap path, checkpoint, and exit"
+        ),
+    )
+    p.add_argument(
+        "--auto-adapt",
+        action="store_true",
+        help=(
+            "close the drift loop in-service: watch the template "
+            "distribution, fine-tune on drift, hot-swap, and roll "
+            "back if probation telemetry regresses"
+        ),
+    )
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.5,
+        help="cosine similarity below this counts as a drift breach",
+    )
+    p.add_argument(
+        "--drift-checks",
+        type=int,
+        default=3,
+        help="consecutive breaches that trigger a fine-tune",
+    )
+    p.add_argument(
+        "--adapt-replay-ticks",
+        type=int,
+        default=48,
+        help="recent ticks the fine-tune replays as training data",
+    )
+    p.add_argument(
+        "--probation-ticks",
+        type=int,
+        default=24,
+        help="post-swap guard window before a swap is accepted",
+    )
+    p.add_argument(
+        "--rollback-ratio",
+        type=float,
+        default=3.0,
+        help=(
+            "roll back when the probation anomaly rate exceeds this "
+            "multiple of the pre-drift baseline"
+        ),
+    )
+    p.add_argument(
+        "--adapt-epochs",
+        type=int,
+        default=2,
+        help="fine-tune epochs (lower LSTM stays frozen)",
+    )
+    p.add_argument(
+        "--adapt-cooldown-ticks",
+        type=int,
+        default=32,
+        help="ticks after a swap/rollback before drift checks resume",
+    )
+    p.add_argument(
+        "--adapt-inline",
+        action="store_true",
+        help=(
+            "fine-tune synchronously at the tick boundary instead of "
+            "in a background worker (deterministic; the CI crash "
+            "drill uses this)"
+        ),
+    )
+    p.add_argument(
+        "--adapt-poison",
+        action="store_true",
+        help=(
+            "deliberately corrupt every fine-tuned model before "
+            "publish — the auto-rollback drill"
+        ),
     )
     p.add_argument("--max-ticks", type=int, default=None)
     p.add_argument(

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro import telemetry
 from repro.core.detector import LOWER_LAYERS, LSTMAnomalyDetector
 from repro.features.counts import template_distribution
@@ -76,6 +78,27 @@ def distribution_shift(
     previous = template_distribution(previous_month, vocabulary_size)
     current = template_distribution(current_month, vocabulary_size)
     similarity = cosine_similarity(previous, current)
+    registry = telemetry.default_registry()
+    registry.counter("adapt.drift_checks").inc()
+    registry.gauge("adapt.cosine_similarity").set(similarity)
+    return similarity
+
+
+def count_distribution_shift(
+    previous_counts: np.ndarray, current_counts: np.ndarray
+) -> float:
+    """Cosine similarity between two template count vectors.
+
+    The serving-runtime counterpart of :func:`distribution_shift` for
+    callers that already hold per-template count vectors (the
+    adaptation controller bincounts matched template ids per tick
+    instead of re-annotating messages).  Publishes the same
+    ``adapt.drift_checks`` / ``adapt.cosine_similarity`` series.
+    """
+    similarity = cosine_similarity(
+        np.asarray(previous_counts, dtype=np.float64),
+        np.asarray(current_counts, dtype=np.float64),
+    )
     registry = telemetry.default_registry()
     registry.counter("adapt.drift_checks").inc()
     registry.gauge("adapt.cosine_similarity").set(similarity)

@@ -21,9 +21,18 @@ in-memory streaming engine:
   ring mapping devices to shards;
 * :mod:`repro.runtime.fleet` — the shared-nothing sharded fleet: a
   coordinator routing ingest to per-shard worker processes
-  (``python -m repro serve --shards N``).
+  (``python -m repro serve --shards N``);
+* :mod:`repro.runtime.adapt` — the closed-loop drift adaptation
+  controller: drift watch → background fine-tune → journaled hot
+  swap → probation guard with automatic rollback
+  (``python -m repro serve --auto-adapt``).
 """
 
+from repro.runtime.adapt import (
+    AdaptConfig,
+    AdaptationController,
+    poison_detector,
+)
 from repro.runtime.checkpoint import (
     Checkpoint,
     read_checkpoint,
@@ -57,6 +66,8 @@ from repro.runtime.wal import (
 )
 
 __all__ = [
+    "AdaptConfig",
+    "AdaptationController",
     "ArtifactStore",
     "Checkpoint",
     "FleetConfig",
@@ -80,6 +91,7 @@ __all__ = [
     "bootstrap_fleet",
     "detector_from_release",
     "fleet_has_state",
+    "poison_detector",
     "read_checkpoint",
     "stage_release",
     "write_checkpoint",

@@ -34,6 +34,7 @@ import json
 import pathlib
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterator,
@@ -67,6 +68,9 @@ from repro.runtime.codec import TICK_MAGIC, TickEncoder, decode_tick
 from repro.runtime.lock import LOCK_FILENAME, OwnerLock
 from repro.runtime.store import ArtifactStore, Release
 from repro.runtime.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.adapt import AdaptationController
 
 #: Journal payload kinds: one ingested tick, or one model swap.
 _KIND_TICK = "tick"
@@ -310,6 +314,10 @@ class MonitorService:
         self.n_ticks = 0
         self.n_messages = 0
         self.pending_release: Optional[int] = None
+        #: Optional closed-loop drift adaptation controller
+        #: (:class:`repro.runtime.adapt.AdaptationController`); attach
+        #: before :meth:`recover` so replay rebuilds its windows.
+        self.controller: Optional["AdaptationController"] = None
         self.fault_hook: Optional[Callable[[str, int], None]] = None
         self._encoder = TickEncoder()
         self._closed = False
@@ -367,16 +375,23 @@ class MonitorService:
         Returns the checkpoint size in bytes.
         """
         self._fault(FAULT_BEFORE_CHECKPOINT, self.cursor)
+        extra: Dict[str, object] = {
+            "n_ticks": self.n_ticks,
+            "n_messages": self.n_messages,
+            "active_release": self.active_release,
+        }
+        if self.pending_release is not None:
+            # A swap staged but not yet applied at a boundary must
+            # survive a crash — it re-stages on recovery.
+            extra["pending_release"] = self.pending_release
+        if self.controller is not None:
+            extra["adapt"] = self.controller.state_dict()
         with telemetry.timed("runtime.checkpoint.seconds"):
             size = write_checkpoint(
                 self.config.checkpoint_path,
                 self.monitor,
                 self.cursor,
-                extra={
-                    "n_ticks": self.n_ticks,
-                    "n_messages": self.n_messages,
-                    "active_release": self.active_release,
-                },
+                extra=extra,
             )
         self.wal.prune(self.cursor)
         return size
@@ -404,6 +419,12 @@ class MonitorService:
             restored_release = int(checkpoint.extra["active_release"])
             if restored_release != self.active_release:
                 self._load_release(restored_release)
+            pending = checkpoint.extra.get("pending_release")
+            if pending is not None:
+                self.pending_release = int(pending)
+            adapt_state = checkpoint.extra.get("adapt")
+            if adapt_state is not None and self.controller is not None:
+                self.controller.load_state_dict(adapt_state)
         results: List[TickResult] = []
         records = ticks = messages = swaps = 0
         for record in self.wal.replay(after=self.cursor):
@@ -414,24 +435,35 @@ class MonitorService:
             # leads with '{'.
             if raw_payload[:1] == _TICK_MAGIC_BYTE:
                 batch = decode_tick(raw_payload)
-                results.append(
-                    self._score_tick(record.sequence, batch)
-                )
+                result = self._score_tick(record.sequence, batch)
+                results.append(result)
+                if self.controller is not None:
+                    self.controller.after_tick(self, batch, result)
                 ticks += 1
                 messages += len(batch)
             elif raw_payload[:1] == b"{":
                 payload = json.loads(raw_payload.decode())
                 if payload["kind"] == _KIND_SWAP:
+                    previous = self.active_release
                     self._load_release(int(payload["release"]))
+                    if self.controller is not None:
+                        self.controller.on_swap_applied(
+                            self, self.active_release, previous
+                        )
+                    if self.pending_release == self.active_release:
+                        # The checkpointed staged swap landed in the
+                        # journal before the crash; don't re-stage it.
+                        self.pending_release = None
                     swaps += 1
                 elif payload["kind"] == _KIND_TICK:
                     batch = [
                         message_from_row(raw)
                         for raw in payload["messages"]
                     ]
-                    results.append(
-                        self._score_tick(record.sequence, batch)
-                    )
+                    result = self._score_tick(record.sequence, batch)
+                    results.append(result)
+                    if self.controller is not None:
+                        self.controller.after_tick(self, batch, result)
                     ticks += 1
                     messages += len(batch)
                 else:
@@ -492,6 +524,15 @@ class MonitorService:
             raise ServiceError("service is closed")
         self._ensure_activation_record()
         swapped = None
+        if self.controller is not None:
+            # Boundary decisions (fine-tune launch/poll, armed
+            # rollback) run before the tick is journaled, so their
+            # swap records land at this exact boundary and replay
+            # reproduces them without re-running any training.
+            before = self.active_release
+            self.controller.before_tick(self)
+            if self.active_release != before:
+                swapped = self.active_release
         if self.pending_release is not None:
             swapped = self._journal_and_apply_swap()
         sequence = self.cursor + 1
@@ -499,6 +540,10 @@ class MonitorService:
         self._fault(FAULT_AFTER_WAL_APPEND, sequence)
         result = self._score_tick(sequence, messages)
         self.cursor = sequence
+        if self.controller is not None:
+            # Observation must precede the checkpoint so the snapshot
+            # carries the controller's post-tick state.
+            self.controller.after_tick(self, messages, result)
         telemetry.counter("runtime.ticks").inc()
         if self.n_ticks % self.config.checkpoint_every == 0:
             self.checkpoint_now()
@@ -626,6 +671,7 @@ class MonitorService:
     def _journal_and_apply_swap(self) -> int:
         release_id = self.pending_release
         assert release_id is not None
+        previous = self.active_release
         sequence = self.cursor + 1
         payload = json.dumps(
             {"kind": _KIND_SWAP, "release": release_id},
@@ -639,7 +685,28 @@ class MonitorService:
         registry = telemetry.default_registry()
         registry.counter("runtime.swap.applied").inc()
         registry.gauge("runtime.swap.active_release").set(release_id)
+        if self.controller is not None:
+            self.controller.on_swap_applied(self, release_id, previous)
         return release_id
+
+    def rollback(self) -> int:
+        """Roll the live model back to the previous retained release.
+
+        The single rollback path shared by ``serve --rollback`` and
+        the adaptation controller's probation guard: the store pointer
+        flips (:meth:`ArtifactStore.rollback`), the swap is journaled
+        and applied at the current tick boundary, and replaying the
+        journal reproduces it — no message is dropped or scored twice.
+        Returns the release id now live.  Raises
+        :class:`~repro.runtime.store.StoreError` when no retained
+        predecessor exists.
+        """
+        release = self.store.rollback()
+        self._ensure_activation_record()
+        self.request_swap(release.release_id)
+        applied = self._journal_and_apply_swap()
+        telemetry.counter("runtime.rollbacks").inc()
+        return applied
 
     def adapt(
         self,
@@ -675,6 +742,8 @@ class MonitorService:
         """Graceful shutdown: final checkpoint, prune, release files."""
         if self._closed:
             return
+        if self.controller is not None:
+            self.controller.close()
         self.checkpoint_now()
         self.wal.close()
         self.lock.release()

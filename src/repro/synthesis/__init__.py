@@ -19,6 +19,8 @@ synthetic equivalent that exercises the same code paths:
 * :mod:`repro.synthesis.updates` — software updates that shift the
   syslog distribution (section 3.3, Figure 7);
 * :mod:`repro.synthesis.fleet` — the end-to-end fleet driver;
+* :mod:`repro.synthesis.soak` — the software-update-drift soak
+  preset the auto-adaptation CI drill serves through;
 * :mod:`repro.synthesis.dataset` — the assembled dataset object the
   experiments consume.
 
@@ -40,6 +42,7 @@ from repro.synthesis.kpi import (
     KpiThresholdDetector,
 )
 from repro.synthesis.profiles import VpeProfile, build_fleet_profiles
+from repro.synthesis.soak import update_soak_config
 from repro.synthesis.updates import SoftwareUpdate
 
 __all__ = [
@@ -56,4 +59,5 @@ __all__ = [
     "KpiSample",
     "KpiSimulator",
     "KpiThresholdDetector",
+    "update_soak_config",
 ]

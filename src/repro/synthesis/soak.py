@@ -1,0 +1,58 @@
+"""Long-horizon software-update-drift soak scenario.
+
+The paper's hardest serving condition (sections 3.3 and 4.3): a
+software update rewrites the syslog template distribution mid-stream —
+month-over-month cosine similarity collapses from > 0.8 to < 0.4 and
+the stale model's false alarms jump 14x until it is adapted.  This
+module packages that condition as a reproducible simulation preset:
+every vPE takes the update (so the fleet-wide distribution shifts, not
+just a subset), fleet-wide circuit events are disabled (they would
+confound the drift signal), and the update lands mid-trace so the
+pre-update half is long enough to train on and the post-update half is
+long enough to trigger, fine-tune, swap and serve out probation.
+
+``python -m repro simulate --scenario update-soak`` builds traces from
+this preset; the ``drift-soak-e2e`` CI job drives one through
+``serve --auto-adapt`` end to end.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis.fleet import SimulationConfig
+
+#: The update touches the whole fleet in the soak — the aggregate
+#: distribution must shift hard enough to breach the drift threshold.
+SOAK_UPDATE_FRACTION = 1.0
+
+
+def update_soak_config(
+    n_vpes: int = 3,
+    n_months: int = 2,
+    seed: int = 7,
+    base_rate_per_hour: float = 6.0,
+    update_month: int = 1,
+) -> SimulationConfig:
+    """The software-update-drift soak preset.
+
+    Returns a :class:`SimulationConfig` whose trace drifts abruptly at
+    ``update_month``: all vPEs take the update, no fleet-wide circuit
+    events muddy the signal, and the defaults fit CI budgets (two
+    months, three vPEs) while leaving both halves long enough for the
+    full adapt cycle.  Raise ``n_months``/``n_vpes`` for longer soaks.
+    """
+    if not 0 < update_month < n_months:
+        raise ValueError(
+            "update_month must fall inside the trace (exclusive)"
+        )
+    return SimulationConfig(
+        n_vpes=n_vpes,
+        n_months=n_months,
+        seed=seed,
+        base_rate_per_hour=base_rate_per_hour,
+        update_month=update_month,
+        update_fraction=SOAK_UPDATE_FRACTION,
+        n_fleet_events=0,
+    )
+
+
+__all__ = ["SOAK_UPDATE_FRACTION", "update_soak_config"]

@@ -1,0 +1,105 @@
+"""Unit tests for the CI coverage-floor gate."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "coverage_gate", _ROOT / "scripts" / "coverage_gate.py"
+)
+coverage_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(coverage_gate)
+
+
+COVERAGE_XML = """\
+<?xml version="1.0" ?>
+<coverage version="7.4.0" timestamp="1754600000000"
+          lines-valid="1000" lines-covered="{covered}"
+          line-rate="{rate}" branch-rate="0" complexity="0">
+  <packages><package name="repro" line-rate="{rate}"/></packages>
+</coverage>
+"""
+
+
+def write_xml(tmp_path, rate):
+    path = tmp_path / "coverage.xml"
+    path.write_text(
+        COVERAGE_XML.format(rate=rate, covered=int(rate * 1000))
+    )
+    return path
+
+
+def write_floor(tmp_path, text):
+    path = tmp_path / "COVERAGE_FLOOR"
+    path.write_text(text)
+    return path
+
+
+class TestParsing:
+    def test_reads_root_line_rate(self, tmp_path):
+        path = write_xml(tmp_path, 0.8375)
+        assert coverage_gate.read_line_rate(path) == pytest.approx(0.8375)
+
+    def test_missing_line_rate_rejected(self, tmp_path):
+        path = tmp_path / "coverage.xml"
+        path.write_text("<coverage><packages/></coverage>")
+        with pytest.raises(SystemExit, match="no line-rate"):
+            coverage_gate.read_line_rate(path)
+
+    def test_reads_floor(self, tmp_path):
+        assert coverage_gate.read_floor(
+            write_floor(tmp_path, "0.70\n")
+        ) == pytest.approx(0.70)
+
+    def test_non_numeric_floor_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="expected a float"):
+            coverage_gate.read_floor(write_floor(tmp_path, "seventy\n"))
+
+    def test_out_of_range_floor_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="outside"):
+            coverage_gate.read_floor(write_floor(tmp_path, "70.0\n"))
+
+    def test_checked_in_floor_parses(self):
+        floor = coverage_gate.read_floor(_ROOT / "COVERAGE_FLOOR")
+        assert 0.0 < floor < 1.0
+
+
+class TestGate:
+    def test_at_floor_passes(self):
+        code, message = coverage_gate.gate(0.70, 0.70)
+        assert code == 0
+        assert "passed" in message
+
+    def test_within_tolerance_passes(self):
+        code, _ = coverage_gate.gate(0.695, 0.70)
+        assert code == 0
+
+    def test_beyond_tolerance_fails(self):
+        code, message = coverage_gate.gate(0.68, 0.70)
+        assert code == 1
+        assert "FAILED" in message
+
+    def test_large_gain_suggests_ratchet(self):
+        code, message = coverage_gate.gate(0.80, 0.70)
+        assert code == 0
+        assert "raise COVERAGE_FLOOR" in message
+
+
+class TestMain:
+    def test_end_to_end_pass(self, tmp_path, capsys):
+        xml = write_xml(tmp_path, 0.75)
+        floor = write_floor(tmp_path, "0.70\n")
+        assert coverage_gate.main(["gate", str(xml), str(floor)]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_end_to_end_fail(self, tmp_path, capsys):
+        xml = write_xml(tmp_path, 0.60)
+        floor = write_floor(tmp_path, "0.70\n")
+        assert coverage_gate.main(["gate", str(xml), str(floor)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_usage_error(self, capsys):
+        assert coverage_gate.main(["gate"]) == 2
+        assert "Usage" in capsys.readouterr().err

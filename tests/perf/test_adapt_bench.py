@@ -1,0 +1,72 @@
+"""Gates for the closed-loop adaptation benchmark.
+
+Two layers: a perf-marked smoke run of the reduced suite (deselected
+by default via ``addopts = '-m "not perf"'``), and an always-on check
+that the checked-in ``BENCH_adapt.json`` trajectory pins the
+acceptance number — ingest throughput dips < 20% while the
+background fine-tune worker trains.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_BENCH_DIR = _ROOT / "benchmarks" / "perf"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+
+def newest_default_run():
+    payload = json.loads((_ROOT / "BENCH_adapt.json").read_text())
+    runs = [r for r in payload["runs"] if r["scale"] == "default"]
+    assert runs, "BENCH_adapt.json has no default-scale run"
+    return runs[-1]
+
+
+class TestTrajectoryPins:
+    """Always-on: the checked-in default-scale numbers are the
+    acceptance record."""
+
+    def test_ingest_dip_under_20_percent(self):
+        record = newest_default_run()["benchmarks"]
+        ingest = record["background_ingest"]
+        assert ingest["tuning_ticks"] > 0
+        assert ingest["dip_fraction"] < 0.20
+
+    def test_record_shape(self):
+        record = newest_default_run()["benchmarks"]
+        tune = record["fine_tune"]
+        assert tune["replay_messages"] > 0
+        assert tune["fine_tune_s"] > 0
+        assert tune["publish_s"] > 0
+        swap = record["swap_pause"]
+        assert swap["swap_tick_s"] >= swap["median_tick_s"] > 0
+        assert swap["pause_s"] < 1.0
+
+
+@pytest.mark.perf
+class TestReducedSmoke:
+    @pytest.fixture(scope="class")
+    def adapt_record(self):
+        import adapt
+
+        return adapt.run("reduced")
+
+    def test_record_shape(self, adapt_record):
+        assert adapt_record["scale"] == "reduced"
+        record = adapt_record["benchmarks"]
+        assert record["fine_tune"]["replay_messages"] == 768
+        assert record["background_ingest"]["baseline_msgs_per_s"] > 0
+
+    def test_ingest_dip_bounded(self, adapt_record):
+        """Looser than the default-scale 20% pin on purpose: this is
+        a smoke test on shared, possibly single-core CI hardware."""
+        ingest = adapt_record["benchmarks"]["background_ingest"]
+        assert ingest["dip_fraction"] < 0.30
+
+    def test_swap_pause_small(self, adapt_record):
+        swap = adapt_record["benchmarks"]["swap_pause"]
+        assert swap["pause_s"] < 0.5

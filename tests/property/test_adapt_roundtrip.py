@@ -1,0 +1,132 @@
+"""Property test: an adaptation round trip leaves no residue.
+
+The probation guard's contract is that rolling back a bad fine-tune
+fully undoes it: after fine-tune -> publish -> swap -> rollback, the
+scorer must produce bitwise-identical float64 scores to a scorer that
+never swapped — whatever the traffic served before, during and after
+the excursion, and even when the student was poisoned.  Hypothesis
+drives the traffic mix and the fine-tune shape; the release store
+round-trip (publish, swap, rollback) is the real artifact-store path.
+"""
+
+import copy
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import telemetry
+from repro.core.adaptation import transfer_adapt
+from repro.core.detector import LSTMAnomalyDetector
+from repro.logs.templates import TemplateStore
+from repro.runtime.adapt import poison_detector
+from repro.runtime.service import (
+    detector_from_release,
+    stage_release,
+)
+from repro.runtime.store import ArtifactStore
+from repro.timeutil import TRACE_START
+from tests.conftest import make_message
+
+TEXTS = [
+    "ALPHA: phase one complete",
+    "BRAVO: phase two complete",
+    "CHARLIE: phase three complete",
+    "DELTA: phase four complete",
+    "ECHO: updated daemon came online",
+    "FOXTROT: updated daemon heartbeat",
+    "GOLF: updated daemon sync done",
+    "HOTEL: updated daemon cache warm",
+]
+
+
+def messages_for(indices, start):
+    return [
+        make_message(
+            timestamp=start + i * 10.0,
+            host="vpe00",
+            text=TEXTS[index % len(TEXTS)],
+        )
+        for i, index in enumerate(indices)
+    ]
+
+
+@pytest.fixture(scope="module")
+def detector():
+    train = messages_for(
+        [i % len(TEXTS) for i in range(600)], TRACE_START
+    )
+    store = TemplateStore().fit(train)
+    return LSTMAnomalyDetector(
+        store,
+        vocabulary_capacity=16,
+        window=4,
+        hidden=(10, 10),
+        id_dim=6,
+        epochs=4,
+        oversample_rounds=0,
+        seed=0,
+    ).fit(train)
+
+
+segment = st.lists(
+    st.integers(min_value=0, max_value=len(TEXTS) - 1),
+    min_size=12,
+    max_size=32,
+)
+
+
+class TestAdaptRoundTrip:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        mid=segment,
+        post=segment,
+        tune_on=segment,
+        epochs=st.integers(min_value=1, max_value=2),
+        poison=st.booleans(),
+    )
+    def test_rollback_restores_bitwise_scores(
+        self, detector, mid, post, tune_on, epochs, poison
+    ):
+        with telemetry.use(telemetry.MetricsRegistry()):
+            with tempfile.TemporaryDirectory() as tmp:
+                store = ArtifactStore(Path(tmp), keep_releases=4)
+                stage_release(store, detector, 2.0)
+
+                never = copy.deepcopy(detector)
+                live = copy.deepcopy(detector)
+
+                mid_msgs = messages_for(mid, TRACE_START + 9000.0)
+                post_msgs = messages_for(post, TRACE_START + 9800.0)
+
+                # fine-tune -> publish -> swap
+                student = transfer_adapt(
+                    live,
+                    messages_for(tune_on, TRACE_START + 8000.0),
+                    epochs=epochs,
+                )
+                if poison:
+                    poison_detector(student)
+                release = stage_release(store, student, 2.0)
+                swapped, _ = detector_from_release(
+                    store, release.release_id
+                )
+                live.model.set_weights(swapped.model.get_weights())
+                live.score(mid_msgs)
+
+                # rollback through the store
+                restored = store.rollback()
+                assert restored.release_id == 1
+                back, _ = detector_from_release(
+                    store, restored.release_id
+                )
+                live.model.set_weights(back.model.get_weights())
+
+                never.score(mid_msgs)
+                assert np.array_equal(
+                    never.score(post_msgs).scores,
+                    live.score(post_msgs).scores,
+                    equal_nan=True,
+                )

@@ -383,6 +383,87 @@ class TestHotSwap:
             with pytest.raises(ServiceError, match="window"):
                 service.request_swap(2)
 
+    def test_rollback_at_boundary_scores_exactly_once(
+        self, tmp_path, detector, threshold, ticks
+    ):
+        """service.rollback() — the one code path behind both
+        ``serve --rollback`` and the probation guard — journals the
+        swap at a tick boundary: every message is scored exactly
+        once, and a crash right after the rollback replays to
+        bitwise-identical scores instead of re-scoring ticks under
+        the abandoned model."""
+
+        def run(name, crash_tick=None):
+            config = make_service(tmp_path, detector, threshold, name)
+            service = MonitorService.open(config)
+            results = [service.process_tick(t) for t in ticks[:2]]
+            # publish mid-run, like the adaptation loop does: the
+            # store's CURRENT moves to 2 so rollback() can return it
+            # to 1.
+            variant, _ = detector_from_release(service.store, 1)
+            variant.model.set_weights(
+                {
+                    name_: w * 1.05
+                    for name_, w in variant.model.get_weights().items()
+                }
+            )
+            release = stage_release(
+                service.store, variant, threshold + 0.1
+            )
+            service.request_swap(release.release_id)
+            results += [service.process_tick(t) for t in ticks[2:6]]
+            assert service.active_release == release.release_id
+            rolled_to = service.rollback()
+            assert rolled_to == 1
+            assert service.active_release == 1
+            remaining = ticks[6:]
+            if crash_tick is None:
+                results += [
+                    service.process_tick(t) for t in remaining
+                ]
+                service.close()
+                return results
+            for index, tick in enumerate(remaining):
+                if index == crash_tick:
+                    crash_at(service, 1)
+                    with pytest.raises(
+                        RuntimeError, match="injected crash"
+                    ):
+                        service.process_tick(tick)
+                    break
+                results.append(service.process_tick(tick))
+            revived = MonitorService.open(config)
+            report = revived.recover()
+            assert revived.active_release == 1
+            overlap = report.ticks_replayed - 1
+            if overlap > 0:
+                for before, after in zip(
+                    results[-overlap:], report.results
+                ):
+                    assert np.array_equal(
+                        before.scores, after.scores, equal_nan=True
+                    )
+                results = results[:-overlap]
+            results += list(report.results)
+            results += [
+                revived.process_tick(t)
+                for t in remaining[crash_tick + 1:]
+            ]
+            revived.close()
+            return results
+
+        base = run("base")
+        crashed = run("crashed", crash_tick=1)
+        total = sum(len(t) for t in ticks)
+        base_scores, base_warnings = flatten(base)
+        crash_scores, crash_warnings = flatten(crashed)
+        assert base_scores.size == total
+        assert crash_scores.size == total
+        assert np.array_equal(
+            base_scores, crash_scores, equal_nan=True
+        )
+        assert base_warnings == crash_warnings
+
     def test_adapt_publishes_and_stages(
         self, tmp_path, detector, threshold, ticks
     ):

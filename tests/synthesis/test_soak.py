@@ -1,0 +1,75 @@
+"""Tests for repro.synthesis.soak (the update-drift soak preset)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.similarity import cosine_similarity
+from repro.synthesis.fleet import FleetSimulator
+from repro.synthesis.soak import (
+    SOAK_UPDATE_FRACTION,
+    update_soak_config,
+)
+from repro.timeutil import MONTH
+
+
+class TestConfigShape:
+    def test_whole_fleet_drifts(self):
+        config = update_soak_config()
+        assert config.update_fraction == SOAK_UPDATE_FRACTION == 1.0
+        assert config.n_fleet_events == 0
+        assert config.update_month == 1
+
+    def test_update_must_land_inside_trace(self):
+        with pytest.raises(ValueError, match="update_month"):
+            update_soak_config(n_months=2, update_month=2)
+        with pytest.raises(ValueError, match="update_month"):
+            update_soak_config(n_months=2, update_month=0)
+
+    def test_deterministic(self):
+        a = FleetSimulator(
+            update_soak_config(n_vpes=1, base_rate_per_hour=1.0)
+        ).run()
+        b = FleetSimulator(
+            update_soak_config(n_vpes=1, base_rate_per_hour=1.0)
+        ).run()
+        rows_a = [
+            (m.timestamp, m.host, m.text)
+            for m in a.aggregate_messages()
+        ]
+        rows_b = [
+            (m.timestamp, m.host, m.text)
+            for m in b.aggregate_messages()
+        ]
+        assert rows_a == rows_b
+
+
+class TestDistributionShift:
+    def test_update_shifts_every_vpe(self):
+        """The aggregate template mix before and after the update must
+        diverge hard — that divergence is what the drift watcher sees
+        as a collapsing cosine similarity."""
+        config = update_soak_config(
+            n_vpes=2, n_months=2, base_rate_per_hour=3.0
+        )
+        dataset = FleetSimulator(config).run()
+        boundary = dataset.start + config.update_month * MONTH
+
+        def mix(messages):
+            counts = {}
+            for message in messages:
+                key = message.text.split(":", 1)[0]
+                counts[key] = counts.get(key, 0) + 1
+            return counts
+
+        before = mix(
+            dataset.aggregate_messages(end=boundary)
+        )
+        after = mix(
+            dataset.aggregate_messages(start=boundary)
+        )
+        keys = sorted(set(before) | set(after))
+        similarity = cosine_similarity(
+            np.asarray([before.get(k, 0) for k in keys], float),
+            np.asarray([after.get(k, 0) for k in keys], float),
+        )
+        assert similarity < 0.5

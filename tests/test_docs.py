@@ -210,3 +210,88 @@ class TestFleetDocs:
         assert "repro.runtime.fleet" in design
         assert "repro.runtime.ring" in design
         assert "serve\n  --shards N" in design or "--shards" in design
+
+
+class TestAdaptDocs:
+    """README's adaptation section mirrors the adapt CLI and BENCH
+    table."""
+
+    def section(self):
+        readme = read("README.md")
+        assert "## Live adaptation" in readme
+        section = readme.split("## Live adaptation", 1)[1]
+        return section.split("\n## ", 1)[0]
+
+    def test_adapt_flags_documented(self):
+        section = self.section()
+        for flag in (
+            "--auto-adapt",
+            "--drift-threshold",
+            "--drift-checks",
+            "--adapt-replay-ticks",
+            "--probation-ticks",
+            "--rollback-ratio",
+            "--adapt-epochs",
+            "--adapt-cooldown-ticks",
+            "--adapt-inline",
+            "--adapt-poison",
+        ):
+            assert flag in section, flag
+
+    def test_adapt_mechanics_documented(self):
+        section = self.section()
+        for term in (
+            "cosine",
+            "probation",
+            "store.rollback()",
+            "adapt.swap.applied",
+            "adapt.rollback.applied",
+            "BENCH_adapt.json",
+            "drift-soak-e2e",
+        ):
+            assert term in section, term
+
+    def newest_default_run(self):
+        import json
+
+        payload = json.loads(read("BENCH_adapt.json"))
+        runs = [
+            run
+            for run in payload["runs"]
+            if run.get("scale") == "default"
+        ]
+        assert runs, "BENCH_adapt.json must hold a default-scale run"
+        return runs[-1]
+
+    def test_bench_adapt_trajectory_shape(self):
+        record = self.newest_default_run()["benchmarks"]
+        assert record["fine_tune"]["replay_messages"] > 0
+        assert record["background_ingest"]["tuning_ticks"] > 0
+        assert record["background_ingest"]["dip_fraction"] < 0.20
+
+    def test_readme_table_matches_newest_default_run(self):
+        """The README cost table cites the newest default-scale
+        BENCH_adapt.json run.  Rerun the suite, refresh the table."""
+        section = self.section()
+        record = self.newest_default_run()["benchmarks"]
+        tune = record["fine_tune"]
+        ingest = record["background_ingest"]
+        cells = [
+            f"{tune['replay_messages']:,} msgs × {tune['epochs']} epochs",
+            f"{tune['fine_tune_s']:.2f} s",
+            f"{round(tune['train_msgs_per_s']):,} msgs/s",
+            f"{tune['publish_s'] * 1000:.1f} ms",
+            f"{record['swap_pause']['pause_s'] * 1000:.1f} ms",
+            f"{round(ingest['tuning_msgs_per_s']):,} vs "
+            f"{round(ingest['baseline_msgs_per_s']):,} msgs/s",
+            f"{ingest['dip_fraction'] * 100:.1f}% dip",
+        ]
+        for cell in cells:
+            assert cell in section, (
+                f"expected {cell!r} in the README adaptation table"
+            )
+
+    def test_design_documents_adapt_layer(self):
+        design = read("DESIGN.md")
+        assert "repro.runtime.adapt" in design
+        assert "--auto-adapt" in design
