@@ -422,10 +422,12 @@ class _TickWriter:
 
     def close(self) -> None:
         """Release the underlying file handles."""
-        if self._scores is not None:
-            self._scores.close()
-        if self._warnings is not None:
-            self._warnings.close()
+        try:
+            if self._scores is not None:
+                self._scores.close()
+        finally:
+            if self._warnings is not None:
+                self._warnings.close()
 
 
 def _serve_feed(trace_dir: pathlib.Path) -> List[SyslogMessage]:
@@ -602,6 +604,7 @@ def _run_rollback(
     except Exception as error:
         print(str(error), file=sys.stderr)
         return 2
+    completed = False
     try:
         has_state = (
             config.checkpoint_path.exists()
@@ -612,13 +615,22 @@ def _run_rollback(
             # swap journals after every applied record.
             service.recover()
         release_id = service.rollback()
-        print(f"rolled back to release {release_id}")
+        completed = True
     except StoreError as error:
         print(str(error), file=sys.stderr)
-        service.wal.close()
-        service.lock.release()
         return 2
-    service.close()
+    finally:
+        if completed:
+            # Full close: the landed rollback gets its checkpoint.
+            service.close()
+        else:
+            # The swap did not land; skip the checkpoint and just
+            # surrender the files so the next attempt can lock them.
+            try:
+                service.wal.close()
+            finally:
+                service.lock.release()
+    print(f"rolled back to release {release_id}")
     return 0
 
 
@@ -668,7 +680,10 @@ def _run_serve(
         detector = _load_detector(pathlib.Path(args.model))
         release = stage_release(store, detector, args.threshold)
         print(f"published release {release.release_id}")
-    service = MonitorService.open(config)
+    # Deliberately not closed on the simulated-crash path below: the
+    # WAL tail must stay un-truncated so the next run recovers from
+    # the journal exactly like a real crash.
+    service = MonitorService.open(config)  # repro: noqa[RPR601]
     # Attach the adaptation controller before any recovery so WAL
     # replay rebuilds its drift windows and probation state.
     service.controller = _build_controller(args)
@@ -682,6 +697,13 @@ def _run_serve(
             "--replay to recover it (refusing to ingest blind)",
             file=sys.stderr,
         )
+        # Surrender the journal handle and owner lock without the
+        # checkpoint a full close() would write over the state we
+        # just refused to touch.
+        try:
+            service.wal.close()
+        finally:
+            service.lock.release()
         return 2
     if args.kill_after_ticks is not None:
         survived = {"ticks": 0}

@@ -161,7 +161,9 @@ class StreamScorer:
             if row is None:
                 row = len(self._hosts)
                 if row >= self._contexts.shape[0]:
-                    self._grow(row + 1)
+                    # Amortized doubling: allocates only when the
+                    # device table is full, not per iteration.
+                    self._grow(row + 1)  # repro: noqa[RPR201]
                 index[host] = row
                 self._hosts.append(host)
             run_rows[u] = row

@@ -1,22 +1,44 @@
 """The analyzer: parse once, run every enabled check, apply noqa.
 
-One :class:`FileContext` is built per file and shared by all checks, so
-the cost per file is one ``ast.parse`` plus linear walks.  Suppression
-accounting happens here rather than in the checks: a check never sees
-noqa comments, and the analyzer owns the two meta-diagnostics (RPR001
-malformed suppression, RPR002 stale suppression) that keep the
-suppression inventory from rotting.
+One :class:`FileContext` is built per file and shared by all per-file
+checks, so the cost per file is one ``ast.parse`` plus linear walks.
+The same parse also feeds :func:`summarize_module`, whose summaries
+assemble into the :class:`ProjectIndex` the whole-program checks
+(RPR5xx/6xx/7xx, interprocedural RPR201/202) query after every file
+has been scanned.  Suppression accounting happens here rather than in
+the checks: a check never sees noqa comments, and the analyzer owns
+the two meta-diagnostics (RPR001 malformed suppression, RPR002 stale
+suppression) that keep the suppression inventory from rotting.
+Project diagnostics anchor at the flagged file's own lines, so the
+same per-line suppressions silence them.
 """
 
 from __future__ import annotations
 
 import ast
 import pathlib
-from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.devtools.base import Check, FileContext, all_checks
+from repro.devtools.base import (
+    Check,
+    FileContext,
+    ProjectCheck,
+    all_checks,
+    all_project_checks,
+)
+from repro.devtools.cache import FileEntry, IndexCache
 from repro.devtools.config import CheckConfig
 from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import ModuleSummary, ProjectIndex, summarize_module
 from repro.devtools.suppress import Suppression, scan_suppressions
 
 #: Codes the analyzer emits itself (not backed by a Check subclass).
@@ -42,6 +64,28 @@ class FileReport(NamedTuple):
     path: str
     diagnostics: List[Diagnostic]
     n_suppressed: int
+
+
+class FileScan(NamedTuple):
+    """Per-file scan products, before any cross-file phase runs.
+
+    Everything here is a pure function of (source bytes, analyzer
+    configuration), which is what makes it safe to cache.
+    """
+
+    suppressions: List[Suppression]
+    diagnostics: List[Diagnostic]
+    summary: Optional[ModuleSummary]
+
+
+class CheckReport(NamedTuple):
+    """Outcome of a whole run, including cache effectiveness."""
+
+    diagnostics: List[Diagnostic]
+    n_files: int
+    n_suppressed: int
+    files_parsed: int
+    files_cached: int
 
 
 def _code_matches(code: str, patterns: Sequence[str]) -> bool:
@@ -72,6 +116,11 @@ class Analyzer:
             for check_class in all_checks()
             if self._enabled(check_class.code)
         ]
+        self.project_checks: List[ProjectCheck] = [
+            check_class()
+            for check_class in all_project_checks()
+            if self._enabled(check_class.code)
+        ]
 
     def _enabled(self, code: str) -> bool:
         return _code_matches(code, self.select) and not _code_matches(
@@ -80,16 +129,21 @@ class Analyzer:
 
     # -- single file ----------------------------------------------------
 
-    def check_source(self, path: str, source: str) -> FileReport:
-        """Check one in-memory source blob (the unit the tests drive)."""
+    def scan_source(self, path: str, source: str) -> FileScan:
+        """Scan one file: suppressions, per-file diagnostics, summary.
+
+        This is the cacheable unit — no cross-file knowledge enters.
+        Diagnostics come back *pre-suppression* so a cached file can
+        still participate in staleness accounting on a later run.
+        """
         suppressions = scan_suppressions(source)
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as error:
             line = error.lineno or 1
             col = (error.offset or 1) - 1
-            return FileReport(
-                path,
+            return FileScan(
+                suppressions,
                 [
                     Diagnostic(
                         path=path,
@@ -99,14 +153,36 @@ class Analyzer:
                         message=f"syntax error: {error.msg}",
                     )
                 ],
-                0,
+                None,
             )
         context = FileContext(path, source, tree, self.config)
         raw: List[Diagnostic] = []
         for check in self.checks:
             raw.extend(check.run(context))
-        kept, n_suppressed = _apply_suppressions(raw, suppressions)
-        kept.extend(self._meta_diagnostics(path, suppressions))
+        summary = summarize_module(path, source, tree, self.config)
+        return FileScan(suppressions, raw, summary)
+
+    def run_project_checks(self, index: ProjectIndex) -> List[Diagnostic]:
+        """All whole-program diagnostics over an assembled index."""
+        diagnostics: List[Diagnostic] = []
+        for check in self.project_checks:
+            diagnostics.extend(check.run(index))
+        return diagnostics
+
+    def check_source(self, path: str, source: str) -> FileReport:
+        """Check one in-memory source blob (the unit the tests drive).
+
+        Project checks run against a single-module index, so the
+        cross-module codes still fire on self-contained fixtures.
+        """
+        scan = self.scan_source(path, source)
+        raw = list(scan.diagnostics)
+        if scan.summary is not None:
+            index = ProjectIndex(self.config)
+            index.add(scan.summary)
+            raw.extend(self.run_project_checks(index))
+        kept, n_suppressed = _apply_suppressions(raw, scan.suppressions)
+        kept.extend(self._meta_diagnostics(path, scan.suppressions))
         return FileReport(path, sorted(kept), n_suppressed)
 
     def check_file(self, path: pathlib.Path) -> FileReport:
@@ -186,6 +262,98 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[pathlib.Path]:
             raise FileNotFoundError(f"no such file or directory: {raw}")
 
 
+def run_check(
+    paths: Iterable[str],
+    config: Optional[CheckConfig] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    cache_dir: Optional[pathlib.Path] = None,
+) -> CheckReport:
+    """Check files/directories with the full whole-program pipeline.
+
+    Phase 1 scans each file (cache-aware when ``cache_dir`` is set):
+    suppressions, per-file diagnostics, module summary.  Phase 2
+    assembles every summary into one :class:`ProjectIndex` and runs
+    the project checks.  Phase 3 merges both diagnostic streams per
+    file, applies that file's suppressions to the union, and emits
+    meta-diagnostics — so a noqa comment silences a cross-module
+    finding exactly as it silences a per-file one.
+    """
+    analyzer = Analyzer(config=config, select=select, ignore=ignore)
+    cache: Optional[IndexCache] = None
+    if cache_dir is not None:
+        cache = IndexCache(
+            cache_dir,
+            (
+                ",".join(analyzer.select),
+                ",".join(analyzer.ignore),
+                analyzer.config.fingerprint(),
+            ),
+        )
+
+    scans: List[Tuple[str, FileScan]] = []
+    files_parsed = 0
+    files_cached = 0
+    for path in iter_python_files(list(paths)):
+        key = str(path)
+        entry: Optional[FileEntry] = None
+        stat = None
+        if cache is not None:
+            try:
+                stat = path.stat()
+            except OSError:
+                stat = None
+            if stat is not None:
+                entry = cache.get(key, stat.st_mtime_ns, stat.st_size)
+        if entry is not None:
+            files_cached += 1
+            scans.append(
+                (key, FileScan(entry.suppressions, entry.diagnostics, entry.summary))
+            )
+            continue
+        scan = analyzer.scan_source(key, path.read_text())
+        files_parsed += 1
+        scans.append((key, scan))
+        if cache is not None and stat is not None:
+            cache.put(
+                key,
+                FileEntry(
+                    mtime_ns=stat.st_mtime_ns,
+                    size=stat.st_size,
+                    suppressions=scan.suppressions,
+                    diagnostics=scan.diagnostics,
+                    summary=scan.summary,
+                ),
+            )
+    if cache is not None:
+        cache.save()
+
+    index = ProjectIndex(analyzer.config)
+    for _, scan in scans:
+        if scan.summary is not None:
+            index.add(scan.summary)
+    project_by_path: Dict[str, List[Diagnostic]] = {}
+    for diagnostic in analyzer.run_project_checks(index):
+        project_by_path.setdefault(diagnostic.path, []).append(diagnostic)
+
+    diagnostics: List[Diagnostic] = []
+    n_suppressed = 0
+    for key, scan in scans:
+        merged = list(scan.diagnostics)
+        merged.extend(project_by_path.get(key, ()))
+        kept, suppressed = _apply_suppressions(merged, scan.suppressions)
+        kept.extend(analyzer._meta_diagnostics(key, scan.suppressions))
+        diagnostics.extend(kept)
+        n_suppressed += suppressed
+    return CheckReport(
+        sorted(diagnostics),
+        len(scans),
+        n_suppressed,
+        files_parsed,
+        files_cached,
+    )
+
+
 def check_paths(
     paths: Iterable[str],
     config: Optional[CheckConfig] = None,
@@ -193,13 +361,5 @@ def check_paths(
     ignore: Optional[Sequence[str]] = None,
 ) -> Tuple[List[Diagnostic], int, int]:
     """Check files/directories; return (diagnostics, n_files, n_suppressed)."""
-    analyzer = Analyzer(config=config, select=select, ignore=ignore)
-    diagnostics: List[Diagnostic] = []
-    n_files = 0
-    n_suppressed = 0
-    for path in iter_python_files(list(paths)):
-        report = analyzer.check_file(path)
-        diagnostics.extend(report.diagnostics)
-        n_files += 1
-        n_suppressed += report.n_suppressed
-    return sorted(diagnostics), n_files, n_suppressed
+    report = run_check(paths, config=config, select=select, ignore=ignore)
+    return report.diagnostics, report.n_files, report.n_suppressed

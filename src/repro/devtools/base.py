@@ -1,29 +1,41 @@
-"""Check plugin protocol and registry.
+"""Check plugin protocol and registries.
 
-A check is a class with a ``code``, a one-line ``rationale`` (shown by
-``python -m repro check --list`` and mirrored in the README codes
-table) and a ``run`` method yielding :class:`Diagnostic` records for
-one parsed file.  Registration is a decorator so adding a check is one
-class in ``repro.devtools.checks`` -- the registry, the CLI, ``--list``
-and the fixture-driven tests all pick it up automatically.
+A per-file check is a class with a ``code``, a one-line ``rationale``
+(shown by ``python -m repro check --list`` and mirrored in the README
+codes table) and a ``run`` method yielding :class:`Diagnostic` records
+for one parsed file.  A *project* check runs once per invocation over
+the assembled :class:`~repro.devtools.project.ProjectIndex` instead;
+the two kinds live in separate registries so an interprocedural
+upgrade may share a code with the per-file check it extends (RPR201/
+RPR202 do exactly that).  Registration is a decorator either way --
+the registries, the CLI, ``--list`` and the fixture-driven tests all
+pick a new check up automatically.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Type
 
 from repro.devtools.config import CheckConfig
 from repro.devtools.diagnostics import Diagnostic
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.devtools.project import ProjectIndex
+
 _REGISTRY: Dict[str, Type["Check"]] = {}
+_PROJECT_REGISTRY: Dict[str, Type["ProjectCheck"]] = {}
+
+
+def _validate_code(code: str, owner: str) -> None:
+    if not code.startswith("RPR") or not code[3:].isdigit():
+        raise ValueError(f"bad diagnostic code {code!r} on {owner}")
 
 
 def register(check_class: Type["Check"]) -> Type["Check"]:
-    """Class decorator adding a check to the global registry."""
+    """Class decorator adding a per-file check to the registry."""
     code = check_class.code
-    if not code.startswith("RPR") or not code[3:].isdigit():
-        raise ValueError(f"bad diagnostic code {code!r} on {check_class.__name__}")
+    _validate_code(code, check_class.__name__)
     existing = _REGISTRY.get(code)
     if existing is not None and existing is not check_class:
         raise ValueError(f"duplicate diagnostic code {code}")
@@ -31,20 +43,44 @@ def register(check_class: Type["Check"]) -> Type["Check"]:
     return check_class
 
 
+def register_project(
+    check_class: Type["ProjectCheck"],
+) -> Type["ProjectCheck"]:
+    """Class decorator adding a project-wide check to the registry.
+
+    A project check may share its code with a per-file check (the
+    interprocedural RPR2xx upgrades do); it must still be unique among
+    project checks.
+    """
+    code = check_class.code
+    _validate_code(code, check_class.__name__)
+    existing = _PROJECT_REGISTRY.get(code)
+    if existing is not None and existing is not check_class:
+        raise ValueError(f"duplicate project diagnostic code {code}")
+    _PROJECT_REGISTRY[code] = check_class
+    return check_class
+
+
 def all_checks() -> List[Type["Check"]]:
-    """Registered check classes, sorted by code."""
+    """Registered per-file check classes, sorted by code."""
     _ensure_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
-def registered_codes() -> List[str]:
-    """All registered diagnostic codes, sorted."""
+def all_project_checks() -> List[Type["ProjectCheck"]]:
+    """Registered project check classes, sorted by code."""
     _ensure_loaded()
-    return sorted(_REGISTRY)
+    return [_PROJECT_REGISTRY[code] for code in sorted(_PROJECT_REGISTRY)]
+
+
+def registered_codes() -> List[str]:
+    """All registered diagnostic codes (both kinds), sorted."""
+    _ensure_loaded()
+    return sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY))
 
 
 def get_check(code: str) -> Type["Check"]:
-    """The check class registered for ``code`` (KeyError if none)."""
+    """The per-file check class for ``code`` (KeyError if none)."""
     _ensure_loaded()
     return _REGISTRY[code]
 
@@ -166,4 +202,32 @@ class Check:
             col=getattr(node, "col_offset", 0),
             code=self.code,
             message=message,
+        )
+
+
+class ProjectCheck:
+    """Base class for one whole-program diagnostic code.
+
+    Subclasses set :attr:`code`/:attr:`rationale` and implement
+    :meth:`run` over the assembled index; diagnostics may point at any
+    indexed file (a reader site can be flagged for a writer's drift).
+    Inline suppressions apply exactly as for per-file checks: at the
+    flagged line, in the flagged file.
+    """
+
+    #: Diagnostic code, e.g. ``"RPR501"``.
+    code: str = ""
+    #: One-line reason this contract exists.
+    rationale: str = ""
+
+    def run(self, index: "ProjectIndex") -> Iterator[Diagnostic]:
+        """Yield diagnostics for the whole indexed project."""
+        raise NotImplementedError
+
+    def diagnostic(
+        self, path: str, lineno: int, col: int, message: str
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` of this check's code at a position."""
+        return Diagnostic(
+            path=path, line=lineno, col=col, code=self.code, message=message
         )

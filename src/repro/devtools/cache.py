@@ -1,0 +1,202 @@
+"""The project-index cache: warm ``repro check`` runs skip parsing.
+
+A run's per-file work — suppression scan, per-file diagnostics, the
+:class:`~repro.devtools.project.ModuleSummary` — depends only on that
+file's bytes plus the (config, select, ignore) the analyzer ran with.
+The cache therefore keys one JSON document per analyzer configuration
+(hashed into the filename) and, inside it, one entry per file keyed
+by ``(mtime_ns, size)``.  A warm run rehydrates unchanged files from
+JSON and re-runs only the cheap cross-file phases (project checks,
+suppression application), which is where the warm-run speedup the
+benchmark test pins comes from.
+
+The cache lives outside the checked tree (``~/.cache/repro-check``,
+overridable via ``REPRO_CHECK_CACHE_DIR``) so checking never dirties
+a checkout, and every failure mode — unreadable file, stale schema,
+torn write — degrades to a cold parse, never to a wrong report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import ModuleSummary
+from repro.devtools.suppress import Suppression
+
+#: Bumped whenever summaries, diagnostics or this file's layout
+#: change shape; old documents are ignored wholesale.
+CACHE_SCHEMA = 1
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CHECK_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[pathlib.Path]:
+    """The cache directory for CLI runs (None disables caching)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    try:
+        home = pathlib.Path.home()
+    except (RuntimeError, OSError):
+        return None
+    return home / ".cache" / "repro-check"
+
+
+class FileEntry:
+    """One cached file: stat key plus the per-file scan products."""
+
+    __slots__ = ("mtime_ns", "size", "suppressions", "diagnostics", "summary")
+
+    def __init__(
+        self,
+        mtime_ns: int,
+        size: int,
+        suppressions: List[Suppression],
+        diagnostics: List[Diagnostic],
+        summary: Optional[ModuleSummary],
+    ) -> None:
+        self.mtime_ns = mtime_ns
+        self.size = size
+        self.suppressions = suppressions
+        self.diagnostics = diagnostics
+        self.summary = summary
+
+
+def _suppression_to_dict(suppression: Suppression) -> Dict[str, Any]:
+    return {
+        "line": suppression.line,
+        "col": suppression.col,
+        "codes": sorted(suppression.codes),
+        "malformed": suppression.malformed,
+    }
+
+
+def _suppression_from_dict(data: Dict[str, Any]) -> Suppression:
+    return Suppression(
+        line=data["line"],
+        col=data["col"],
+        codes=set(data["codes"]),
+        malformed=data["malformed"],
+    )
+
+
+def _diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, Any]:
+    return {
+        "path": diagnostic.path,
+        "line": diagnostic.line,
+        "col": diagnostic.col,
+        "code": diagnostic.code,
+        "message": diagnostic.message,
+    }
+
+
+def _diagnostic_from_dict(data: Dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        code=data["code"],
+        message=data["message"],
+    )
+
+
+class IndexCache:
+    """Load/store per-file scan products for one analyzer key."""
+
+    def __init__(
+        self, directory: pathlib.Path, key_parts: Sequence[str]
+    ) -> None:
+        self.directory = directory
+        digest = hashlib.sha256(
+            json.dumps([CACHE_SCHEMA, *key_parts]).encode()
+        ).hexdigest()[:24]
+        self.path = directory / f"index-{digest}.json"
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if document.get("schema") != CACHE_SCHEMA:
+            return
+        files = document.get("files")
+        if isinstance(files, dict):
+            self._entries = files
+
+    def get(self, path: str, mtime_ns: int, size: int) -> Optional[FileEntry]:
+        """The cached entry for ``path`` if its stat key still matches."""
+        raw = self._entries.get(path)
+        if raw is None:
+            return None
+        if raw.get("mtime_ns") != mtime_ns or raw.get("size") != size:
+            return None
+        try:
+            summary_raw = raw["summary"]
+            return FileEntry(
+                mtime_ns=mtime_ns,
+                size=size,
+                suppressions=[
+                    _suppression_from_dict(item)
+                    for item in raw["suppressions"]
+                ],
+                diagnostics=[
+                    _diagnostic_from_dict(item)
+                    for item in raw["diagnostics"]
+                ],
+                summary=(
+                    ModuleSummary.from_dict(summary_raw)
+                    if summary_raw is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, path: str, entry: FileEntry) -> None:
+        """Record a freshly parsed file's scan products."""
+        self._entries[path] = {
+            "mtime_ns": entry.mtime_ns,
+            "size": entry.size,
+            "suppressions": [
+                _suppression_to_dict(item) for item in entry.suppressions
+            ],
+            "diagnostics": [
+                _diagnostic_to_dict(item) for item in entry.diagnostics
+            ],
+            "summary": (
+                entry.summary.to_dict() if entry.summary is not None else None
+            ),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist atomically; cache-write failures are non-fatal."""
+        if not self._dirty:
+            return
+        document = {"schema": CACHE_SCHEMA, "files": self._entries}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(json.dumps(document))
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+        self._dirty = False
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "FileEntry",
+    "IndexCache",
+    "default_cache_dir",
+]

@@ -1,6 +1,15 @@
-"""Check plugins: importing this package populates the registry."""
+"""Check plugins: importing this package populates the registries."""
 
-from repro.devtools.checks import api, determinism, hotpath, telemetry_discipline
+from repro.devtools.checks import (
+    api,
+    determinism,
+    hotpath,
+    interprocedural,
+    process_safety,
+    protocol_drift,
+    resource_safety,
+    telemetry_discipline,
+)
 from repro.devtools.checks.api import AllResolvesCheck, AnnotationsCheck, DocstringCheck
 from repro.devtools.checks.determinism import (
     EntropyRngCheck,
@@ -10,22 +19,56 @@ from repro.devtools.checks.determinism import (
     WallClockCheck,
 )
 from repro.devtools.checks.hotpath import InLoopAllocationCheck, InLoopComprehensionCheck
+from repro.devtools.checks.interprocedural import (
+    ReachableComprehensionCheck,
+    ReachableNumpyAllocationCheck,
+)
+from repro.devtools.checks.process_safety import (
+    ForkAfterThreadCheck,
+    PipePayloadCheck,
+    WorkerSharedStateCheck,
+)
+from repro.devtools.checks.protocol_drift import (
+    DuplicateProtocolConstantCheck,
+    ProtocolConstantDriftCheck,
+    VersionKeyLiteralCheck,
+)
+from repro.devtools.checks.resource_safety import (
+    AtomicReplaceCheck,
+    ScopedResourceCheck,
+    TeardownOrderCheck,
+)
 from repro.devtools.checks.telemetry_discipline import PerItemTelemetryCheck
 
 __all__ = [
     "AllResolvesCheck",
     "AnnotationsCheck",
+    "AtomicReplaceCheck",
     "DocstringCheck",
+    "DuplicateProtocolConstantCheck",
     "EntropyRngCheck",
+    "ForkAfterThreadCheck",
     "InLoopAllocationCheck",
     "InLoopComprehensionCheck",
     "LegacyNumpyRandomCheck",
     "ModuleLevelRngCheck",
     "PerItemTelemetryCheck",
+    "PipePayloadCheck",
+    "ProtocolConstantDriftCheck",
+    "ReachableComprehensionCheck",
+    "ReachableNumpyAllocationCheck",
+    "ScopedResourceCheck",
     "StdlibRandomCheck",
+    "TeardownOrderCheck",
+    "VersionKeyLiteralCheck",
     "WallClockCheck",
+    "WorkerSharedStateCheck",
     "api",
     "determinism",
     "hotpath",
+    "interprocedural",
+    "process_safety",
+    "protocol_drift",
+    "resource_safety",
     "telemetry_discipline",
 ]

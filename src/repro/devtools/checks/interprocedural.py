@@ -1,0 +1,95 @@
+"""Interprocedural RPR201/RPR202: allocation reached through calls.
+
+The per-file hot-path checks (:mod:`repro.devtools.checks.hotpath`)
+see an allocation only when it sits lexically inside the loop.  The
+easy dodge — wrap ``np.zeros`` in a helper and call the helper per
+iteration — allocates exactly as much garbage.  These project checks
+close the hole: a call inside a hot-path data loop whose callee (up
+to three confident call-graph hops away) contains an allocating NumPy
+constructor or builds per-call containers is flagged *at the call
+site*, where the existing pragma/suppression machinery applies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.base import ProjectCheck, register_project
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import ProjectIndex
+
+#: Call-graph depth searched below a hot-loop call site.
+_MAX_DEPTH = 3
+
+
+class _ReachableAllocationCheck(ProjectCheck):
+    """Shared engine: flag hot-loop calls reaching allocations."""
+
+    #: Allocation kind in the function summaries.
+    kind = ""
+    #: Message fragment naming what the callee does per call.
+    what = ""
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield interprocedural hot-path diagnostics."""
+        for key, module, function in index.functions():
+            if not module.is_hot_path:
+                continue
+            for call in function.calls:
+                if not call["in_data_loop"]:
+                    continue
+                resolution = index.resolve_call(
+                    module, function, call["dotted"]
+                )
+                if not resolution.confident:
+                    continue
+                for candidate in resolution.candidates:
+                    found = index.allocations_reachable(
+                        candidate, self.kind, max_depth=_MAX_DEPTH
+                    )
+                    if found is None:
+                        continue
+                    owner_key, allocation = found
+                    owner = index.modules[owner_key.partition("::")[0]]
+                    dotted = ".".join(call["dotted"])
+                    yield self.diagnostic(
+                        module.path,
+                        call["lineno"],
+                        call["col"],
+                        f"{dotted}(...) in a hot-path loop reaches "
+                        f"{allocation['detail']} ({owner.path}:"
+                        f"{allocation['lineno']}) — {self.what}",
+                    )
+                    break
+
+
+@register_project
+class ReachableNumpyAllocationCheck(_ReachableAllocationCheck):
+    """RPR201 (interprocedural): called helper allocates arrays."""
+
+    code = "RPR201"
+    rationale = (
+        "allocating NumPy calls inside hot-path loops create "
+        "per-iteration garbage; hoist the buffer or pass out="
+    )
+    kind = "numpy"
+    what = "the callee allocates per call; hoist or pass out="
+
+
+@register_project
+class ReachableComprehensionCheck(_ReachableAllocationCheck):
+    """RPR202 (interprocedural): called helper builds containers."""
+
+    code = "RPR202"
+    rationale = (
+        "comprehensions inside hot-path loops build a fresh container "
+        "per iteration; vectorize or hoist them"
+    )
+    kind = "comprehension"
+    what = "the callee builds a container per call; vectorize or hoist"
+
+
+__all__ = [
+    "ReachableComprehensionCheck",
+    "ReachableNumpyAllocationCheck",
+]

@@ -1,0 +1,195 @@
+"""RPR5xx: fork/process-safety for the sharded runtime.
+
+PR 6 moved serving into forked shard workers and PR 8 added a forked
+fine-tune worker; both are shared-nothing by design — a worker's only
+channels back to the parent are its pipe and the WAL it owns.  Module
+state inherited at fork time silently diverges per process, objects
+shipped over pipes must actually round-trip, and forking a process
+that has started threads strands every lock those threads hold.
+These checks walk the project call graph from the configured worker
+entrypoints and flag each hazard at its source line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.devtools.base import ProjectCheck, register_project
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import ProjectIndex
+
+
+def _worker_roots(index: ProjectIndex) -> List[str]:
+    """Function keys of every configured worker entrypoint."""
+    roots = []
+    for key, module, function in index.functions():
+        if (
+            function.class_name is None
+            and function.name in index.config.worker_entrypoints
+        ):
+            roots.append(key)
+    return roots
+
+
+@register_project
+class WorkerSharedStateCheck(ProjectCheck):
+    """RPR501: module-level mutable state touched by worker code."""
+
+    code = "RPR501"
+    rationale = (
+        "forked workers must be shared-nothing; module-level mutable "
+        "state reachable from a worker entrypoint diverges per process"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield shared-state diagnostics over the worker call graph."""
+        roots = _worker_roots(index)
+        if not roots:
+            return
+        reached = index.reachable_from(roots)
+        flagged: Dict[Tuple[str, int, str], str] = {}
+        for key, root in reached.items():
+            function = index.function(key)
+            if function is None:
+                continue
+            module = index.modules[key.partition("::")[0]]
+            root_name = root.partition("::")[2]
+            for access in function.global_accesses:
+                info = module.mutable_globals.get(access["name"])
+                if info is None:
+                    continue
+                # Populated displays are lookup tables; only their
+                # mutation is a hazard.  Empty initializers are
+                # runtime-filled caches: reads observe fork-time state.
+                if access["kind"] == "read" and not info["empty"]:
+                    continue
+                site = (module.path, access["lineno"], access["name"])
+                if site in flagged and access["kind"] == "read":
+                    continue
+                flagged[site] = access["kind"]
+                verb = (
+                    "mutated" if access["kind"] == "write" else "read"
+                )
+                yield self.diagnostic(
+                    module.path,
+                    access["lineno"],
+                    access["col"],
+                    f"module-level mutable state {access['name']} is "
+                    f"{verb} by code reachable from worker entrypoint "
+                    f"{root_name}(); workers are shared-nothing — pass "
+                    "state explicitly",
+                )
+            for access in function.module_attr_accesses:
+                target = module.imports.get(access["alias"])
+                owner = index.modules.get(target) if target else None
+                if owner is None:
+                    continue
+                info = owner.mutable_globals.get(access["attr"])
+                if info is None:
+                    continue
+                yield self.diagnostic(
+                    module.path,
+                    access["lineno"],
+                    access["col"],
+                    f"{access['alias']}.{access['attr']} is mutable "
+                    "module state mutated by code reachable from "
+                    f"worker entrypoint {root_name}(); workers are "
+                    "shared-nothing — pass state explicitly",
+                )
+
+
+@register_project
+class PipePayloadCheck(ProjectCheck):
+    """RPR502: project classes shipped over pipes without clearance."""
+
+    code = "RPR502"
+    rationale = (
+        "objects crossing multiprocessing pipes or spawn args must "
+        "round-trip the codec or a pickle-safe allowlisted class"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield pipe-payload diagnostics for every indexed module."""
+        safe = set(index.config.pipe_safe_classes)
+        for key, module, function in index.functions():
+            for send in function.pipe_sends:
+                resolved = index.resolve_class(module, send["arg_class"])
+                if resolved is None:
+                    continue  # not a project class: dict/bytes/etc.
+                base = resolved[1]
+                if base in safe:
+                    continue
+                yield self.diagnostic(
+                    module.path,
+                    send["lineno"],
+                    send["col"],
+                    f"{base} instance sent over a multiprocessing "
+                    "pipe; it is not on the pickle-safe allowlist — "
+                    "encode it (arena codec / JSON frame) or clear "
+                    "the class in CheckConfig.pipe_safe_classes",
+                )
+            for spawn in function.process_spawns:
+                for arg_class in spawn["arg_classes"]:
+                    resolved = index.resolve_class(module, arg_class)
+                    if resolved is None:
+                        continue
+                    base = resolved[1]
+                    if base in safe:
+                        continue
+                    yield self.diagnostic(
+                        module.path,
+                        spawn["lineno"],
+                        spawn["col"],
+                        f"{base} instance passed as spawn args; it is "
+                        "not on the pickle-safe allowlist — workers "
+                        "must receive primitives or cleared classes",
+                    )
+
+
+@register_project
+class ForkAfterThreadCheck(ProjectCheck):
+    """RPR503: forking after thread creation in the import closure."""
+
+    code = "RPR503"
+    rationale = (
+        "fork after thread creation strands locks held by threads "
+        "that do not survive into the child process"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield fork-after-thread diagnostics for every spawn site."""
+        threaded_modules = {
+            module.module
+            for module in index.modules.values()
+            if any(
+                function.thread_spawns
+                for function in module.functions.values()
+            )
+        }
+        if not threaded_modules:
+            return
+        for key, module, function in index.functions():
+            if not function.process_spawns:
+                continue
+            closure = index.import_closure(module.module)
+            culprits = sorted(closure & threaded_modules)
+            if not culprits:
+                continue
+            for spawn in function.process_spawns:
+                dotted = ".".join(spawn["dotted"])
+                yield self.diagnostic(
+                    module.path,
+                    spawn["lineno"],
+                    spawn["col"],
+                    f"{dotted}(...) forks while the import closure "
+                    f"({', '.join(culprits)}) creates threads; fork "
+                    "after thread creation deadlocks the child on "
+                    "locks the threads held",
+                )
+
+
+__all__ = [
+    "ForkAfterThreadCheck",
+    "PipePayloadCheck",
+    "WorkerSharedStateCheck",
+]

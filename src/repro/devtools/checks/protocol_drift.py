@@ -1,0 +1,128 @@
+"""RPR7xx: protocol-version drift across writer and reader sites.
+
+Every durable byte in this system is prefixed by a constant the
+matching reader re-checks: the tick codec's magic byte, the WAL
+record header, checkpoint/``state_dict`` ``version`` keys, the store
+manifest schema.  Those constants only protect anything while writer
+and reader resolve to the *same literal*; a re-derived copy that
+drifts turns "refuse to read the future" into silent corruption.
+These checks run constant propagation over the project index: every
+definition of a ``*_MAGIC``/``*_VERSION`` name is collected and
+compared, and ``"version"`` keys must reference a named constant
+rather than a bare literal at both the write and the compare site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.devtools.base import ProjectCheck, register_project
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import ProjectIndex
+
+
+def _definition_sites(
+    index: ProjectIndex,
+) -> Dict[str, List[Tuple[str, Dict]]]:
+    """Protocol constant name -> [(module path, definition record)]."""
+    sites: Dict[str, List[Tuple[str, Dict]]] = {}
+    for module in index.modules.values():
+        for record in module.protocol_constants:
+            sites.setdefault(record["name"], []).append(
+                (module.path, record)
+            )
+    return sites
+
+
+@register_project
+class ProtocolConstantDriftCheck(ProjectCheck):
+    """RPR701: one protocol constant, different literals."""
+
+    code = "RPR701"
+    rationale = (
+        "a protocol constant must resolve to the same literal at "
+        "every writer and reader site; drifted copies corrupt reads"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield drift diagnostics for conflicting definitions."""
+        for name, sites in sorted(_definition_sites(index).items()):
+            values = {record["value_repr"] for _, record in sites}
+            if len(values) < 2:
+                continue
+            rendering = ", ".join(sorted(values))
+            for path, record in sites:
+                yield self.diagnostic(
+                    path,
+                    record["lineno"],
+                    record["col"],
+                    f"protocol constant {name} resolves to different "
+                    f"literals across definition sites ({rendering}); "
+                    "writers and readers must share one value",
+                )
+
+
+@register_project
+class VersionKeyLiteralCheck(ProjectCheck):
+    """RPR702: bare literals in ``version`` keys and compares."""
+
+    code = "RPR702"
+    rationale = (
+        "state_dict version keys must reference a named *_VERSION "
+        "constant; bare literals drift apart from their reader"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield literal-version diagnostics for every module."""
+        for key, module, function in index.functions():
+            for site in function.version_key_sites:
+                if not site["is_literal"]:
+                    continue
+                where = (
+                    "written with a bare literal"
+                    if site["context"] == "dict"
+                    else "compared against a bare literal"
+                )
+                yield self.diagnostic(
+                    module.path,
+                    site["lineno"],
+                    site["col"],
+                    f'"version" key {where}; reference the named '
+                    "*_VERSION constant so writer and reader cannot "
+                    "drift",
+                )
+
+
+@register_project
+class DuplicateProtocolConstantCheck(ProjectCheck):
+    """RPR703: the same protocol constant re-derived at many sites."""
+
+    code = "RPR703"
+    rationale = (
+        "a protocol constant defined in several places is one edit "
+        "away from drifting; import it from its owning module"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield duplicate-definition diagnostics (equal values)."""
+        for name, sites in sorted(_definition_sites(index).items()):
+            values = {record["value_repr"] for _, record in sites}
+            if len(sites) < 2 or len(values) != 1:
+                continue  # conflicts are RPR701's to report
+            for path, record in sites:
+                yield self.diagnostic(
+                    path,
+                    record["lineno"],
+                    record["col"],
+                    f"protocol constant {name} is defined at "
+                    f"{len(sites)} sites ({record['scope']} scope "
+                    "here); keep one definition and import it so the "
+                    "copies cannot drift",
+                )
+
+
+__all__ = [
+    "DuplicateProtocolConstantCheck",
+    "ProtocolConstantDriftCheck",
+    "VersionKeyLiteralCheck",
+]

@@ -1,0 +1,198 @@
+"""RPR6xx: resource/exception-safety for the durable runtime.
+
+The serving runtime's crash story rests on three lifecycles: WAL
+segment handles flush-and-close, pid-stamped ``OwnerLock`` files
+release, and atomic writes stage a temp file *next to* its
+destination before ``os.replace``.  Each is trivially correct on the
+fall-through path and quietly wrong when an earlier statement raises:
+a close skipped by an exception leaks the handle and wedges the next
+open on a lock whose owner pid is still alive.  These checks resolve
+receiver types through the project index (a ``service.wal.close()``
+in the CLI is a ``WriteAheadLog`` release because ``runtime/service``
+says so), then demand ``with``/``finally`` shaped release paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.base import ProjectCheck, register_project
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import (
+    FunctionSummary,
+    ModuleSummary,
+    ProjectIndex,
+)
+
+
+def _tracked_class(
+    index: ProjectIndex, module: ModuleSummary, classref: Optional[str]
+) -> Optional[str]:
+    """The lifecycle-table base name for a class reference, if any."""
+    if not classref:
+        return None
+    base = classref.split(".")[-1]
+    if base in index.config.resource_classes:
+        return base
+    return None
+
+
+def _receiver_class(
+    index: ProjectIndex,
+    module: ModuleSummary,
+    function: FunctionSummary,
+    var: str,
+) -> Optional[str]:
+    """Resolve a release receiver ("x", "self.attr", "x.attr") to a
+    lexical class reference via locals and indexed attribute types."""
+    parts = var.split(".")
+    head, attrs = parts[0], parts[1:]
+    if head == "self" and function.class_name is not None:
+        info = module.classes.get(function.class_name)
+        if info is None or not attrs:
+            return None
+        current = info["attr_types"].get(attrs[0])
+        attrs = attrs[1:]
+    else:
+        current = function.local_types.get(head)
+    for attr in attrs:
+        resolved = index.resolve_class(module, current)
+        if resolved is None:
+            return None
+        owner = index.modules[resolved[0]]
+        current = owner.classes[resolved[1]]["attr_types"].get(attr)
+    return current
+
+
+@register_project
+class ScopedResourceCheck(ProjectCheck):
+    """RPR601: locally-owned resources released only on fall-through."""
+
+    code = "RPR601"
+    rationale = (
+        "a resource acquired and released in one function must "
+        "release via with/finally on every control-flow path"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield scoped-lifecycle diagnostics for every function."""
+        for key, module, function in index.functions():
+            events = function.resource_events
+            for event in events:
+                if event["kind"] != "acquire" or event["in_with"]:
+                    continue
+                if "." in event["var"]:
+                    continue  # attribute stores transfer ownership
+                tracked = _tracked_class(index, module, event["cls"])
+                if tracked is None:
+                    continue
+                release_methods = index.config.resource_classes[tracked]
+                releases = [
+                    other
+                    for other in events
+                    if other["kind"] == "release"
+                    and other["var"] == event["var"]
+                    and other["method"] in release_methods
+                    and other["lineno"] >= event["lineno"]
+                ]
+                if not releases:
+                    continue  # ownership leaves the function
+                if any(other["in_finally"] for other in releases):
+                    continue
+                yield self.diagnostic(
+                    module.path,
+                    event["lineno"],
+                    event["col"],
+                    f"{tracked} acquired here is released only on the "
+                    "fall-through path (line "
+                    f"{releases[0]['lineno']}); an exception in "
+                    "between leaks it — use with or try/finally",
+                )
+
+
+@register_project
+class TeardownOrderCheck(ProjectCheck):
+    """RPR602: teardown releases skippable by an earlier raise."""
+
+    code = "RPR602"
+    rationale = (
+        "teardown paths must release every tracked resource even "
+        "when an earlier close/checkpoint raises; nest try/finally"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield teardown-ordering diagnostics for teardown functions."""
+        teardown_names = set(index.config.teardown_names)
+        for key, module, function in index.functions():
+            if function.name not in teardown_names:
+                continue
+            events = function.resource_events
+            for position, event in enumerate(events):
+                if event["kind"] != "release" or event["in_finally"]:
+                    continue
+                tracked = _tracked_class(
+                    index,
+                    module,
+                    _receiver_class(index, module, function, event["var"]),
+                )
+                if tracked is None:
+                    continue
+                if event["method"] not in index.config.resource_classes[tracked]:
+                    continue
+                fallible_before = any(
+                    earlier["lineno"] < event["lineno"]
+                    for earlier in events[:position]
+                    if earlier["kind"] in ("call", "release", "acquire")
+                )
+                if not fallible_before:
+                    continue
+                yield self.diagnostic(
+                    module.path,
+                    event["lineno"],
+                    event["col"],
+                    f"release of {event['var']} ({tracked}."
+                    f"{event['method']}) is skipped if an earlier "
+                    "statement raises; move it into a finally block",
+                )
+
+
+@register_project
+class AtomicReplaceCheck(ProjectCheck):
+    """RPR603: os.replace temp files staged outside the destination."""
+
+    code = "RPR603"
+    rationale = (
+        "atomic-write temp files must be created in the destination "
+        "directory; cross-filesystem os.replace is not atomic"
+    )
+
+    def run(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield atomic-write diagnostics for every replace site."""
+        for key, module, function in index.functions():
+            for site in function.replace_sites:
+                if site["tmp_kind"] not in (
+                    "tempfile_default",
+                    "foreign_literal",
+                ):
+                    continue
+                reason = (
+                    "tempfile defaults to the system temp directory"
+                    if site["tmp_kind"] == "tempfile_default"
+                    else "a /tmp path is on another filesystem"
+                )
+                yield self.diagnostic(
+                    module.path,
+                    site["lineno"],
+                    site["col"],
+                    f"os.replace temp file staged off-directory "
+                    f"({reason}); create it next to the destination "
+                    "(path.with_name(... + '.tmp')) so the rename "
+                    "stays atomic",
+                )
+
+
+__all__ = [
+    "AtomicReplaceCheck",
+    "ScopedResourceCheck",
+    "TeardownOrderCheck",
+]

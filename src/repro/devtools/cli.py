@@ -2,9 +2,11 @@
 
 Exit codes follow linter convention: 0 clean, 1 diagnostics found,
 2 usage error (argparse).  ``--format json`` emits the artifact schema
-the CI ``invariant-check`` job uploads; ``--list`` prints every
-registered code with its one-line rationale (the README codes table is
-tested against this output).
+the CI ``invariant-check`` job uploads, ``--format sarif`` the SARIF
+2.1.0 log code-scanning UIs ingest; ``--list`` prints every registered
+code with its one-line rationale (the README codes table is tested
+against this output).  Warm runs reuse the on-disk project-index
+cache; ``--no-cache`` forces a full re-parse.
 """
 
 from __future__ import annotations
@@ -13,14 +15,23 @@ import argparse
 import pathlib
 from typing import Dict, List
 
-from repro.devtools.analyzer import META_RATIONALES, check_paths
-from repro.devtools.base import all_checks
+from repro.devtools.analyzer import META_RATIONALES, run_check
+from repro.devtools.base import all_checks, all_project_checks
+from repro.devtools.cache import default_cache_dir
 from repro.devtools.diagnostics import diagnostics_to_json, format_text
+from repro.devtools.sarif import diagnostics_to_sarif
 
 
 def code_rationales() -> Dict[str, str]:
-    """Every registered code mapped to its one-line rationale."""
+    """Every registered code mapped to its one-line rationale.
+
+    Project checks register after per-file checks so a shared code
+    (interprocedural RPR201/202 reuse the hot-path codes) keeps the
+    per-file rationale — the two phases enforce one invariant.
+    """
     rationales = dict(META_RATIONALES)
+    for check_class in all_project_checks():
+        rationales[check_class.code] = check_class.rationale
     for check_class in all_checks():
         rationales[check_class.code] = check_class.rationale
     return dict(sorted(rationales.items()))
@@ -57,8 +68,11 @@ def add_check_parser(sub: "argparse._SubParsersAction") -> None:
         help="run the static invariant checks (RPR diagnostics)",
         description=(
             "AST-based invariant checker: determinism (RPR1xx), "
-            "hot-path allocation (RPR2xx), telemetry discipline "
-            "(RPR3xx), API hygiene (RPR4xx)."
+            "hot-path allocation (RPR2xx, including interprocedural "
+            "reachability), telemetry discipline (RPR3xx), API "
+            "hygiene (RPR4xx), fork/process safety (RPR5xx), "
+            "resource/exception safety (RPR6xx), protocol-version "
+            "drift (RPR7xx)."
         ),
     )
     parser.add_argument(
@@ -83,7 +97,7 @@ def add_check_parser(sub: "argparse._SubParsersAction") -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="diagnostic output format",
     )
@@ -91,6 +105,11 @@ def add_check_parser(sub: "argparse._SubParsersAction") -> None:
         "--out",
         default=None,
         help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-parse every file instead of using the index cache",
     )
     parser.add_argument(
         "--list",
@@ -112,27 +131,35 @@ def cmd_check(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"repro check: {error}")
         return 2
+    cache_dir = None if args.no_cache else default_cache_dir()
     try:
-        diagnostics, n_files, n_suppressed = check_paths(
-            args.paths, select=select, ignore=ignore
+        report = run_check(
+            args.paths, select=select, ignore=ignore, cache_dir=cache_dir
         )
     except FileNotFoundError as error:
         print(f"repro check: {error}")
         return 2
+    diagnostics = report.diagnostics
     if args.format == "json":
-        rendered = diagnostics_to_json(diagnostics, n_files, n_suppressed)
+        rendered = diagnostics_to_json(
+            diagnostics, report.n_files, report.n_suppressed
+        )
+    elif args.format == "sarif":
+        rendered = diagnostics_to_sarif(diagnostics, code_rationales())
     else:
         lines = format_text(diagnostics)
         lines.append(
-            f"checked {n_files} files: {len(diagnostics)} diagnostics, "
-            f"{n_suppressed} suppressed"
+            f"checked {report.n_files} files "
+            f"({report.files_cached} cached): "
+            f"{len(diagnostics)} diagnostics, "
+            f"{report.n_suppressed} suppressed"
         )
         rendered = "\n".join(lines)
     if args.out:
         pathlib.Path(args.out).write_text(rendered + "\n")
         print(
             f"wrote {len(diagnostics)} diagnostics "
-            f"({n_files} files) to {args.out}"
+            f"({report.n_files} files) to {args.out}"
         )
     else:
         print(rendered)

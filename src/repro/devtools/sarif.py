@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export for ``repro check`` findings.
+
+SARIF is the interchange format code-scanning UIs ingest, so the CI
+``invariant-check`` job can upload one artifact that both humans (the
+JSON document) and annotation tooling (this one) understand.  The
+emitted document is the minimal conforming subset: one run, a tool
+driver listing every registered rule with its rationale, and one
+result per diagnostic with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Sequence
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.version import __version__
+
+#: The schema URI SARIF consumers validate against.
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+SARIF_VERSION = "2.1.0"
+
+
+def diagnostics_to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rationales: Mapping[str, str],
+    indent: int = 2,
+) -> str:
+    """Serialize findings as a SARIF 2.1.0 log.
+
+    Args:
+        diagnostics: the run's findings (sorted on output).
+        rationales: code -> rationale for every registered code; all
+            of them are listed as rules so rule metadata is stable
+            regardless of which codes fired.
+        indent: JSON indentation.
+    """
+    rule_ids = sorted(rationales)
+    rule_index = {code: position for position, code in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": rationales[code]},
+        }
+        for code in rule_ids
+    ]
+    results = []
+    for diagnostic in sorted(diagnostics):
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diagnostic.path},
+                        "region": {
+                            "startLine": diagnostic.line,
+                            # SARIF columns are 1-based.
+                            "startColumn": diagnostic.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diagnostic.code in rule_index:
+            result["ruleIndex"] = rule_index[diagnostic.code]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "diagnostics_to_sarif"]

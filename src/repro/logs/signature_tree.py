@@ -63,7 +63,10 @@ def is_variable_token(token: str) -> bool:
     and repeat endlessly, so caching the per-token regex verdict
     removes most of the classification cost of ``transform``.
     """
-    return any(pattern.match(token) for pattern in _VARIABLE_PATTERNS)
+    for pattern in _VARIABLE_PATTERNS:
+        if pattern.match(token):
+            return True
+    return False
 
 
 Signature = Tuple[Optional[str], ...]
@@ -80,7 +83,10 @@ _TOKEN_CLASS_CAPACITY = 1 << 17
 
 def _presignature(tokens: Sequence[str]) -> Signature:
     """Wildcard the by-shape-variable tokens before any merging."""
-    cache = _TOKEN_CLASS_CACHE
+    # Per-process memoization: after fork each worker mutates its own
+    # copy-on-write copy; cached values are derived from the tokens
+    # alone and never cross a pipe, so workers cannot disagree.
+    cache = _TOKEN_CLASS_CACHE  # repro: noqa[RPR501]
     out: List[Optional[str]] = []
     append = out.append
     for token in tokens:
@@ -207,10 +213,11 @@ class SignatureTree:
         # the variable tokens, so the level-2 key (first stable token)
         # falls out of it for free.
         presig = _presignature(tokens)
-        first = next(
-            (tok for tok, pre in zip(tokens, presig) if pre is not WILDCARD),
-            "",
-        )
+        first = ""
+        for tok, pre in zip(tokens, presig):
+            if pre is not WILDCARD:
+                first = tok
+                break
         level1 = self._tree.setdefault(len(tokens), {})
         key = f"{message.process}\x00{first}"
         leaf = level1.get(key)

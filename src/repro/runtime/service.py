@@ -739,15 +739,24 @@ class MonitorService:
     # -- shutdown -------------------------------------------------------
 
     def close(self) -> None:
-        """Graceful shutdown: final checkpoint, prune, release files."""
+        """Graceful shutdown: final checkpoint, prune, release files.
+
+        The WAL handle and the owner lock are released even when the
+        final checkpoint raises — a wedged lock would block every
+        subsequent open of the same data directory.
+        """
         if self._closed:
             return
-        if self.controller is not None:
-            self.controller.close()
-        self.checkpoint_now()
-        self.wal.close()
-        self.lock.release()
         self._closed = True
+        try:
+            if self.controller is not None:
+                self.controller.close()
+            self.checkpoint_now()
+        finally:
+            try:
+                self.wal.close()
+            finally:
+                self.lock.release()
 
     def __enter__(self) -> "MonitorService":
         return self

@@ -225,13 +225,17 @@ class WriteAheadLog:
 
     def close(self) -> None:
         """Flush and close the active segment handle."""
-        if self._handle is not None:
-            self._handle.flush()
+        handle = self._handle
+        if handle is None:
+            return
+        self._handle = None
+        self._handle_path = None
+        try:
+            handle.flush()
             if self.fsync:
-                os.fsync(self._handle.fileno())
-            self._handle.close()
-            self._handle = None
-            self._handle_path = None
+                os.fsync(handle.fileno())
+        finally:
+            handle.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -1,0 +1,18 @@
+# repro: hot-path
+"""Bad: the loop looks clean; the called helper allocates per call."""
+
+import numpy as np
+
+
+def _fresh_buffer(n: int) -> "np.ndarray":
+    """A zeroed scratch buffer (allocates every call)."""
+    return np.zeros(n)
+
+
+def score(batches: list) -> list:
+    """Per-batch scores via a helper that hides the allocation."""
+    out = []
+    for batch in batches:
+        scratch = _fresh_buffer(len(batch))
+        out.append(float(scratch.sum()))
+    return out

@@ -1,0 +1,20 @@
+# repro: hot-path
+"""Good: the helper writes into a hoisted buffer via out=."""
+
+import numpy as np
+
+
+def _fill(buffer: "np.ndarray") -> "np.ndarray":
+    """Zero the caller's buffer in place."""
+    buffer[:] = 0.0
+    return buffer
+
+
+def score(batches: list, width: int) -> list:
+    """Per-batch scores reusing one scratch buffer."""
+    scratch = np.zeros(width)
+    out = []
+    for batch in batches:
+        _fill(scratch)
+        out.append(float(scratch.sum()) + len(batch))
+    return out

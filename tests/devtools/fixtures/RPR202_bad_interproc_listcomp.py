@@ -1,0 +1,15 @@
+# repro: hot-path
+"""Bad: the per-item container build hides inside a called helper."""
+
+
+def _tokenize(line: str) -> list:
+    """Uppercase tokens of one line (builds a list per call)."""
+    return [token.upper() for token in line.split()]
+
+
+def consume(lines: list) -> int:
+    """Count tokens via a helper that allocates per iteration."""
+    total = 0
+    for line in lines:
+        total += len(_tokenize(line))
+    return total

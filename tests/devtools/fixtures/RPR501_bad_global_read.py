@@ -1,0 +1,10 @@
+"""Bad: the worker entrypoint fills an empty module-level cache."""
+
+_CACHE: dict = {}
+
+
+def _fine_tune_worker(batch: list) -> int:
+    """Worker entrypoint writing per-key state into a module dict."""
+    for key in batch:
+        _CACHE[key] = True
+    return len(_CACHE)

@@ -1,0 +1,15 @@
+"""Bad: a helper reached from the worker entrypoint mutates a global."""
+
+_RESULTS: list = []
+
+
+def _accumulate(item: object) -> None:
+    """Append one scored item to the shared module-level list."""
+    _RESULTS.append(item)
+
+
+def _worker_main(items: list) -> int:
+    """Worker entrypoint: scores items via the mutating helper."""
+    for item in items:
+        _accumulate(item)
+    return len(items)

@@ -1,0 +1,14 @@
+"""Good: workers are shared-nothing; state is passed in explicitly."""
+
+
+def _accumulate(results: list, item: object) -> None:
+    """Append one scored item to the caller-owned list."""
+    results.append(item)
+
+
+def _worker_main(items: list) -> list:
+    """Worker entrypoint: all state lives in locals and arguments."""
+    results: list = []
+    for item in items:
+        _accumulate(results, item)
+    return results

@@ -1,0 +1,14 @@
+"""Bad: a project class instance is sent over a multiprocessing pipe."""
+
+
+class _Job:
+    """A unit of work with an open-ended payload."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+
+def dispatch(conn: object, path: str) -> None:
+    """Ship one job to a worker over its pipe."""
+    job = _Job(path)
+    conn.send(job)

@@ -1,0 +1,18 @@
+"""Bad: a project class instance is passed as a Process argument."""
+
+import multiprocessing
+
+
+class _State:
+    """Mutable runtime state; pickling it ships hidden structure."""
+
+    def __init__(self) -> None:
+        self.rows: list = []
+
+
+def spawn(entry: object) -> object:
+    """Start a worker seeded with a rich state object."""
+    state = _State()
+    process = multiprocessing.Process(target=entry, args=(state,))
+    process.start()
+    return process

@@ -1,0 +1,15 @@
+"""Good: only primitives and plain containers cross the pipe."""
+
+import multiprocessing
+
+
+def dispatch(conn: object, path: str) -> None:
+    """Ship one job as a codec-safe plain dict."""
+    conn.send({"path": str(path)})
+
+
+def spawn(entry: object, shard: int) -> object:
+    """Start a worker seeded with primitive arguments."""
+    process = multiprocessing.Process(target=entry, args=(shard, "data"))
+    process.start()
+    return process

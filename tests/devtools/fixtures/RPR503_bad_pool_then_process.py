@@ -1,0 +1,15 @@
+"""Bad: a thread pool coexists with a raw os.fork in one module."""
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+
+def prefetch(jobs: list) -> list:
+    """Warm the cache on a thread pool."""
+    pool = ThreadPoolExecutor(max_workers=2)
+    return list(pool.map(str, jobs))
+
+
+def fork_worker() -> int:
+    """Fork a scoring worker; pool threads do not survive the fork."""
+    return os.fork()

@@ -1,0 +1,18 @@
+"""Bad: the module spawns threads and also forks worker processes."""
+
+import multiprocessing
+import threading
+
+
+def watch(fn: object) -> object:
+    """Start a monitoring thread."""
+    thread = threading.Thread(target=fn, daemon=True)
+    thread.start()
+    return thread
+
+
+def spawn(fn: object) -> object:
+    """Fork a worker after the thread above may already be running."""
+    process = multiprocessing.Process(target=fn)
+    process.start()
+    return process

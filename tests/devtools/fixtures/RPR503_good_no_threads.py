@@ -1,0 +1,10 @@
+"""Good: processes only — no threads exist when the fork happens."""
+
+import multiprocessing
+
+
+def spawn(fn: object) -> object:
+    """Fork a worker from a thread-free parent."""
+    process = multiprocessing.Process(target=fn)
+    process.start()
+    return process

@@ -1,0 +1,18 @@
+"""Bad: a lock released only on the fall-through path."""
+
+
+class OwnerLock:
+    """A pid-stamped lock file (stand-in for the runtime's)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def release(self) -> None:
+        """Delete the lock file."""
+
+
+def guarded_update(path: str, apply: object) -> None:
+    """Apply an update under the lock; a raise leaks the lock."""
+    lock = OwnerLock(path)
+    apply()
+    lock.release()

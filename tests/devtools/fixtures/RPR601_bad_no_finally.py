@@ -1,0 +1,9 @@
+"""Bad: the handle is closed only when every write succeeds."""
+
+
+def write_report(path: str, lines: list) -> None:
+    """Write lines; a failing write leaks the handle."""
+    handle = open(path, "w")
+    for line in lines:
+        handle.write(line)
+    handle.close()

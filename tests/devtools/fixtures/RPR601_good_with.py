@@ -1,0 +1,8 @@
+"""Good: the context manager releases on every control-flow path."""
+
+
+def write_report(path: str, lines: list) -> None:
+    """Write lines; the with block closes even on a failing write."""
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)

@@ -1,0 +1,34 @@
+"""Bad: sequential releases — the first raising skips the second."""
+
+
+class WriteAheadLog:
+    """Journal stand-in."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def close(self) -> None:
+        """Flush and close the active segment."""
+
+
+class OwnerLock:
+    """Lock-file stand-in."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def release(self) -> None:
+        """Delete the lock file."""
+
+
+class Session:
+    """Owns a journal and the directory lock."""
+
+    def __init__(self, path: str) -> None:
+        self._wal = WriteAheadLog(path)
+        self._lock = OwnerLock(path)
+
+    def shutdown(self) -> None:
+        """Close both; a WAL close failure wedges the lock forever."""
+        self._wal.close()
+        self._lock.release()

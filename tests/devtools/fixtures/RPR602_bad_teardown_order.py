@@ -1,0 +1,17 @@
+"""Bad: close() flushes first, so a flush failure skips the close."""
+
+
+class Archive:
+    """An append-only file wrapper."""
+
+    def __init__(self, path: str) -> None:
+        self._handle = open(path, "a")
+
+    def _flush(self) -> None:
+        """Push buffered rows to the OS."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush then close — the close is skipped if flush raises."""
+        self._flush()
+        self._handle.close()

@@ -1,0 +1,15 @@
+"""Good: teardown releases inside finally, surviving earlier raises."""
+
+
+class Archive:
+    """An append-only file wrapper."""
+
+    def __init__(self, path: str) -> None:
+        self._handle = open(path, "a")
+
+    def close(self) -> None:
+        """Flush, then close no matter what the flush did."""
+        try:
+            self._handle.flush()
+        finally:
+            self._handle.close()

@@ -1,0 +1,12 @@
+"""Bad: the temp file defaults to the system temp directory."""
+
+import os
+import tempfile
+
+
+def save(path: str, data: bytes) -> None:
+    """Stage in /tmp, then rename — not atomic across filesystems."""
+    handle = tempfile.NamedTemporaryFile(delete=False)
+    handle.write(data)
+    handle.close()
+    os.replace(handle.name, path)

@@ -1,0 +1,11 @@
+"""Bad: the staging path is a hard-coded /tmp location."""
+
+import os
+
+
+def save(path: str, data: bytes) -> None:
+    """Stage at a /tmp literal, then rename across filesystems."""
+    staging = "/tmp/staging.bin"
+    with open(staging, "wb") as handle:
+        handle.write(data)
+    os.replace(staging, path)

@@ -1,0 +1,12 @@
+"""Good: the temp file is staged next to its destination."""
+
+import os
+import pathlib
+
+
+def save(path: pathlib.Path, data: bytes) -> None:
+    """Stage a sibling .tmp, then rename within one directory."""
+    staging = path.with_name(path.name + ".tmp")
+    with open(staging, "wb") as handle:
+        handle.write(data)
+    os.replace(staging, path)

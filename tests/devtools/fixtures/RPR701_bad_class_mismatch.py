@@ -1,0 +1,18 @@
+"""Bad: a reader's class-scope copy drifted from the writer's."""
+
+TICK_MAGIC = 0xB1
+
+
+def encode(payload: bytes) -> bytes:
+    """Prefix the writer-side magic byte."""
+    return bytes([TICK_MAGIC]) + payload
+
+
+class Reader:
+    """Decodes frames against its own (stale) copy of the magic."""
+
+    TICK_MAGIC = 0xB0
+
+    def check(self, frame: bytes) -> bool:
+        """Whether a frame leads with the expected magic."""
+        return frame[0] == self.TICK_MAGIC

@@ -1,0 +1,11 @@
+"""Bad: the same protocol constant rebound to a different literal."""
+
+CODEC_VERSION = 1
+
+
+def encode(payload: bytes) -> bytes:
+    """Frame a payload under the current codec version."""
+    return bytes([CODEC_VERSION]) + payload
+
+
+CODEC_VERSION = 2

@@ -1,0 +1,15 @@
+"""Good: one definition; writer and reader share the same literal."""
+
+CODEC_VERSION = 1
+
+
+def encode(payload: bytes) -> bytes:
+    """Frame a payload under the codec version."""
+    return bytes([CODEC_VERSION]) + payload
+
+
+def decode(frame: bytes) -> bytes:
+    """Reject frames from any other codec version."""
+    if frame[0] != CODEC_VERSION:
+        raise ValueError("codec version mismatch")
+    return frame[1:]

@@ -1,0 +1,8 @@
+"""Bad: the reader compares the version key against a bare literal."""
+
+
+def load(state: dict) -> dict:
+    """Accept only version-3 state blobs."""
+    if state["version"] == 3:
+        return state
+    raise ValueError("unsupported state version")

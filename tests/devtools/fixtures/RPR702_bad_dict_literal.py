@@ -1,0 +1,6 @@
+"""Bad: the state_dict version is written as a bare literal."""
+
+
+def state_dict(weights: dict) -> dict:
+    """Serialize weights under an inline version number."""
+    return {"version": 3, "weights": weights}

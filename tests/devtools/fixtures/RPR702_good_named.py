@@ -1,0 +1,15 @@
+"""Good: writer and reader share one named version constant."""
+
+STATE_VERSION = 3
+
+
+def state_dict(weights: dict) -> dict:
+    """Serialize weights under the shared version constant."""
+    return {"version": STATE_VERSION, "weights": weights}
+
+
+def load(state: dict) -> dict:
+    """Reject state written under any other version."""
+    if state["version"] != STATE_VERSION:
+        raise ValueError("unsupported state version")
+    return state

@@ -1,0 +1,18 @@
+"""Bad: the writer and a reader each define the (same) constant."""
+
+WAL_MAGIC = b"WAL1"
+
+
+def frame(payload: bytes) -> bytes:
+    """Prefix the segment magic."""
+    return WAL_MAGIC + payload
+
+
+class Replayer:
+    """Re-derives the magic instead of importing it."""
+
+    WAL_MAGIC = b"WAL1"
+
+    def accept(self, segment: bytes) -> bool:
+        """Whether a segment leads with the expected magic."""
+        return segment.startswith(self.WAL_MAGIC)

@@ -1,0 +1,11 @@
+"""Bad: the constant is rebound mid-module (same value, two sites)."""
+
+MANIFEST_VERSION = 4
+
+
+def write_manifest(entries: list) -> dict:
+    """Build the manifest document."""
+    return {"schema": MANIFEST_VERSION, "entries": entries}
+
+
+MANIFEST_VERSION = 4

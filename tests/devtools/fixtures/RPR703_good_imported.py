@@ -1,0 +1,13 @@
+"""Good: one owning definition; every user references it by name."""
+
+WAL_MAGIC = b"WAL1"
+
+
+def frame(payload: bytes) -> bytes:
+    """Prefix the segment magic."""
+    return WAL_MAGIC + payload
+
+
+def accept(segment: bytes) -> bool:
+    """Whether a segment leads with the expected magic."""
+    return segment.startswith(WAL_MAGIC)

@@ -1,0 +1,163 @@
+"""Cache behavior for the whole-program analyzer.
+
+A warm run must parse nothing, reproduce the cold run's diagnostics
+exactly, invalidate only edited files, and shrug off corrupt cache
+documents.  The timing test is benchmark-shaped: it pins the warm
+run faster than the cold one over a corpus large enough that parse
+cost dominates.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.devtools import IndexCache, default_cache_dir, run_check
+from repro.devtools.cache import CACHE_DIR_ENV
+
+
+def _write_tree(root, n_files=6, body_lines=4):
+    """Lay out a small package of benign modules; return the pkg dir."""
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for i in range(n_files):
+        lines = ["def fn_%d_%d(x):" % (i, j) + "\n    return x + %d\n" % j
+                 for j in range(body_lines)]
+        (pkg / f"mod_{i}.py").write_text('"""Module %d."""\n\n' % i
+                                         + "\n".join(lines))
+    return pkg
+
+
+class TestWarmRuns:
+    def test_warm_run_parses_nothing_and_matches_cold(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cold = run_check([str(pkg)], cache_dir=cache_dir)
+        assert cold.files_parsed == cold.n_files
+        assert cold.files_cached == 0
+        warm = run_check([str(pkg)], cache_dir=cache_dir)
+        assert warm.files_parsed == 0
+        assert warm.files_cached == warm.n_files == cold.n_files
+        assert warm.diagnostics == cold.diagnostics
+        assert warm.n_suppressed == cold.n_suppressed
+
+    def test_edit_invalidates_only_the_edited_file(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_check([str(pkg)], cache_dir=cache_dir)
+        target = pkg / "mod_0.py"
+        target.write_text(target.read_text() + "\n\ndef extra(x):\n"
+                          "    return x\n")
+        warm = run_check([str(pkg)], cache_dir=cache_dir)
+        assert warm.files_parsed == 1
+        assert warm.files_cached == warm.n_files - 1
+
+    def test_select_change_misses_the_cache(self, tmp_path):
+        pkg = _write_tree(tmp_path, n_files=2)
+        cache_dir = tmp_path / "cache"
+        run_check([str(pkg)], cache_dir=cache_dir)
+        narrowed = run_check(
+            [str(pkg)], select=("RPR1",), cache_dir=cache_dir
+        )
+        assert narrowed.files_parsed == narrowed.n_files
+        assert narrowed.files_cached == 0
+
+    def test_diagnostics_survive_the_round_trip(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        bad = pkg / "bad.py"
+        bad.write_text(
+            '"""Module with a bare except."""\n\n\n'
+            "def swallow(fn):\n"
+            '    """Run fn, eating everything."""\n'
+            "    try:\n"
+            "        return fn()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        cache_dir = tmp_path / "cache"
+        cold = run_check([str(pkg)], cache_dir=cache_dir)
+        warm = run_check([str(pkg)], cache_dir=cache_dir)
+        assert cold.diagnostics
+        assert warm.diagnostics == cold.diagnostics
+        assert warm.files_parsed == 0
+
+
+class TestResilience:
+    def test_corrupt_cache_file_falls_back_to_cold_parse(self, tmp_path):
+        pkg = _write_tree(tmp_path, n_files=2)
+        cache_dir = tmp_path / "cache"
+        run_check([str(pkg)], cache_dir=cache_dir)
+        for doc in cache_dir.glob("index-*.json"):
+            doc.write_text("{ not json")
+        warm = run_check([str(pkg)], cache_dir=cache_dir)
+        assert warm.files_parsed == warm.n_files
+        assert warm.files_cached == 0
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        pkg = _write_tree(tmp_path, n_files=2)
+        cache_dir = tmp_path / "cache"
+        run_check([str(pkg)], cache_dir=cache_dir)
+        for doc in cache_dir.glob("index-*.json"):
+            payload = json.loads(doc.read_text())
+            payload["schema"] = -1
+            doc.write_text(json.dumps(payload))
+        warm = run_check([str(pkg)], cache_dir=cache_dir)
+        assert warm.files_parsed == warm.n_files
+
+    def test_unwritable_directory_is_tolerated(self, tmp_path):
+        pkg = _write_tree(tmp_path, n_files=2)
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        report = run_check([str(pkg)], cache_dir=blocked / "cache")
+        assert report.files_parsed == report.n_files
+
+    def test_no_cache_dir_means_no_cache_io(self, tmp_path):
+        pkg = _write_tree(tmp_path, n_files=2)
+        first = run_check([str(pkg)], cache_dir=None)
+        second = run_check([str(pkg)], cache_dir=None)
+        assert first.files_cached == 0
+        assert second.files_cached == 0
+        assert second.files_parsed == second.n_files
+
+
+class TestDefaultDirectory:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_falls_back_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        resolved = default_cache_dir()
+        assert resolved is None or resolved.name == "repro-check"
+
+
+class TestIndexCacheUnit:
+    def test_distinct_key_parts_use_distinct_documents(self, tmp_path):
+        a = IndexCache(tmp_path, ("sel-a", "", "cfg"))
+        b = IndexCache(tmp_path, ("sel-b", "", "cfg"))
+        assert a.path != b.path
+
+    def test_save_is_a_no_op_until_dirty(self, tmp_path):
+        cache = IndexCache(tmp_path, ("", "", "cfg"))
+        cache.save()
+        assert not list(tmp_path.glob("index-*.json"))
+
+
+@pytest.mark.perf
+class TestWarmRunSpeed:
+    def test_warm_beats_cold(self, tmp_path):
+        pkg = _write_tree(tmp_path, n_files=100, body_lines=30)
+        cache_dir = tmp_path / "cache"
+        t0 = time.perf_counter()
+        cold = run_check([str(pkg)], cache_dir=cache_dir)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_check([str(pkg)], cache_dir=cache_dir)
+        warm_s = time.perf_counter() - t0
+        assert warm.files_parsed == 0
+        assert cold.n_files == warm.n_files == 101
+        # Generous bound: skipping 100 parses must show up even on a
+        # noisy CI box.
+        assert warm_s < cold_s

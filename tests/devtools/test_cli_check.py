@@ -9,6 +9,7 @@ import json
 import pathlib
 import subprocess
 import sys
+import tempfile
 
 import pytest
 
@@ -25,13 +26,21 @@ BAD_SOURCE = (
 )
 
 
-def run_check(*argv, cwd=ROOT):
+def run_check(*argv, cwd=ROOT, cache_dir=None):
+    # Keep subprocess runs out of the real user cache: point the
+    # cache at a throwaway directory unless a test supplies one.
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-check-test-")
     return subprocess.run(
         [sys.executable, "-m", "repro", "check", *argv],
         capture_output=True,
         text=True,
         cwd=str(cwd),
-        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONPATH": str(ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+            "REPRO_CHECK_CACHE_DIR": str(cache_dir),
+        },
     )
 
 
@@ -80,6 +89,44 @@ class TestJsonOutput:
         payload = json.loads(out.read_text())
         assert payload["counts"]["diagnostics"] == 1
         assert payload["counts"]["by_code"] == {"RPR104": 1}
+
+
+class TestSarifOutput:
+    def test_sarif_report_written(self, bad_tree, tmp_path):
+        out = tmp_path / "report.sarif"
+        result = run_check(
+            str(bad_tree), "--format", "sarif", "--out", str(out)
+        )
+        assert result.returncode == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        assert [r["ruleId"] for r in run["results"]] == ["RPR104"]
+
+    def test_sarif_to_stdout(self, bad_tree):
+        result = run_check(str(bad_tree), "--format", "sarif")
+        payload = json.loads(result.stdout)
+        assert payload["version"] == "2.1.0"
+
+
+class TestCacheFlags:
+    def test_second_run_is_warm(self, bad_tree, tmp_path):
+        cache = tmp_path / "cache"
+        run_check(str(bad_tree), cache_dir=cache)
+        warm = run_check(str(bad_tree), cache_dir=cache)
+        assert "(1 cached)" in warm.stdout
+
+    def test_no_cache_stays_cold(self, bad_tree, tmp_path):
+        cache = tmp_path / "cache"
+        run_check(str(bad_tree), cache_dir=cache)
+        cold = run_check(str(bad_tree), "--no-cache", cache_dir=cache)
+        assert "(0 cached)" in cold.stdout
+
+    def test_no_cache_writes_nothing(self, bad_tree, tmp_path):
+        cache = tmp_path / "cache"
+        run_check(str(bad_tree), "--no-cache", cache_dir=cache)
+        assert not cache.exists()
 
 
 class TestListCodes:

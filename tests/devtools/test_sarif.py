@@ -1,0 +1,222 @@
+"""SARIF 2.1.0 export: structural pins plus schema validation.
+
+The full OASIS schema is too large to vendor, so validation runs
+against an embedded subset covering the pieces CI consumers (code
+scanning uploads) actually read: version, driver, rules, results,
+and physical locations.  Structure tests pin the parts the subset
+schema cannot express (rule/result index consistency, 1-based
+columns).
+"""
+
+import json
+
+import jsonschema
+
+from repro.devtools import registered_codes
+from repro.devtools.cli import code_rationales
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    diagnostics_to_sarif,
+)
+
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": [
+                                                "id",
+                                                "shortDescription",
+                                            ],
+                                            "properties": {
+                                                "id": {
+                                                    "type": "string",
+                                                    "pattern": r"^RPR\d{3}$",
+                                                },
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": [
+                                "ruleId",
+                                "level",
+                                "message",
+                                "locations",
+                            ],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "required": [
+                                                            "startLine"
+                                                        ],
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+SAMPLE = [
+    Diagnostic(
+        path="src/pkg/a.py",
+        line=12,
+        col=4,
+        code="RPR101",
+        message="bare except swallows KeyboardInterrupt",
+    ),
+    Diagnostic(
+        path="src/pkg/b.py",
+        line=3,
+        col=0,
+        code="RPR601",
+        message="resource acquired without finally",
+    ),
+]
+
+
+def _export(diagnostics=SAMPLE):
+    return json.loads(diagnostics_to_sarif(diagnostics, code_rationales()))
+
+
+class TestSchema:
+    def test_sample_log_validates(self):
+        jsonschema.validate(_export(), SARIF_SUBSET_SCHEMA)
+
+    def test_empty_log_validates(self):
+        jsonschema.validate(_export([]), SARIF_SUBSET_SCHEMA)
+
+
+class TestStructure:
+    def test_version_and_schema_uri(self):
+        doc = _export()
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+
+    def test_driver_identity(self):
+        driver = _export()["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        assert driver["version"]
+
+    def test_rules_cover_every_registered_code(self):
+        driver = _export()["runs"][0]["tool"]["driver"]
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        # Every check code plus the RPR00x meta codes, which can
+        # also surface as results (syntax errors, bad pragmas).
+        assert set(rule_ids) == set(code_rationales())
+        assert set(rule_ids) >= set(registered_codes())
+
+    def test_rule_index_points_at_matching_rule(self):
+        run = _export()["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_results_mirror_diagnostics(self):
+        results = _export()["runs"][0]["results"]
+        assert len(results) == len(SAMPLE)
+        first = results[0]
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert first["ruleId"] == "RPR101"
+        assert first["level"] == "error"
+        assert first["message"]["text"] == SAMPLE[0].message
+        assert region["startLine"] == 12
+        # SARIF columns are 1-based; diagnostics carry 0-based cols.
+        assert region["startColumn"] == 5
+
+    def test_uri_is_the_diagnostic_path(self):
+        result = _export()["runs"][0]["results"][1]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/pkg/b.py"
