@@ -25,7 +25,10 @@ Suites:
   to ``BENCH_fleet.json``;
 * ``adapt`` — closed-loop adaptation costs (fine-tune latency, hot
   swap pause, ingest throughput while the background worker trains),
-  appended to ``BENCH_adapt.json``.
+  appended to ``BENCH_adapt.json``;
+* ``rca`` — root-cause attribution quality on the correlated-outage
+  scenario (macro-F1, element accuracy) plus the per-tick cost of
+  the streaming engine, appended to ``BENCH_rca.json``.
 
 Each invocation appends one timestamped run record to the suite's
 trajectory file at the repository root, building the performance
@@ -265,6 +268,35 @@ def _print_adapt(record: dict) -> None:
     )
 
 
+def _print_rca(record: dict) -> None:
+    attribution = record["benchmarks"]["attribution"]
+    overhead = record["benchmarks"]["overhead"]
+    print(f"scale: {record['scale']}")
+    print(
+        f"attribution: macro-F1 {attribution['macro_f1']:.3f} over "
+        f"{attribution['n_outages']} outages "
+        f"({attribution['n_matched']} matched, "
+        f"{attribution['n_spurious']} spurious), element accuracy "
+        f"{attribution['element_accuracy']:.2f}, mean attribution "
+        f"latency {attribution['mean_attribution_s'] / 3600:.1f} h"
+    )
+    for kind, f1 in attribution["per_kind_f1"].items():
+        print(f"  {kind:>9}: F1 {f1:.3f}")
+    print(
+        f"overhead: rca tick {overhead['rca_tick_s'] * 1e3:.2f} ms "
+        f"vs bare {overhead['bare_tick_s'] * 1e3:.2f} ms "
+        f"({overhead['overhead_fraction']:.2%} over "
+        f"{overhead['ticks']} ticks, anomaly rate "
+        f"{overhead['anomaly_rate']:.2%})"
+    )
+    storm = record["benchmarks"]["storm"]
+    print(
+        f"storm: {storm['storm_tick_s'] * 1e3:.2f} ms per "
+        f"all-anomalous tick ({storm['per_anomaly_us']:.1f} us "
+        f"per anomaly)"
+    )
+
+
 def run_suite(suite: str, scale: str) -> dict:
     """Import and execute one suite, returning its run record."""
     try:
@@ -282,6 +314,7 @@ register_suite("runtime", _print_runtime, _import_runner("runtime"))
 register_suite("quant", _print_quant, _import_runner("quant"))
 register_suite("fleet", _print_fleet, _import_runner("fleet"))
 register_suite("adapt", _print_adapt, _import_runner("adapt"))
+register_suite("rca", _print_rca, _import_runner("rca"))
 
 
 def validate_record(record: object) -> str:

@@ -29,7 +29,7 @@ import csv
 import json
 import pathlib
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.logs.message import (
 )
 from repro.logs.persistence import store_from_json, store_to_json
 from repro.logs.templates import TemplateStore
+from repro.rca import DEFAULT_CLUSTER_GAP, RcaEngine, incident_row
 from repro.runtime.fleet import (
     FleetConfig,
     FleetCoordinator,
@@ -68,10 +69,17 @@ from repro.synthesis import (
     FleetDataset,
     FleetSimulator,
     SimulationConfig,
+    correlated_outage_config,
     update_soak_config,
+    write_incidents,
 )
 from repro.tickets.ticket import RootCause, TroubleTicket
 from repro.timeutil import DAY, MONTH, WEEK
+from repro.topology import (
+    FleetTopology,
+    TopologyConfig,
+    TopologyError,
+)
 
 
 # -- trace I/O ------------------------------------------------------------
@@ -106,6 +114,10 @@ def write_trace(dataset: FleetDataset, out_dir: pathlib.Path) -> None:
                     f"{ticket.repair_time:.3f}",
                 ]
             )
+    if dataset.topology is not None:
+        dataset.topology.save(out_dir / "topology.json")
+    if dataset.incidents:
+        write_incidents(dataset.incidents, out_dir / "incidents.csv")
     meta = {
         "start": dataset.start,
         "end": dataset.end,
@@ -177,7 +189,21 @@ def _normal_messages(
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Generate a synthetic fleet trace and write it to ``--out``."""
-    if args.scenario == "update-soak":
+    if args.scenario == "correlated-outage":
+        if not args.topology:
+            print(
+                "--scenario correlated-outage requires --topology",
+                file=sys.stderr,
+            )
+            return 2
+        config = correlated_outage_config(
+            n_vpes=args.vpes,
+            n_months=args.months,
+            seed=args.seed,
+            base_rate_per_hour=args.rate,
+            n_outages=args.outages,
+        )
+    elif args.scenario == "update-soak":
         config = update_soak_config(
             n_vpes=args.vpes,
             n_months=args.months,
@@ -197,13 +223,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             base_rate_per_hour=args.rate,
             update_month=args.update_month,
             n_fleet_events=args.fleet_events,
+            topology=TopologyConfig() if args.topology else None,
         )
     dataset = FleetSimulator(config).run()
     out_dir = pathlib.Path(args.out)
     write_trace(dataset, out_dir)
+    extras = ""
+    if dataset.topology is not None:
+        extras = (
+            f", topology over {len(dataset.topology)} devices"
+            f", {len(dataset.incidents)} labeled outages"
+        )
     print(
         f"wrote {dataset.n_messages:,} messages, "
-        f"{len(dataset.tickets)} tickets to {out_dir}/"
+        f"{len(dataset.tickets)} tickets to {out_dir}/{extras}"
     )
     return 0
 
@@ -367,6 +400,26 @@ class _SimulatedCrash(Exception):
     """Raised by the ``--kill-after-ticks`` fault hook (exit code 3)."""
 
 
+def _drain_incidents(
+    service: MonitorService, handle: Optional[TextIO]
+) -> int:
+    """Write the RCA engine's newly closed incidents; return the count.
+
+    Rows are ``repr(float)``-rendered (see
+    :func:`repro.rca.incident_row`), so a crashed-then-replayed run's
+    concatenated output collapses to the uninterrupted run's under
+    ``sort -u`` — the parity the rca-e2e CI job asserts.
+    """
+    if service.rca is None:
+        return 0
+    reports = service.rca.drain_closed()
+    if handle is not None and reports:
+        for report in reports:
+            handle.write(incident_row(report))
+        handle.flush()
+    return len(reports)
+
+
 class _TickWriter:
     """Append-mode CSV sinks for tick outcomes, flushed per tick.
 
@@ -505,6 +558,10 @@ def _run_fleet_serve(
         warnings_out=args.warnings_out,
         kill_shard=args.kill_shard,
         kill_after_ticks=args.after_ticks,
+        rca=args.rca,
+        topology_path=args.topology,
+        rca_gap=args.rca_gap,
+        incidents_out=args.incidents_out,
     )
     try:
         ring = load_ring(config)
@@ -564,6 +621,11 @@ def _run_fleet_serve(
                 f"{len(coordinator.ring)} shards at "
                 f"{report.msgs_per_s:.0f} msgs/s"
             )
+            if args.rca:
+                print(
+                    f"rca: {report.incidents} incident(s) closed "
+                    "across shards"
+                )
             if report.dead_shards:
                 print(
                     "shards died mid-drain: "
@@ -680,6 +742,13 @@ def _run_serve(
         detector = _load_detector(pathlib.Path(args.model))
         release = stage_release(store, detector, args.threshold)
         print(f"published release {release.release_id}")
+    rca_topology: Optional[FleetTopology] = None
+    if args.rca and args.topology:
+        try:
+            rca_topology = FleetTopology.load(args.topology)
+        except TopologyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     # Deliberately not closed on the simulated-crash path below: the
     # WAL tail must stay un-truncated so the next run recovers from
     # the journal exactly like a real crash.
@@ -687,6 +756,13 @@ def _run_serve(
     # Attach the adaptation controller before any recovery so WAL
     # replay rebuilds its drift windows and probation state.
     service.controller = _build_controller(args)
+    if args.rca:
+        # Attached before recovery for the same reason: checkpointed
+        # open incidents restore, then replayed ticks rebuild the
+        # identical incident stream.
+        service.rca = RcaEngine(
+            topology=rca_topology, cluster_gap=args.rca_gap
+        )
     has_state = (
         config.checkpoint_path.exists()
         or service.wal.last_sequence > 0
@@ -717,8 +793,11 @@ def _run_serve(
 
         service.fault_hook = _kill
     writer = _TickWriter(args.scores_out, args.warnings_out)
+    incidents_handle: Optional[TextIO] = None
+    if args.rca and args.incidents_out:
+        incidents_handle = open(args.incidents_out, "a", newline="")
     exit_code = 0
-    n_live = n_warnings = 0
+    n_live = n_warnings = n_incidents = 0
     try:
         if args.replay:
             report = service.recover()
@@ -726,6 +805,7 @@ def _run_serve(
             n_warnings += sum(
                 len(r.warnings) for r in report.results
             )
+            n_incidents += _drain_incidents(service, incidents_handle)
             print(
                 f"recovered from cursor {report.checkpoint_cursor}; "
                 f"replayed {report.ticks_replayed} ticks "
@@ -750,11 +830,18 @@ def _run_serve(
                 writer.write([result])
                 n_live += 1
                 n_warnings += len(result.warnings)
+                n_incidents += _drain_incidents(
+                    service, incidents_handle
+                )
         service.close()
+        # close() flushed any incidents still open at shutdown.
+        n_incidents += _drain_incidents(service, incidents_handle)
         print(
             f"served {n_live} live ticks ({n_warnings} warnings); "
             f"state in {config.data_dir}"
         )
+        if service.rca is not None:
+            print(f"rca: {n_incidents} incident(s) closed this run")
         if service.controller is not None:
             print(
                 f"adaptation: {service.controller.swaps} swap(s), "
@@ -769,7 +856,11 @@ def _run_serve(
         )
         exit_code = 3
     finally:
-        writer.close()
+        try:
+            writer.close()
+        finally:
+            if incidents_handle is not None:
+                incidents_handle.close()
         if args.telemetry_out:
             pathlib.Path(args.telemetry_out).write_text(
                 registry.to_json()
@@ -960,12 +1051,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fleet-events", type=int, default=0)
     p.add_argument(
         "--scenario",
-        choices=("default", "update-soak"),
+        choices=("default", "update-soak", "correlated-outage"),
         default="default",
         help=(
             "named preset: update-soak drifts the whole fleet at "
-            "--update-month (default: mid-trace)"
+            "--update-month (default: mid-trace); correlated-outage "
+            "plans --outages upstream faults over the fleet "
+            "topology (requires --topology)"
         ),
+    )
+    p.add_argument(
+        "--topology",
+        action="store_true",
+        help=(
+            "build a fleet topology and write it as topology.json "
+            "next to meta.json"
+        ),
+    )
+    p.add_argument(
+        "--outages",
+        type=int,
+        default=5,
+        help="correlated outages to plan (correlated-outage scenario)",
     )
     p.set_defaults(func=cmd_simulate)
 
@@ -1117,6 +1224,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scores-out", default=None)
     p.add_argument("--warnings-out", default=None)
     p.add_argument("--telemetry-out", default=None)
+    p.add_argument(
+        "--rca",
+        action="store_true",
+        help=(
+            "run the streaming root-cause engine at tick "
+            "boundaries: cluster co-occurring anomalies into "
+            "incidents and attribute them over --topology"
+        ),
+    )
+    p.add_argument(
+        "--topology",
+        default=None,
+        help=(
+            "fleet topology JSON for --rca (simulate --topology "
+            "writes topology.json next to the trace)"
+        ),
+    )
+    p.add_argument(
+        "--incidents-out",
+        default=None,
+        help="append closed-incident CSV rows here (needs --rca)",
+    )
+    p.add_argument(
+        "--rca-gap",
+        type=float,
+        default=DEFAULT_CLUSTER_GAP,
+        help="quiet stream seconds after which an incident closes",
+    )
     p.add_argument(
         "--shards",
         type=int,

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro import telemetry
 from repro.core.detector import LSTMAnomalyDetector
+from repro.core.incident import Incident
 from repro.core.stream import StreamBatch, StreamScorer
 from repro.logs.message import SyslogMessage
 from repro.timeutil import MINUTE
@@ -140,12 +141,16 @@ class WarningSignature:
 
 @dataclass
 class _DeviceState:
-    """Per-device anomaly history (contexts live in the scorer)."""
+    """Per-device anomaly history (contexts live in the scorer).
+
+    The warning cluster itself — the prunable anomaly times and the
+    peak score — is a shared :class:`~repro.core.incident.Incident`
+    (a singleton-device one); the cooldown stays device-local.
+    """
 
     last_time: Optional[float] = None
     last_score: Optional[float] = None
-    recent_anomalies: List[float] = field(default_factory=list)
-    peak_score: float = 0.0
+    cluster: Incident = field(default_factory=Incident)
     cooldown_until: float = 0.0
 
 
@@ -238,8 +243,8 @@ class OnlineMonitor:
                 host: {
                     "last_time": state.last_time,
                     "last_score": state.last_score,
-                    "recent_anomalies": list(state.recent_anomalies),
-                    "peak_score": state.peak_score,
+                    "recent_anomalies": list(state.cluster.times),
+                    "peak_score": state.cluster.peak_score,
                     "cooldown_until": state.cooldown_until,
                 }
                 for host, state in self._devices.items()
@@ -268,8 +273,11 @@ class OnlineMonitor:
             host: _DeviceState(
                 last_time=raw["last_time"],
                 last_score=raw["last_score"],
-                recent_anomalies=list(raw["recent_anomalies"]),
-                peak_score=float(raw["peak_score"]),
+                cluster=Incident(
+                    devices=[host],
+                    times=list(raw["recent_anomalies"]),
+                    scores={host: float(raw["peak_score"])},
+                ),
                 cooldown_until=float(raw["cooldown_until"]),
             )
             for host, raw in state["devices"].items()
@@ -340,32 +348,24 @@ class OnlineMonitor:
         score: float,
     ) -> Optional[WarningSignature]:
         now = message.timestamp
-        # Drop anomalies that no longer chain into the cluster.
-        state.recent_anomalies = [
-            t
-            for t in state.recent_anomalies
-            if now - t <= self.cluster_max_gap
-        ] + [now]
-        state.peak_score = max(
-            state.peak_score
-            if len(state.recent_anomalies) > 1
-            else 0.0,
-            score,
-        )
+        # Drop anomalies that no longer chain into the cluster (a
+        # fully expired cluster takes its stale peak with it).
+        cluster = state.cluster
+        cluster.prune(now, self.cluster_max_gap)
+        cluster.record(message.host, now, score)
         if now < state.cooldown_until:
             return None
-        if len(state.recent_anomalies) < self.cluster_min_size:
+        if len(cluster.times) < self.cluster_min_size:
             return None
         state.cooldown_until = now + self.cooldown
         warning = WarningSignature(
             vpe=message.host,
             time=now,
-            first_anomaly=state.recent_anomalies[0],
-            n_anomalies=len(state.recent_anomalies),
-            peak_score=state.peak_score,
+            first_anomaly=cluster.times[0],
+            n_anomalies=len(cluster.times),
+            peak_score=cluster.peak_score,
         )
-        state.recent_anomalies = []
-        state.peak_score = 0.0
+        cluster.reset()
         return warning
 
     def run(

@@ -12,9 +12,23 @@ from repro.evaluation.metrics import (
     f_measure,
     precision_recall,
 )
+from repro.evaluation.rca import (
+    KindScore,
+    RcaEvaluation,
+    anomaly_events,
+    attribute_dataset,
+    evaluate_rca,
+    score_rca,
+)
 from repro.evaluation.reporting import format_series, format_table
 
 __all__ = [
+    "KindScore",
+    "RcaEvaluation",
+    "anomaly_events",
+    "attribute_dataset",
+    "evaluate_rca",
+    "score_rca",
     "ConfidenceInterval",
     "bootstrap_detection_metrics",
     "DetectionCounts",

@@ -1,0 +1,25 @@
+"""Streaming topology-aware root-cause analysis.
+
+Groups per-device anomaly decisions into fleet incidents and walks
+the :mod:`repro.topology` graph to a lowest-common-ancestor cause
+hypothesis; see :mod:`repro.rca.engine` for the clustering and
+attribution rules and the replay/durability contract.
+"""
+
+from repro.rca.engine import (
+    DEFAULT_CLUSTER_GAP,
+    INCIDENT_CSV_COLUMNS,
+    RCA_STATE_VERSION,
+    IncidentReport,
+    RcaEngine,
+    incident_row,
+)
+
+__all__ = [
+    "DEFAULT_CLUSTER_GAP",
+    "INCIDENT_CSV_COLUMNS",
+    "IncidentReport",
+    "RCA_STATE_VERSION",
+    "RcaEngine",
+    "incident_row",
+]

@@ -59,6 +59,7 @@ from repro.core.adaptation import (
     transfer_adapt,
 )
 from repro.core.base import clamp_template_ids
+from repro.core.incident import Incident
 from repro.logs.message import (
     SyslogMessage,
     message_from_row,
@@ -290,9 +291,10 @@ class AdaptationController:
         self._baseline_rate = 0.0
         self._probation_release: Optional[int] = None
         self._rollback_to: Optional[int] = None
-        self._probation_anomalies = 0
-        self._probation_kept = 0
-        self._probation_elapsed = 0
+        #: Probation bookkeeping rides the shared Incident shape:
+        #: ``n_anomalies``/``n_observed`` accumulate the post-swap
+        #: rate, ``n_ticks`` is the elapsed guard window.
+        self._probation = Incident()
         self._cooldown_left = 0
         self._worker: Optional[
             Tuple[
@@ -354,9 +356,7 @@ class AdaptationController:
             self.phase = PHASE_PROBATION
             self._probation_release = int(release_id)
             self._rollback_to = int(previous_release)
-            self._probation_anomalies = 0
-            self._probation_kept = 0
-            self._probation_elapsed = 0
+            self._probation.reset()
             self._baseline_rate = (
                 self._normal_rate
                 if self._normal_rate is not None
@@ -434,9 +434,9 @@ class AdaptationController:
             "baseline_rate": self._baseline_rate,
             "probation_release": self._probation_release,
             "rollback_to": self._rollback_to,
-            "probation_anomalies": self._probation_anomalies,
-            "probation_kept": self._probation_kept,
-            "probation_elapsed": self._probation_elapsed,
+            "probation_anomalies": self._probation.n_anomalies,
+            "probation_kept": self._probation.n_observed,
+            "probation_elapsed": self._probation.n_ticks,
             "cooldown_left": self._cooldown_left,
         }
 
@@ -487,9 +487,11 @@ class AdaptationController:
         self._rollback_to = (
             None if rollback_to is None else int(rollback_to)
         )
-        self._probation_anomalies = int(state["probation_anomalies"])
-        self._probation_kept = int(state["probation_kept"])
-        self._probation_elapsed = int(state["probation_elapsed"])
+        self._probation = Incident(
+            n_anomalies=int(state["probation_anomalies"]),
+            n_observed=int(state["probation_kept"]),
+            n_ticks=int(state["probation_elapsed"]),
+        )
         self._cooldown_left = int(state["cooldown_left"])
 
     def close(self) -> None:
@@ -597,10 +599,8 @@ class AdaptationController:
 
     def _observe_probation(self, anomalies: int, kept: int) -> None:
         """Accumulate one probation tick; arm rollback or pass."""
-        self._probation_anomalies += anomalies
-        self._probation_kept += kept
-        self._probation_elapsed += 1
-        rate = self._probation_anomalies / max(1, self._probation_kept)
+        self._probation.observe_tick(anomalies, kept)
+        rate = self._probation.anomaly_rate()
         limit = self.config.rollback_ratio * max(
             self._baseline_rate, self.config.baseline_floor
         )
@@ -610,14 +610,14 @@ class AdaptationController:
             self._baseline_rate
         )
         if (
-            self._probation_elapsed >= self.config.min_probation_ticks
+            self._probation.n_ticks >= self.config.min_probation_ticks
             and rate > limit
         ):
             registry.gauge("adapt.rollback.rate_ratio").set(
                 rate / max(limit, 1e-12) * self.config.rollback_ratio
             )
             self.phase = PHASE_ROLLBACK
-        elif self._probation_elapsed >= self.config.probation_ticks:
+        elif self._probation.n_ticks >= self.config.probation_ticks:
             registry.counter("adapt.probation.passed").inc()
             self._enter_cooldown()
 
@@ -732,9 +732,7 @@ class AdaptationController:
         self._rebaseline()
         self._probation_release = None
         self._rollback_to = None
-        self._probation_anomalies = 0
-        self._probation_kept = 0
-        self._probation_elapsed = 0
+        self._probation.reset()
         if self.config.cooldown_ticks > 0:
             self.phase = PHASE_COOLDOWN
             self._cooldown_left = self.config.cooldown_ticks

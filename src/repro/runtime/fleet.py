@@ -49,6 +49,12 @@ from repro import telemetry
 from repro.core.detector import LSTMAnomalyDetector
 from repro.core.online import AdaptiveTicker
 from repro.logs.message import SyslogMessage
+from repro.rca import (
+    DEFAULT_CLUSTER_GAP,
+    IncidentReport,
+    RcaEngine,
+    incident_row,
+)
 from repro.runtime.codec import TICK_MAGIC, TickEncoder, decode_tick
 from repro.runtime.lock import LOCK_FILENAME, OwnerLock
 from repro.runtime.ring import DEFAULT_REPLICAS, HashRing
@@ -61,6 +67,7 @@ from repro.runtime.service import (
 )
 from repro.runtime.store import ArtifactStore, Release
 from repro.runtime.wal import DEFAULT_SEGMENT_BYTES
+from repro.topology import FleetTopology
 
 #: Leading byte of a binary tick frame on the pipe (same dispatch as
 #: the WAL: everything else is a JSON control/ack frame leading '{').
@@ -107,6 +114,14 @@ class FleetConfig:
         kill_shard: shard id to crash for the kill drill.
         kill_after_ticks: crash ``kill_shard`` after this many
             journaled ticks (both must be set together).
+        rca: attach a streaming root-cause engine to every worker's
+            service; per-shard incidents close over the shard's own
+            devices, and the ``rca.*`` registries fold into the
+            coordinator's fleet snapshot on close.
+        topology_path: fleet topology JSON every worker loads for
+            incident clustering/attribution (``None``: per-device).
+        rca_gap: quiet stream seconds that close an incident.
+        incidents_out: base path for per-shard closed-incident CSVs.
     """
 
     data_dir: Union[str, pathlib.Path]
@@ -124,6 +139,10 @@ class FleetConfig:
     warnings_out: Optional[str] = None
     kill_shard: Optional[int] = None
     kill_after_ticks: Optional[int] = None
+    rca: bool = False
+    topology_path: Optional[str] = None
+    rca_gap: float = DEFAULT_CLUSTER_GAP
+    incidents_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -173,6 +192,12 @@ class FleetConfig:
             return None
         return f"{self.warnings_out}.shard{shard:02d}"
 
+    def shard_incidents_path(self, shard: int) -> Optional[str]:
+        """Where shard ``shard`` appends its incident CSV (or ``None``)."""
+        if self.incidents_out is None:
+            return None
+        return f"{self.incidents_out}.shard{shard:02d}"
+
 
 @dataclass(frozen=True)
 class ShardDrain:
@@ -185,6 +210,7 @@ class ShardDrain:
     warnings: int
     backlog: int
     dead: bool
+    incidents: int = 0
 
 
 @dataclass(frozen=True)
@@ -199,6 +225,8 @@ class FleetDrainReport:
         msgs_per_s: aggregate acknowledged throughput.
         dead_shards: shards that were (or became) dead this drain.
         per_shard: each shard's :class:`ShardDrain`.
+        incidents: RCA incidents closed across all shards (0 unless
+            the fleet runs with ``rca=True``).
     """
 
     ticks: int
@@ -208,6 +236,7 @@ class FleetDrainReport:
     msgs_per_s: float
     dead_shards: Tuple[int, ...]
     per_shard: Dict[int, ShardDrain] = field(default_factory=dict)
+    incidents: int = 0
 
 
 # -- ring journal ---------------------------------------------------------
@@ -334,6 +363,10 @@ class _WorkerSpec:
     scores_path: Optional[str]
     warnings_path: Optional[str]
     kill_after_ticks: Optional[int]
+    rca: bool = False
+    topology_path: Optional[str] = None
+    rca_gap: float = DEFAULT_CLUSTER_GAP
+    incidents_path: Optional[str] = None
 
 
 class _ShardTickWriter:
@@ -351,6 +384,7 @@ class _ShardTickWriter:
         shard: int,
         scores_path: Optional[str],
         warnings_path: Optional[str],
+        incidents_path: Optional[str] = None,
     ) -> None:
         self._shard = shard
         self._scores = (
@@ -359,6 +393,11 @@ class _ShardTickWriter:
         self._warnings = (
             open(warnings_path, "a", newline="")
             if warnings_path
+            else None
+        )
+        self._incidents = (
+            open(incidents_path, "a", newline="")
+            if incidents_path
             else None
         )
 
@@ -382,14 +421,30 @@ class _ShardTickWriter:
                     )
             self._warnings.flush()
 
+    def write_incidents(
+        self, reports: Sequence[IncidentReport]
+    ) -> None:
+        """Append one shard-prefixed row per closed incident; flush."""
+        if self._incidents is None or not reports:
+            return
+        for report in reports:
+            self._incidents.write(
+                f"{self._shard},{incident_row(report)}"
+            )
+        self._incidents.flush()
+
     def close(self) -> None:
         """Release the underlying file handles."""
         try:
             if self._scores is not None:
                 self._scores.close()
         finally:
-            if self._warnings is not None:
-                self._warnings.close()
+            try:
+                if self._warnings is not None:
+                    self._warnings.close()
+            finally:
+                if self._incidents is not None:
+                    self._incidents.close()
 
 
 def _worker_loop(
@@ -412,6 +467,18 @@ def _worker_loop(
             quantized=spec.quantized,
         )
     )
+    if spec.rca:
+        topology = (
+            FleetTopology.load(spec.topology_path)
+            if spec.topology_path
+            else None
+        )
+        # Attached before recover(): checkpointed incidents restore
+        # and the replayed WAL tail rebuilds the identical per-shard
+        # incident stream.
+        service.rca = RcaEngine(
+            topology=topology, cluster_gap=spec.rca_gap
+        )
     if spec.kill_after_ticks is not None:
         survived = {"ticks": 0}
 
@@ -424,8 +491,19 @@ def _worker_loop(
 
         service.fault_hook = _kill
     writer = _ShardTickWriter(
-        spec.shard, spec.scores_path, spec.warnings_path
+        spec.shard,
+        spec.scores_path,
+        spec.warnings_path,
+        spec.incidents_path,
     )
+
+    def _drain_incidents() -> int:
+        if service.rca is None:
+            return 0
+        reports = service.rca.drain_closed()
+        writer.write_incidents(reports)
+        return len(reports)
+
     try:
         # Recovery is unconditional: a no-op on a fresh directory, a
         # bitwise-identical re-score of the journaled tail after a
@@ -433,6 +511,7 @@ def _worker_loop(
         # collapses them against the pre-crash rows.
         report = service.recover()
         writer.write(report.results)
+        _drain_incidents()
         conn.send_bytes(
             json.dumps(
                 {
@@ -451,6 +530,7 @@ def _worker_loop(
             if raw[:1] == _TICK_MAGIC_BYTE:
                 result = service.process_tick(decode_tick(raw))
                 writer.write([result])
+                n_incidents = _drain_incidents()
                 conn.send_bytes(
                     json.dumps(
                         {
@@ -460,6 +540,7 @@ def _worker_loop(
                             "n_messages": service.n_messages,
                             "n_scored": len(result.scores),
                             "n_warnings": len(result.warnings),
+                            "n_incidents": n_incidents,
                         },
                         separators=(",", ":"),
                     ).encode()
@@ -468,6 +549,8 @@ def _worker_loop(
             control = json.loads(raw.decode())
             if control.get("kind") == "close":
                 service.close()
+                # close() flushed any incidents still open.
+                _drain_incidents()
                 conn.send_bytes(
                     json.dumps(
                         {
@@ -607,6 +690,10 @@ class FleetCoordinator:
             scores_path=self.config.shard_scores_path(shard),
             warnings_path=self.config.shard_warnings_path(shard),
             kill_after_ticks=kill_after,
+            rca=self.config.rca,
+            topology_path=self.config.topology_path,
+            rca_gap=self.config.rca_gap,
+            incidents_path=self.config.shard_incidents_path(shard),
         )
         context = multiprocessing.get_context()
         parent_conn, child_conn = context.Pipe(duplex=True)
@@ -833,6 +920,7 @@ class FleetCoordinator:
         sent: Dict[int, int] = {}
         acked: Dict[int, int] = {}
         warnings: Dict[int, int] = {}
+        incidents: Dict[int, int] = {}
         for shard in self.ring.shards:
             handle = self._shards[shard]
             offsets[shard] = min(
@@ -840,6 +928,7 @@ class FleetCoordinator:
             )
             start_messages[shard] = handle.n_messages
             sent[shard] = acked[shard] = warnings[shard] = 0
+            incidents[shard] = 0
             tickers[shard] = (
                 AdaptiveTicker(
                     initial=tick_size,
@@ -924,6 +1013,7 @@ class FleetCoordinator:
                 shard = handle.shard
                 acked[shard] += 1
                 warnings[shard] += int(ack["n_warnings"])
+                incidents[shard] += int(ack.get("n_incidents", 0))
                 backlog = len(parts[shard]) - offsets[shard]
                 ticker = tickers[shard]
                 if ticker is not None:
@@ -934,6 +1024,7 @@ class FleetCoordinator:
         seconds = time.perf_counter() - started
         per_shard = {}
         total_messages = total_ticks = total_warnings = 0
+        total_incidents = 0
         for shard in self.ring.shards:
             handle = self._shards[shard]
             messages = handle.n_messages - start_messages[shard]
@@ -945,10 +1036,12 @@ class FleetCoordinator:
                 warnings=warnings[shard],
                 backlog=len(parts[shard]) - offsets[shard],
                 dead=handle.dead,
+                incidents=incidents[shard],
             )
             total_messages += messages
             total_ticks += acked[shard]
             total_warnings += warnings[shard]
+            total_incidents += incidents[shard]
         rate = total_messages / seconds if seconds > 0 else 0.0
         registry = telemetry.default_registry()
         registry.counter("fleet.ticks_routed").inc(total_ticks)
@@ -962,6 +1055,7 @@ class FleetCoordinator:
             msgs_per_s=rate,
             dead_shards=self.dead_shards,
             per_shard=per_shard,
+            incidents=total_incidents,
         )
 
     # -- shutdown -------------------------------------------------------

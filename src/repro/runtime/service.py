@@ -70,6 +70,7 @@ from repro.runtime.store import ArtifactStore, Release
 from repro.runtime.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rca import RcaEngine
     from repro.runtime.adapt import AdaptationController
 
 #: Journal payload kinds: one ingested tick, or one model swap.
@@ -318,6 +319,11 @@ class MonitorService:
         #: (:class:`repro.runtime.adapt.AdaptationController`); attach
         #: before :meth:`recover` so replay rebuilds its windows.
         self.controller: Optional["AdaptationController"] = None
+        #: Optional streaming root-cause engine
+        #: (:class:`repro.rca.RcaEngine`); attach before
+        #: :meth:`recover` so checkpointed incidents restore and
+        #: replayed ticks rebuild the identical incident stream.
+        self.rca: Optional["RcaEngine"] = None
         self.fault_hook: Optional[Callable[[str, int], None]] = None
         self._encoder = TickEncoder()
         self._closed = False
@@ -386,6 +392,8 @@ class MonitorService:
             extra["pending_release"] = self.pending_release
         if self.controller is not None:
             extra["adapt"] = self.controller.state_dict()
+        if self.rca is not None:
+            extra["rca"] = self.rca.state_dict()
         with telemetry.timed("runtime.checkpoint.seconds"):
             size = write_checkpoint(
                 self.config.checkpoint_path,
@@ -425,6 +433,9 @@ class MonitorService:
             adapt_state = checkpoint.extra.get("adapt")
             if adapt_state is not None and self.controller is not None:
                 self.controller.load_state_dict(adapt_state)
+            rca_state = checkpoint.extra.get("rca")
+            if rca_state is not None and self.rca is not None:
+                self.rca.load_state_dict(rca_state)
         results: List[TickResult] = []
         records = ticks = messages = swaps = 0
         for record in self.wal.replay(after=self.cursor):
@@ -501,6 +512,17 @@ class MonitorService:
         batch = self.monitor.last_batch
         self.n_ticks += 1
         self.n_messages += len(messages)
+        if self.rca is not None:
+            # One hook covers both the live tick loop and WAL replay:
+            # the engine sees the identical decision stream either
+            # way, which is what makes its incident output replayable.
+            self.rca.observe_tick(
+                sequence,
+                messages,
+                batch.scores,
+                batch.kept,
+                self.monitor.threshold,
+            )
         return TickResult(
             tick=sequence,
             scores=batch.scores,
@@ -751,6 +773,10 @@ class MonitorService:
         try:
             if self.controller is not None:
                 self.controller.close()
+            if self.rca is not None:
+                # Open incidents close (and attribute) at shutdown so
+                # the final checkpoint carries no dangling state.
+                self.rca.flush()
             self.checkpoint_now()
         finally:
             try:

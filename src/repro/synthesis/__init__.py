@@ -34,6 +34,12 @@ from repro.synthesis.catalog import (
     ROUTINE_TEMPLATES,
     LogTemplateSpec,
 )
+from repro.synthesis.correlated import (
+    GroundTruthIncident,
+    plan_correlated_outages,
+    read_incidents,
+    write_incidents,
+)
 from repro.synthesis.dataset import FleetDataset
 from repro.synthesis.fleet import FleetSimulator, SimulationConfig
 from repro.synthesis.kpi import (
@@ -41,6 +47,7 @@ from repro.synthesis.kpi import (
     KpiSimulator,
     KpiThresholdDetector,
 )
+from repro.synthesis.outage import correlated_outage_config
 from repro.synthesis.profiles import VpeProfile, build_fleet_profiles
 from repro.synthesis.soak import update_soak_config
 from repro.synthesis.updates import SoftwareUpdate
@@ -60,4 +67,9 @@ __all__ = [
     "KpiSimulator",
     "KpiThresholdDetector",
     "update_soak_config",
+    "GroundTruthIncident",
+    "plan_correlated_outages",
+    "read_incidents",
+    "write_incidents",
+    "correlated_outage_config",
 ]

@@ -1,0 +1,285 @@
+"""Correlated fault propagation over the fleet topology.
+
+The base simulator injects faults device-by-device; every outage is
+an island.  Real NFV outages are not: a circuit flap takes out every
+vPE riding the circuit, a cable cut darkens whole sites, a bad
+software rollout breaks its cohort wherever it runs.  This module
+plans such *correlated outages*: each picks an upstream topology
+element, then propagates down the element's edges to its covered
+devices with per-hop attenuation (the further a device sits from the
+faulty element, the likelier the virtualization layering hides the
+symptom).  Every planned outage carries its ground-truth
+``(cause_kind, cause_element)`` label so root-cause attribution can
+be scored as a classification task.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.synthesis.faults import (
+    DEFAULT_FAULT_MODELS,
+    FaultEvent,
+    FaultTypeModel,
+    allocate_fault_id,
+)
+from repro.tickets.ticket import RootCause
+from repro.topology.graph import (
+    KIND_CABLE,
+    KIND_CIRCUIT,
+    KIND_DEVICE,
+    KIND_SITE,
+    KIND_SOFTWARE,
+    FleetTopology,
+)
+
+#: Seed-stream tag for outage planning draws
+#: (``default_rng([seed, OUTAGE_SEED_TAG])`` in the fleet driver).
+OUTAGE_SEED_TAG = 3
+
+#: Cause kinds cycled through when planning outages, in planning
+#: order.  Cycling guarantees every kind appears once the outage
+#: count reaches the taxonomy size — the evaluation's macro-F1 needs
+#: support in every class.
+OUTAGE_KINDS = (
+    KIND_CIRCUIT,
+    KIND_SOFTWARE,
+    KIND_CABLE,
+    KIND_SITE,
+    KIND_DEVICE,
+)
+
+#: Which fault family supplies the symptom behaviour for an outage at
+#: each element kind.  A site outage surfaces at its devices as
+#: transport trouble (circuit symptoms); a device-local outage is
+#: hardware.
+_SYMPTOM_CAUSE = {
+    KIND_CIRCUIT: RootCause.CIRCUIT,
+    KIND_SITE: RootCause.CIRCUIT,
+    KIND_CABLE: RootCause.CABLE,
+    KIND_SOFTWARE: RootCause.SOFTWARE,
+    KIND_DEVICE: RootCause.HARDWARE,
+}
+
+
+@dataclass(frozen=True)
+class GroundTruthIncident:
+    """The label of one planned correlated outage.
+
+    Attributes:
+        incident_id: 1-based planning index.
+        cause_kind: topology kind of the faulty element (the class
+            the RCA engine must predict).
+        cause_element: the faulty element's id.
+        onset: outage onset at the element.
+        clears_at: when the element recovers.
+        devices: devices that actually emit symptoms, sorted.
+    """
+
+    incident_id: int
+    cause_kind: str
+    cause_element: str
+    onset: float
+    clears_at: float
+    devices: Tuple[str, ...]
+
+
+def write_incidents(
+    incidents: Sequence[GroundTruthIncident],
+    path: Union[str, pathlib.Path],
+) -> None:
+    """Persist ground-truth incidents as CSV next to the trace."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "incident_id",
+                "cause_kind",
+                "cause_element",
+                "onset",
+                "clears_at",
+                "devices",
+            ]
+        )
+        for incident in incidents:
+            writer.writerow(
+                [
+                    incident.incident_id,
+                    incident.cause_kind,
+                    incident.cause_element,
+                    f"{incident.onset:.3f}",
+                    f"{incident.clears_at:.3f}",
+                    ";".join(incident.devices),
+                ]
+            )
+
+
+def read_incidents(
+    path: Union[str, pathlib.Path],
+) -> List[GroundTruthIncident]:
+    """Load incidents written by :func:`write_incidents`."""
+    incidents: List[GroundTruthIncident] = []
+    with open(path) as handle:
+        for row in csv.DictReader(handle):
+            incidents.append(
+                GroundTruthIncident(
+                    incident_id=int(row["incident_id"]),
+                    cause_kind=row["cause_kind"],
+                    cause_element=row["cause_element"],
+                    onset=float(row["onset"]),
+                    clears_at=float(row["clears_at"]),
+                    devices=tuple(
+                        d for d in row["devices"].split(";") if d
+                    ),
+                )
+            )
+    return incidents
+
+
+def _model_for(
+    kind: str, models: Sequence[FaultTypeModel]
+) -> FaultTypeModel:
+    """The fault family whose symptoms an outage at ``kind`` emits.
+
+    The base models gamble on whether a fault surfaces in syslog at
+    all (``symptom_emission_probability``) and whether symptoms lead
+    or trail the ticket — those gambles model *subtle* background
+    faults.  A planned outage is a hard failure: every device it
+    reaches logs symptoms, starting at the device's onset, so the
+    returned model forces both probabilities to 1.
+    """
+    cause = _SYMPTOM_CAUSE[kind]
+    for model in models:
+        if model.root_cause is cause:
+            return replace(
+                model,
+                symptom_emission_probability=1.0,
+                pre_symptom_probability=1.0,
+            )
+    raise ValueError(f"no fault model for root cause {cause.value}")
+
+
+def _elements_of_kind(
+    topology: FleetTopology, kind: str
+) -> List[str]:
+    """Sorted element ids of one kind (devices included)."""
+    return [
+        element
+        for element in topology.elements
+        if topology.kind(element) == kind
+    ]
+
+
+def plan_correlated_outages(
+    topology: FleetTopology,
+    start: float,
+    end: float,
+    n_outages: int,
+    rng: np.random.Generator,
+    models: Sequence[FaultTypeModel] = DEFAULT_FAULT_MODELS,
+    attenuation: float = 0.85,
+    hop_delay: float = 60.0,
+) -> Tuple[Dict[str, List[FaultEvent]], List[GroundTruthIncident]]:
+    """Plan ``n_outages`` correlated outages over a topology.
+
+    Each outage cycles through :data:`OUTAGE_KINDS`, picks a concrete
+    element of that kind with the injected generator, and propagates
+    to the element's covered devices: a device at ``h`` hops emits
+    symptoms with probability ``attenuation ** h`` and sees its onset
+    delayed by ``h * hop_delay`` plus jitter.  Outages are placed in
+    disjoint time slots across ``[start, end)`` so each forms one
+    temporally separable incident.
+
+    Returns:
+        ``(events_by_device, incidents)`` — the per-device
+        :class:`~repro.synthesis.faults.FaultEvent` lists to
+        materialize, and the matching ground-truth labels.
+    """
+    if n_outages < 1:
+        raise ValueError("n_outages must be >= 1")
+    if not 0.0 < attenuation <= 1.0:
+        raise ValueError("attenuation must be in (0, 1]")
+    span = end - start
+    if span <= 0:
+        raise ValueError("end must be after start")
+    events_by_device: Dict[str, List[FaultEvent]] = {}
+    incidents: List[GroundTruthIncident] = []
+    slot = span / n_outages
+    for index in range(n_outages):
+        kind = OUTAGE_KINDS[index % len(OUTAGE_KINDS)]
+        pool = _elements_of_kind(topology, kind)
+        element = pool[int(rng.integers(len(pool)))]
+        model = _model_for(kind, models)
+        slot_start = start + index * slot
+        onset = slot_start + float(rng.uniform(0.1, 0.5)) * slot
+        duration = float(
+            rng.lognormal(
+                model.duration_log_mean, model.duration_log_sigma
+            )
+        )
+        clears_at = min(onset + duration, end)
+        hops = topology.hops(element)
+        emit_probability = attenuation**hops
+        affected: List[str] = []
+        for device in sorted(topology.covered(element)):
+            if rng.random() >= emit_probability:
+                continue
+            device_onset = (
+                onset
+                + hops * hop_delay
+                + float(rng.exponential(hop_delay))
+            )
+            if device_onset >= clears_at:
+                continue
+            affected.append(device)
+            events_by_device.setdefault(device, []).append(
+                FaultEvent(
+                    fault_id=allocate_fault_id(),
+                    vpe=device,
+                    model=model,
+                    onset=device_onset,
+                    clears_at=clears_at,
+                )
+            )
+        if not affected:
+            # Attenuation silenced the whole outage; anchor it on one
+            # covered device so the label always has support.
+            device = sorted(topology.covered(element))[
+                int(rng.integers(len(topology.covered(element))))
+            ]
+            affected.append(device)
+            events_by_device.setdefault(device, []).append(
+                FaultEvent(
+                    fault_id=allocate_fault_id(),
+                    vpe=device,
+                    model=model,
+                    onset=onset + hops * hop_delay,
+                    clears_at=clears_at,
+                )
+            )
+        incidents.append(
+            GroundTruthIncident(
+                incident_id=index + 1,
+                cause_kind=kind,
+                cause_element=element,
+                onset=onset,
+                clears_at=clears_at,
+                devices=tuple(affected),
+            )
+        )
+    return events_by_device, incidents
+
+
+__all__ = [
+    "GroundTruthIncident",
+    "OUTAGE_KINDS",
+    "OUTAGE_SEED_TAG",
+    "plan_correlated_outages",
+    "read_incidents",
+    "write_incidents",
+]

@@ -14,10 +14,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.logs.message import SyslogMessage
+from repro.synthesis.correlated import GroundTruthIncident
 from repro.synthesis.profiles import VpeProfile
 from repro.synthesis.updates import SoftwareUpdate
 from repro.tickets.ticket import TroubleTicket
 from repro.timeutil import DAY
+from repro.topology.graph import FleetTopology
 
 
 @dataclass
@@ -32,6 +34,10 @@ class FleetDataset:
         start / end: trace bounds (POSIX seconds).
         kpis: per-vPE service-level metric series (present when the
             simulation enabled KPI generation; empty otherwise).
+        topology: the fleet graph the trace was simulated over
+            (``None`` for topology-free simulations).
+        incidents: ground-truth correlated-outage labels (empty
+            outside the correlated-outage scenario).
     """
 
     profiles: List[VpeProfile]
@@ -41,6 +47,8 @@ class FleetDataset:
     start: float
     end: float
     kpis: Dict[str, list] = field(default_factory=dict)
+    topology: Optional[FleetTopology] = None
+    incidents: List[GroundTruthIncident] = field(default_factory=list)
     _times: Dict[str, List[float]] = field(
         default_factory=dict, repr=False
     )

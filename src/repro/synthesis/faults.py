@@ -37,6 +37,11 @@ from repro.timeutil import HOUR, MINUTE, MONTH
 _fault_ids = itertools.count(1)
 
 
+def allocate_fault_id() -> int:
+    """Next process-unique fault id (shared with the injector)."""
+    return next(_fault_ids)
+
+
 @dataclass(frozen=True)
 class FaultTypeModel:
     """Behavioural parameters of one root-cause family.

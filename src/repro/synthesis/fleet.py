@@ -9,13 +9,18 @@ processing flow that turns monitoring signals into trouble tickets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.logs.message import Severity, SyslogMessage
 from repro.synthesis.catalog import catalog_by_name
+from repro.synthesis.correlated import (
+    OUTAGE_SEED_TAG,
+    GroundTruthIncident,
+    plan_correlated_outages,
+)
 from repro.synthesis.dataset import FleetDataset
 from repro.synthesis.faults import (
     DEFAULT_FAULT_MODELS,
@@ -42,6 +47,11 @@ from repro.tickets.processing import (
     TicketProcessor,
 )
 from repro.timeutil import MONTH, TRACE_START
+from repro.topology import (
+    FleetTopology,
+    TopologyConfig,
+    generate_topology,
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +94,14 @@ class SimulationConfig:
         generate_kpis: also produce per-vPE service-level KPI series
             (see :mod:`repro.synthesis.kpi`).
         ticketing: ticket-processing policy.
+        topology: fleet-graph shape; when set, the simulation builds
+            a :class:`~repro.topology.FleetTopology` over the fleet
+            (its seed is overridden by the master ``seed``).
+        n_correlated_outages: correlated upstream-element outages to
+            plan over the topology (see
+            :mod:`repro.synthesis.correlated`).
+        outage_attenuation: per-hop symptom-emission attenuation of
+            correlated outages.
     """
 
     n_vpes: int = 38
@@ -103,8 +121,19 @@ class SimulationConfig:
     lemon_fraction: float = 0.15
     generate_kpis: bool = False
     ticketing: TicketingPolicy = field(default_factory=TicketingPolicy)
+    topology: Optional[TopologyConfig] = None
+    n_correlated_outages: int = 0
+    outage_attenuation: float = 0.85
 
     def __post_init__(self) -> None:
+        if self.n_correlated_outages < 0:
+            raise ValueError("n_correlated_outages must be >= 0")
+        if self.n_correlated_outages > 0 and self.topology is None:
+            raise ValueError(
+                "correlated outages require a topology config"
+            )
+        if not 0.0 < self.outage_attenuation <= 1.0:
+            raise ValueError("outage_attenuation must be in (0, 1]")
         if self.n_vpes < 1:
             raise ValueError("n_vpes must be >= 1")
         if self.n_months < 1:
@@ -153,6 +182,12 @@ class FleetSimulator:
             lemon_fraction=config.lemon_fraction,
         )
         update = self._plan_update(profiles)
+        topology: Optional[FleetTopology] = None
+        if config.topology is not None:
+            topology = generate_topology(
+                [profile.name for profile in profiles],
+                replace(config.topology, seed=config.seed),
+            )
         injector = FaultInjector(
             config.fault_models,
             cascade_probability=config.cascade_probability,
@@ -175,6 +210,12 @@ class FleetSimulator:
         all_signals.extend(
             self._fleet_events(profiles, injector, streams)
         )
+        incidents: List[GroundTruthIncident] = []
+        if config.n_correlated_outages > 0:
+            assert topology is not None  # enforced by the config
+            incidents = self._correlated_outages(
+                topology, injector, streams, faults_by_vpe, all_signals
+            )
         tickets = TicketProcessor(config.ticketing).process(all_signals)
         for stream in streams.values():
             stream.sort(key=lambda message: message.timestamp)
@@ -201,7 +242,51 @@ class FleetSimulator:
             start=config.start,
             end=config.end,
             kpis=kpis,
+            topology=topology,
+            incidents=incidents,
         )
+
+    def _correlated_outages(
+        self,
+        topology: FleetTopology,
+        injector: FaultInjector,
+        streams: Dict[str, List[SyslogMessage]],
+        faults_by_vpe: Dict[str, list],
+        signals_out: List[MonitoringSignal],
+    ) -> List[GroundTruthIncident]:
+        """Plan and materialize the correlated-outage scenario.
+
+        All draws come from the ``[seed, OUTAGE_SEED_TAG]`` stream, so
+        fault-site selection reproduces with the master seed alone.
+        """
+        config = self.config
+        rng = np.random.default_rng([config.seed, OUTAGE_SEED_TAG])
+        events_by_device, incidents = plan_correlated_outages(
+            topology,
+            config.start,
+            config.end,
+            config.n_correlated_outages,
+            rng,
+            models=config.fault_models,
+            attenuation=config.outage_attenuation,
+        )
+        for device in sorted(events_by_device):
+            for event in events_by_device[device]:
+                faults_by_vpe[device].append(event)
+                burst, event_signals = injector.materialize(
+                    event,
+                    rng,
+                    reoccurrence_count=(
+                        config.ticketing.reoccurrence_count
+                    ),
+                )
+                streams[device].extend(
+                    message
+                    for message in burst
+                    if message.timestamp < config.end
+                )
+                signals_out.extend(event_signals)
+        return incidents
 
     def _plan_update(
         self, profiles: Sequence[VpeProfile]

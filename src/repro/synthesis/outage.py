@@ -1,0 +1,73 @@
+"""Correlated-outage scenario preset.
+
+Packages the topology-aware fault-propagation condition as a
+reproducible simulation preset, the way :mod:`repro.synthesis.soak`
+packages update drift: a fleet graph is generated over the vPEs, a
+cycle of upstream-element outages (circuit, software cohort, cable,
+site, single device) propagates along its edges, and the background
+fault processes are damped so the correlated bursts dominate the
+anomaly stream.  ``python -m repro simulate --topology --scenario
+correlated-outage`` builds traces from this preset; the ``rca-e2e``
+CI job drives one through ``serve --rca`` end to end.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis.fleet import SimulationConfig
+from repro.topology import TopologyConfig
+
+#: Background (uncorrelated) fault intensity in the scenario: low
+#: enough that labeled outages dominate the incident stream, nonzero
+#: so the RCA engine still sees the occasional solo anomaly.
+OUTAGE_BACKGROUND_FAULT_RATE = 0.1
+
+
+def correlated_outage_config(
+    n_vpes: int = 16,
+    n_months: int = 2,
+    seed: int = 7,
+    base_rate_per_hour: float = 6.0,
+    n_outages: int = 5,
+    attenuation: float = 0.85,
+) -> SimulationConfig:
+    """The correlated-outage scenario preset.
+
+    Returns a :class:`SimulationConfig` with a fleet topology and
+    ``n_outages`` planned upstream outages (cycling through every
+    cause kind), no mid-trace software update and no fleet-wide
+    circuit events (both would confound attribution), damped
+    background faults, and a sparse maintenance schedule.  Defaults
+    fit CI budgets; raise ``n_vpes``/``n_outages`` for benchmarks.
+
+    The default fleet size divides evenly through the group sizes
+    (16 vPEs -> 8 circuits -> 4 sites -> 2 cables), so no cable ends
+    up covering exactly one site's devices — coverage-identical
+    elements would make their outage kinds unattributable.
+    """
+    return SimulationConfig(
+        n_vpes=n_vpes,
+        n_months=n_months,
+        seed=seed,
+        base_rate_per_hour=base_rate_per_hour,
+        update_month=None,
+        n_fleet_events=0,
+        fault_rate_multiplier=OUTAGE_BACKGROUND_FAULT_RATE,
+        cascade_probability=0.0,
+        maintenance_interval_days=10 * 30.0,
+        # Small groups keep the graph layered even at CI fleet sizes
+        # (a dozen vPEs still spread over several sites and cables),
+        # so site and cable outages stay distinguishable by coverage.
+        topology=TopologyConfig(
+            devices_per_circuit=2,
+            circuits_per_site=2,
+            sites_per_cable=2,
+        ),
+        n_correlated_outages=n_outages,
+        outage_attenuation=attenuation,
+    )
+
+
+__all__ = [
+    "OUTAGE_BACKGROUND_FAULT_RATE",
+    "correlated_outage_config",
+]

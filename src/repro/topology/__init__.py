@@ -1,0 +1,37 @@
+"""Fleet topology: shared-infrastructure graph over the vPE fleet.
+
+See :mod:`repro.topology.graph` for the graph model and
+:mod:`repro.topology.generate` for the deterministic synthesizer.
+"""
+
+from repro.topology.generate import (
+    TOPOLOGY_SEED_TAG,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.topology.graph import (
+    KIND_CABLE,
+    KIND_CIRCUIT,
+    KIND_DEVICE,
+    KIND_SITE,
+    KIND_SOFTWARE,
+    TOPOLOGY_VERSION,
+    FleetTopology,
+    TopologyError,
+    cause_kind_for,
+)
+
+__all__ = [
+    "FleetTopology",
+    "TopologyError",
+    "TopologyConfig",
+    "generate_topology",
+    "cause_kind_for",
+    "TOPOLOGY_SEED_TAG",
+    "TOPOLOGY_VERSION",
+    "KIND_CABLE",
+    "KIND_CIRCUIT",
+    "KIND_DEVICE",
+    "KIND_SITE",
+    "KIND_SOFTWARE",
+]

@@ -1,0 +1,145 @@
+"""Deterministic fleet topology synthesis.
+
+Builds a :class:`~repro.topology.graph.FleetTopology` over a named
+device fleet with the same reproducibility contract as the rest of
+the synthesizer: every draw comes from one ``--seed``-derived
+:class:`numpy.random.Generator`, so the same ``(devices, seed)``
+produces the same graph in every process and interpreter run (no
+``hash()``, no OS entropy).
+
+The shape mirrors a small ISP edge deployment: a handful of vPEs per
+access circuit, a few circuits terminating per site, sites paired
+onto shared long-haul cables, and the fleet split across a small
+number of software versions (rollouts are never perfectly uniform,
+so version cohort sizes are drawn, not chunked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.topology.graph import FleetTopology
+
+#: Seed-stream tag for topology generation: every draw below comes
+#: from ``default_rng([seed, TOPOLOGY_SEED_TAG])``, keeping the
+#: stream disjoint from the simulator's per-vPE and fleet streams.
+TOPOLOGY_SEED_TAG = 23
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape knobs for :func:`generate_topology`.
+
+    Attributes:
+        devices_per_circuit: mean vPEs attached to one circuit.
+        circuits_per_site: mean circuits terminating at one site.
+        sites_per_cable: mean sites sharing one long-haul cable.
+        n_software_versions: distinct software versions deployed.
+        seed: master seed; the generator derives its stream as
+            ``[seed, TOPOLOGY_SEED_TAG]``.
+    """
+
+    devices_per_circuit: int = 4
+    circuits_per_site: int = 3
+    sites_per_cable: int = 2
+    n_software_versions: int = 3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        for name in (
+            "devices_per_circuit",
+            "circuits_per_site",
+            "sites_per_cable",
+            "n_software_versions",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+def _group_count(n_children: int, per_parent: int) -> int:
+    """Parents needed for ``n_children`` at ``per_parent`` each."""
+    return max(1, (n_children + per_parent - 1) // per_parent)
+
+
+def _assign(
+    children: Sequence[str],
+    parents: Sequence[str],
+    rng: np.random.Generator,
+) -> List[str]:
+    """Shuffle children into parents, round-robin over a permutation.
+
+    Round-robin keeps every parent non-empty (each parent covers at
+    least one child while children outnumber parents); the shuffled
+    order makes which children share a parent a seed-derived draw.
+    """
+    order = rng.permutation(len(children))
+    assignment = [""] * len(children)
+    for position, child_index in enumerate(order):
+        assignment[child_index] = parents[position % len(parents)]
+    return assignment
+
+
+def generate_topology(
+    devices: Sequence[str],
+    config: TopologyConfig,
+) -> FleetTopology:
+    """Build the fleet graph for a device list, deterministically.
+
+    Args:
+        devices: device (vPE) names; order does not affect the graph
+            (assignment keys off the sorted list).
+        config: shape knobs plus the master seed.
+
+    Returns:
+        A validated :class:`FleetTopology` covering every device.
+    """
+    if not devices:
+        raise ValueError("cannot build a topology over zero devices")
+    ordered = sorted(devices)
+    if len(set(ordered)) != len(ordered):
+        raise ValueError("duplicate device names in topology input")
+    rng = np.random.default_rng([config.seed, TOPOLOGY_SEED_TAG])
+
+    n_circuits = _group_count(
+        len(ordered), config.devices_per_circuit
+    )
+    circuits = [f"circuit-{i:03d}" for i in range(n_circuits)]
+    device_circuit = dict(
+        zip(ordered, _assign(ordered, circuits, rng))
+    )
+
+    n_sites = _group_count(n_circuits, config.circuits_per_site)
+    sites = [f"site-{i:03d}" for i in range(n_sites)]
+    circuit_site = dict(zip(circuits, _assign(circuits, sites, rng)))
+
+    n_cables = _group_count(n_sites, config.sites_per_cable)
+    cables = [f"cable-{i:03d}" for i in range(n_cables)]
+    site_cable = dict(zip(sites, _assign(sites, cables, rng)))
+
+    versions = [
+        f"sw-v{i + 1}.0" for i in range(config.n_software_versions)
+    ]
+    # Rollouts are lumpy: draw each device's version instead of
+    # round-robin chunking, so cohort sizes vary with the seed.
+    picks = rng.integers(0, len(versions), size=len(ordered))
+    device_software = {
+        device: versions[int(pick)]
+        for device, pick in zip(ordered, picks)
+    }
+
+    return FleetTopology(
+        device_circuit=device_circuit,
+        circuit_site=circuit_site,
+        site_cable=site_cable,
+        device_software=device_software,
+    )
+
+
+__all__ = [
+    "TOPOLOGY_SEED_TAG",
+    "TopologyConfig",
+    "generate_topology",
+]

@@ -1,0 +1,282 @@
+"""The fleet topology graph: what devices share, and how far apart.
+
+The paper's trouble tickets blame faults on shared infrastructure —
+circuits, cables, sites, software versions — but the reproduction's
+per-device streams carry none of that structure.  This module adds
+it: a :class:`FleetTopology` is two overlay trees over the vPE fleet,
+
+* a **physical** chain ``device -> circuit -> site -> cable`` (a vPE
+  rides a circuit, circuits terminate at a site, sites share a
+  long-haul cable), and
+* a **software** cohort ``device -> version`` (devices running the
+  same image fail together under a bad rollout).
+
+Every non-device element *covers* the set of devices beneath it;
+root-cause analysis walks these edges upward to find the lowest
+element covering an incident, and fault injection walks them
+downward to spread a correlated outage.  The graph is deliberately
+dependency-free (plain dicts, no networkx) and JSON-serializable
+with a versioned envelope so it can sit next to the synthesis
+manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+#: Version of the serialized topology layout; bumped on
+#: incompatible changes.
+TOPOLOGY_VERSION = 1
+
+#: Element kinds, doubling as the RCA cause taxonomy: a fault at a
+#: ``circuit``/``cable``/``software`` element maps onto the ticket
+#: root causes of the same name, a ``site`` fault surfaces as
+#: (planned or unplanned) site maintenance, and a ``device`` fault is
+#: local hardware.
+KIND_DEVICE = "device"
+KIND_CIRCUIT = "circuit"
+KIND_SITE = "site"
+KIND_CABLE = "cable"
+KIND_SOFTWARE = "software"
+
+#: Hop distance from an element down to a covered device, used as the
+#: attenuation exponent during correlated fault injection.
+_ELEMENT_HOPS = {
+    KIND_DEVICE: 0,
+    KIND_CIRCUIT: 1,
+    KIND_SITE: 2,
+    KIND_CABLE: 3,
+    KIND_SOFTWARE: 1,
+}
+
+
+class TopologyError(ValueError):
+    """An inconsistent or unreadable topology description."""
+
+
+class FleetTopology:
+    """Immutable fleet graph over named devices.
+
+    Args:
+        device_circuit: device -> circuit attachment (every device).
+        circuit_site: circuit -> terminating site (every circuit).
+        site_cable: site -> shared long-haul cable (every site).
+        device_software: device -> running software version (every
+            device).
+
+    The constructor validates referential integrity: each map must
+    cover exactly the elements referenced by the layer below it.
+    """
+
+    def __init__(
+        self,
+        device_circuit: Dict[str, str],
+        circuit_site: Dict[str, str],
+        site_cable: Dict[str, str],
+        device_software: Dict[str, str],
+    ) -> None:
+        if set(device_circuit) != set(device_software):
+            raise TopologyError(
+                "device_circuit and device_software must cover the "
+                "same device set"
+            )
+        missing = set(device_circuit.values()) - set(circuit_site)
+        if missing:
+            raise TopologyError(
+                f"circuits without a site: {sorted(missing)}"
+            )
+        missing = set(circuit_site.values()) - set(site_cable)
+        if missing:
+            raise TopologyError(
+                f"sites without a cable: {sorted(missing)}"
+            )
+        self._device_circuit = dict(device_circuit)
+        self._circuit_site = dict(circuit_site)
+        self._site_cable = dict(site_cable)
+        self._device_software = dict(device_software)
+        # Element -> covered device set, precomputed once: the RCA
+        # hot path intersects these on every attribution.
+        members: Dict[str, frozenset] = {}
+        kinds: Dict[str, str] = {}
+        grouped: Dict[str, List[str]] = {}
+        for device, circuit in self._device_circuit.items():
+            kinds[device] = KIND_DEVICE
+            members[device] = frozenset((device,))
+            site = self._circuit_site[circuit]
+            cable = self._site_cable[site]
+            software = self._device_software[device]
+            for element, kind in (
+                (circuit, KIND_CIRCUIT),
+                (site, KIND_SITE),
+                (cable, KIND_CABLE),
+                (software, KIND_SOFTWARE),
+            ):
+                kinds.setdefault(element, kind)
+                grouped.setdefault(element, []).append(device)
+        for element, devices in grouped.items():
+            members[element] = frozenset(devices)
+        self._members = members
+        self._kinds = kinds
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def devices(self) -> Tuple[str, ...]:
+        """All device names, sorted."""
+        return tuple(sorted(self._device_circuit))
+
+    @property
+    def elements(self) -> Tuple[str, ...]:
+        """All element ids (devices included), sorted."""
+        return tuple(sorted(self._kinds))
+
+    def __contains__(self, element: str) -> bool:
+        return element in self._kinds
+
+    def __len__(self) -> int:
+        return len(self._device_circuit)
+
+    def kind(self, element: str) -> str:
+        """The ``KIND_*`` of an element id."""
+        try:
+            return self._kinds[element]
+        except KeyError:
+            raise TopologyError(f"unknown element: {element!r}")
+
+    def hops(self, element: str) -> int:
+        """Edge count from an element down to one covered device."""
+        return _ELEMENT_HOPS[self.kind(element)]
+
+    def covered(self, element: str) -> frozenset:
+        """The devices an element covers (itself, for a device)."""
+        try:
+            return self._members[element]
+        except KeyError:
+            raise TopologyError(f"unknown element: {element!r}")
+
+    def ancestry(self, device: str) -> Tuple[str, ...]:
+        """Elements covering a device, nearest first.
+
+        The chain is ``(device, circuit, software, site, cable)`` —
+        physical parents interleaved with the software cohort in
+        increasing hop order, so a lowest-common-ancestor scan can
+        simply take the first hit.
+        """
+        try:
+            circuit = self._device_circuit[device]
+        except KeyError:
+            raise TopologyError(f"unknown device: {device!r}")
+        site = self._circuit_site[circuit]
+        return (
+            device,
+            circuit,
+            self._device_software[device],
+            site,
+            self._site_cable[site],
+        )
+
+    def common_elements(
+        self, devices: Iterable[str]
+    ) -> Tuple[str, ...]:
+        """Elements covering *every* given device, nearest first.
+
+        Order follows the first device's ancestry (hop order, ties
+        physical-before-software as laid out by :meth:`ancestry`), so
+        the first entry is a lowest common ancestor.  Empty when the
+        devices share nothing (independent outages).
+        """
+        ordered = list(devices)
+        if not ordered:
+            return ()
+        chain = self.ancestry(ordered[0])
+        rest = ordered[1:]
+        return tuple(
+            element
+            for element in chain
+            if all(d in self._members[element] for d in rest)
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned JSON-safe description (see :meth:`from_dict`)."""
+        return {
+            "version": TOPOLOGY_VERSION,
+            "device_circuit": dict(self._device_circuit),
+            "circuit_site": dict(self._circuit_site),
+            "site_cable": dict(self._site_cable),
+            "device_software": dict(self._device_software),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FleetTopology":
+        """Validate and rebuild a :meth:`to_dict` description."""
+        version = raw.get("version")
+        if version != TOPOLOGY_VERSION:
+            raise TopologyError(
+                f"topology version {version!r} is not supported "
+                f"(expected {TOPOLOGY_VERSION})"
+            )
+        try:
+            return cls(
+                device_circuit=dict(raw["device_circuit"]),
+                circuit_site=dict(raw["circuit_site"]),
+                site_cable=dict(raw["site_cable"]),
+                device_software=dict(raw["device_software"]),
+            )
+        except KeyError as error:
+            raise TopologyError(f"missing topology key: {error}")
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Write the topology as JSON (atomic same-directory rename)."""
+        target = pathlib.Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():  # pragma: no cover - error path
+                tmp.unlink()
+
+    @classmethod
+    def load(
+        cls, path: Union[str, pathlib.Path]
+    ) -> "FleetTopology":
+        """Read a topology written by :meth:`save`."""
+        try:
+            raw = json.loads(pathlib.Path(path).read_text())
+        except (OSError, ValueError) as error:
+            raise TopologyError(f"cannot read topology: {error}")
+        return cls.from_dict(raw)
+
+
+def cause_kind_for(
+    topology: Optional[FleetTopology], element: str
+) -> str:
+    """Map an element to its RCA cause-taxonomy kind.
+
+    With no topology every element is treated as a device (the
+    per-device attribution fallback).
+    """
+    if topology is None or element not in topology:
+        return KIND_DEVICE
+    return topology.kind(element)
+
+
+__all__ = [
+    "FleetTopology",
+    "TopologyError",
+    "TOPOLOGY_VERSION",
+    "KIND_CABLE",
+    "KIND_CIRCUIT",
+    "KIND_DEVICE",
+    "KIND_SITE",
+    "KIND_SOFTWARE",
+    "cause_kind_for",
+]

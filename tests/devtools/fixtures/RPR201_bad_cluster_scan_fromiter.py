@@ -1,0 +1,16 @@
+# repro: hot-path
+"""Bad: a fresh membership array built per anomaly in the cluster scan."""
+
+import numpy as np
+
+
+def scan(anomalies: list, incidents: dict) -> list:
+    """Assign each anomaly to an incident, allocating per event."""
+    assigned = []
+    for device, _time in anomalies:
+        members = np.fromiter(
+            (device in incident for incident in incidents.values()),
+            dtype=bool,
+        )
+        assigned.append(int(members.argmax()))
+    return assigned

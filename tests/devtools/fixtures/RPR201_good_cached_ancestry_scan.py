@@ -1,0 +1,19 @@
+# repro: hot-path
+"""Good: membership sets cached outside the per-event loop."""
+
+import numpy as np
+
+
+def scan(anomalies: list, incidents: dict) -> list:
+    """Assign each anomaly to an incident via precomputed members."""
+    members = np.zeros((len(incidents), 1), dtype=bool)
+    cached = {
+        index: frozenset(incident)
+        for index, incident in enumerate(incidents.values())
+    }
+    assigned = []
+    for device, _time in anomalies:
+        for index in range(len(cached)):
+            members[index, 0] = device in cached[index]
+        assigned.append(int(members.argmax()))
+    return assigned

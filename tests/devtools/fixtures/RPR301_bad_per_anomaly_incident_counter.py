@@ -1,0 +1,11 @@
+"""Bad: incident telemetry mutated once per ingested anomaly."""
+
+from repro import telemetry
+
+
+def ingest_tick(anomalies: list, engine) -> None:
+    """Fold a tick's anomalies, publishing per event."""
+    registry = telemetry.default_registry()
+    for device, time, score in anomalies:
+        engine.ingest(device, time, score)
+        registry.counter("rca.anomalies").inc()

@@ -1,0 +1,11 @@
+"""Good: incident telemetry published once at the tick boundary."""
+
+from repro import telemetry
+
+
+def ingest_tick(anomalies: list, engine) -> None:
+    """Fold a tick's anomalies, publishing at the batch boundary."""
+    for device, time, score in anomalies:
+        engine.ingest(device, time, score)
+    registry = telemetry.default_registry()
+    registry.counter("rca.anomalies").inc(len(anomalies))

@@ -1,0 +1,212 @@
+"""Tests for RCA-as-classification scoring.
+
+The matching semantics (label-centric, fragments vs spurious), the
+oracle anomaly proxy, and a small end-to-end run over a labeled
+correlated-outage trace.
+"""
+
+import pytest
+
+from repro.core.incident import CauseHypothesis, Incident
+from repro.evaluation.rca import (
+    KindScore,
+    _symptom_keys,
+    anomaly_events,
+    attribute_dataset,
+    evaluate_rca,
+    score_rca,
+)
+from repro.logs.message import Severity
+from repro.rca import IncidentReport
+from repro.synthesis.correlated import GroundTruthIncident
+from repro.synthesis.fleet import FleetSimulator
+from repro.synthesis.outage import correlated_outage_config
+
+
+def report(incident_id, devices, start, end, kind, element):
+    incident = Incident()
+    for offset, device in enumerate(devices):
+        incident.record(device, start + offset, 5.0)
+    incident.record(devices[-1], end, 5.0)
+    incident.cause = CauseHypothesis(
+        kind=kind, element=element, confidence=1.0
+    )
+    return IncidentReport(
+        incident_id=incident_id,
+        incident=incident,
+        closed_at=end + 1.0,
+    )
+
+
+def truth(incident_id, devices, onset, clears_at, kind, element):
+    return GroundTruthIncident(
+        incident_id=incident_id,
+        cause_kind=kind,
+        cause_element=element,
+        onset=onset,
+        clears_at=clears_at,
+        devices=tuple(devices),
+    )
+
+
+class TestKindScore:
+    def test_rates(self):
+        score = KindScore(kind="circuit", tp=3, fp=1, fn=1)
+        assert score.precision == 0.75
+        assert score.recall == 0.75
+        assert score.f1 == 0.75
+
+    def test_empty_denominators_floor_at_zero(self):
+        score = KindScore(kind="circuit", tp=0, fp=0, fn=0)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+
+class TestScoreRca:
+    def test_perfect_match(self):
+        predicted = [
+            report(1, ["a", "b"], 0.0, 50.0, "circuit", "circ-0"),
+        ]
+        labels = [
+            truth(1, ["a", "b"], 0.0, 60.0, "circuit", "circ-0"),
+        ]
+        result = score_rca(predicted, labels, pad=10.0)
+        assert result.macro_f1 == 1.0
+        assert result.n_matched == 1
+        assert result.n_spurious == 0
+        assert result.element_accuracy == 1.0
+        assert result.mean_detection_seconds == 0.0
+
+    def test_wrong_kind_counts_both_ways(self):
+        """A miskinded attribution is a FP for the predicted kind and
+        a FN for the true one."""
+        predicted = [
+            report(1, ["a", "b"], 0.0, 50.0, "software", "sw-1"),
+        ]
+        labels = [
+            truth(1, ["a", "b"], 0.0, 60.0, "circuit", "circ-0"),
+        ]
+        result = score_rca(predicted, labels, pad=10.0)
+        assert result.per_kind["software"].fp == 1
+        assert result.per_kind["circuit"].fn == 1
+        # circuit is the only kind in truth; its F1 is 0.
+        assert result.macro_f1 == 0.0
+
+    def test_best_overlap_claims_the_label(self):
+        predicted = [
+            report(1, ["a"], 0.0, 10.0, "device", "a"),
+            report(2, ["a", "b", "c"], 5.0, 50.0, "site", "site-0"),
+        ]
+        labels = [
+            truth(1, ["a", "b", "c"], 0.0, 60.0, "site", "site-0"),
+        ]
+        result = score_rca(predicted, labels, pad=10.0)
+        assert result.per_kind["site"].tp == 1
+        # The singleton also overlaps the label: a fragment, not a
+        # spurious detection — it must not hurt precision.
+        assert result.n_fragments == 1
+        assert result.n_spurious == 0
+        assert result.macro_f1 == 1.0
+
+    def test_spurious_incident_hits_its_kinds_precision(self):
+        predicted = [
+            report(1, ["a", "b"], 0.0, 50.0, "circuit", "circ-0"),
+            report(2, ["z"], 9000.0, 9010.0, "device", "z"),
+        ]
+        labels = [
+            truth(1, ["a", "b"], 0.0, 60.0, "circuit", "circ-0"),
+        ]
+        result = score_rca(predicted, labels, pad=10.0)
+        assert result.n_spurious == 1
+        assert result.per_kind["device"].fp == 1
+        # Macro-F1 averages over truth kinds only, so the spurious
+        # device incident does not drag the headline number.
+        assert result.macro_f1 == 1.0
+
+    def test_missed_label_is_a_false_negative(self):
+        labels = [
+            truth(1, ["a", "b"], 0.0, 60.0, "circuit", "circ-0"),
+        ]
+        result = score_rca([], labels, pad=10.0)
+        assert result.n_matched == 0
+        assert result.per_kind["circuit"].fn == 1
+        assert result.macro_f1 == 0.0
+
+    def test_time_disjoint_overlap_rejected(self):
+        """Shared devices alone are not a match: the spans must
+        overlap within the pad."""
+        predicted = [
+            report(1, ["a", "b"], 5000.0, 5050.0, "circuit", "c0"),
+        ]
+        labels = [
+            truth(1, ["a", "b"], 0.0, 60.0, "circuit", "c0"),
+        ]
+        result = score_rca(predicted, labels, pad=10.0)
+        assert result.n_matched == 0
+        assert result.n_spurious == 1
+
+    def test_element_accuracy_over_correct_kinds(self):
+        predicted = [
+            report(1, ["a", "b"], 0.0, 50.0, "circuit", "circ-0"),
+            report(2, ["c", "d"], 200.0, 250.0, "circuit", "circ-9"),
+        ]
+        labels = [
+            truth(1, ["a", "b"], 0.0, 60.0, "circuit", "circ-0"),
+            truth(2, ["c", "d"], 200.0, 260.0, "circuit", "circ-1"),
+        ]
+        result = score_rca(predicted, labels, pad=10.0)
+        assert result.per_kind["circuit"].tp == 2
+        assert result.element_accuracy == 0.5
+
+
+class TestAnomalyProxy:
+    def test_symptom_keys_exclude_maintenance_notices(self):
+        """The NOTICE-level maintenance templates describe planned
+        work; only WARNING-or-worse symptoms count as anomalies (this
+        is also what keeps routine config commits out)."""
+        keys = _symptom_keys()
+        assert keys
+        for _process, severity, _prefix in keys:
+            assert severity <= int(Severity.WARNING)
+        assert ("mgd", int(Severity.NOTICE), "UI_COMMIT") not in keys
+
+
+@pytest.fixture(scope="module")
+def labeled_dataset():
+    return FleetSimulator(
+        correlated_outage_config(n_months=1, seed=11, n_outages=5)
+    ).run()
+
+
+class TestEndToEnd:
+    def test_dataset_carries_labels(self, labeled_dataset):
+        assert labeled_dataset.topology is not None
+        assert len(labeled_dataset.incidents) == 5
+
+    def test_anomaly_events_cover_labeled_devices(
+        self, labeled_dataset
+    ):
+        events = anomaly_events(labeled_dataset)
+        assert events == sorted(events)
+        anomalous_devices = {device for _, device, _ in events}
+        for incident in labeled_dataset.incidents:
+            assert set(incident.devices) <= anomalous_devices
+        for _, _, score in events:
+            assert score > 0
+
+    def test_attribution_quality(self, labeled_dataset):
+        evaluation = evaluate_rca(labeled_dataset)
+        assert evaluation.n_truth == 5
+        assert evaluation.n_matched >= 4
+        assert evaluation.macro_f1 >= 0.6
+        assert evaluation.mean_detection_seconds >= 0.0
+
+    def test_attribute_dataset_is_deterministic(self, labeled_dataset):
+        from repro.rca import incident_row
+
+        first = attribute_dataset(labeled_dataset)
+        second = attribute_dataset(labeled_dataset)
+        assert [incident_row(r) for r in first] == [
+            incident_row(r) for r in second
+        ]

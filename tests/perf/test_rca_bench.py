@@ -1,0 +1,82 @@
+"""Gates for the root-cause-analysis benchmark.
+
+Two layers: a perf-marked smoke run of the reduced suite (deselected
+by default via ``addopts = '-m "not perf"'``), and an always-on check
+that the checked-in ``BENCH_rca.json`` trajectory pins the acceptance
+numbers — macro-F1 >= 0.8 on the correlated-outage scenario and
+per-tick engine overhead < 5%.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_BENCH_DIR = _ROOT / "benchmarks" / "perf"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+
+def newest_default_run():
+    payload = json.loads((_ROOT / "BENCH_rca.json").read_text())
+    runs = [r for r in payload["runs"] if r["scale"] == "default"]
+    assert runs, "BENCH_rca.json has no default-scale run"
+    return runs[-1]
+
+
+class TestTrajectoryPins:
+    """Always-on: the checked-in default-scale numbers are the
+    acceptance record."""
+
+    def test_macro_f1_at_least_080(self):
+        attribution = newest_default_run()["benchmarks"]["attribution"]
+        assert attribution["macro_f1"] >= 0.80
+        assert attribution["n_matched"] == attribution["n_outages"]
+
+    def test_overhead_under_5_percent(self):
+        overhead = newest_default_run()["benchmarks"]["overhead"]
+        assert overhead["overhead_fraction"] < 0.05
+
+    def test_record_shape(self):
+        record = newest_default_run()["benchmarks"]
+        attribution = record["attribution"]
+        assert attribution["n_outages"] > 0
+        assert set(attribution["per_kind_f1"]) == {
+            "cable", "circuit", "device", "site", "software",
+        }
+        assert 0.0 <= attribution["element_accuracy"] <= 1.0
+        overhead = record["overhead"]
+        assert overhead["bare_tick_s"] > 0
+        assert overhead["rca_tick_s"] >= overhead["bare_tick_s"]
+        storm = record["storm"]
+        assert storm["per_anomaly_us"] > 0
+
+
+@pytest.mark.perf
+class TestReducedSmoke:
+    @pytest.fixture(scope="class")
+    def rca_record(self):
+        import rca
+
+        return rca.run("reduced")
+
+    def test_record_shape(self, rca_record):
+        assert rca_record["scale"] == "reduced"
+        record = rca_record["benchmarks"]
+        assert record["attribution"]["n_outages"] == 5
+        assert record["overhead"]["bare_tick_s"] > 0
+
+    def test_attribution_holds_at_reduced_scale(self, rca_record):
+        """Looser than the default-scale 0.8 pin on purpose: five
+        outages means one miss costs a full fifth of a kind's F1."""
+        attribution = rca_record["benchmarks"]["attribution"]
+        assert attribution["macro_f1"] >= 0.60
+        assert attribution["n_matched"] >= attribution["n_outages"] - 1
+
+    def test_overhead_bounded(self, rca_record):
+        """Looser than the default-scale 5% pin on purpose: this is
+        a smoke test on shared, possibly single-core CI hardware."""
+        overhead = rca_record["benchmarks"]["overhead"]
+        assert overhead["overhead_fraction"] < 0.15

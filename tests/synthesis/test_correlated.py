@@ -1,0 +1,198 @@
+"""Tests for correlated fault propagation and its scenario preset.
+
+Covers the planner's label/slot/attenuation contracts and the
+end-to-end determinism satellite: topology generation and fault-site
+selection draw from one ``--seed``-derived stream, so a fresh
+interpreter replans the identical outages.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.synthesis.correlated import (
+    OUTAGE_KINDS,
+    OUTAGE_SEED_TAG,
+    plan_correlated_outages,
+    read_incidents,
+    write_incidents,
+)
+from repro.synthesis.outage import correlated_outage_config
+from repro.topology import TopologyConfig, generate_topology
+
+START = 0.0
+END = 15.0 * 86400.0
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_topology(
+        [f"vpe{i:02d}" for i in range(16)],
+        TopologyConfig(
+            devices_per_circuit=2,
+            circuits_per_site=2,
+            sites_per_cable=2,
+            seed=7,
+        ),
+    )
+
+
+def plan(topology, n_outages=10, seed=7, **kwargs):
+    rng = np.random.default_rng([seed, OUTAGE_SEED_TAG])
+    return plan_correlated_outages(
+        topology, START, END, n_outages, rng, **kwargs
+    )
+
+
+class TestPlanner:
+    def test_kinds_cycle_the_taxonomy(self, topology):
+        _, incidents = plan(topology, n_outages=10)
+        kinds = [incident.cause_kind for incident in incidents]
+        assert kinds == list(OUTAGE_KINDS) * 2
+
+    def test_labels_are_consistent(self, topology):
+        events, incidents = plan(topology)
+        for incident in incidents:
+            assert topology.kind(incident.cause_element) == (
+                incident.cause_kind
+            )
+            covered = topology.covered(incident.cause_element)
+            assert incident.devices
+            assert set(incident.devices) <= covered
+            assert START <= incident.onset < incident.clears_at <= END
+        planned_devices = {
+            device
+            for incident in incidents
+            for device in incident.devices
+        }
+        assert set(events) == planned_devices
+
+    def test_slots_are_disjoint(self, topology):
+        _, incidents = plan(topology, n_outages=10)
+        slot = (END - START) / 10
+        for index, incident in enumerate(incidents):
+            assert START + index * slot <= incident.onset
+            assert incident.onset < START + (index + 1) * slot
+
+    def test_events_fall_inside_their_outage(self, topology):
+        events, incidents = plan(topology)
+        for incident in incidents:
+            for device in incident.devices:
+                # Propagation delays the device onset but never moves
+                # it outside the element outage's own span.
+                assert any(
+                    event.clears_at == incident.clears_at
+                    and incident.onset <= event.onset < event.clears_at
+                    for event in events[device]
+                )
+
+    def test_hard_attenuation_anchors_one_device(self, topology):
+        """Near-zero attenuation silences every upstream outage; the
+        planner must still anchor each label on one covered device."""
+        _, incidents = plan(topology, n_outages=5, attenuation=1e-9)
+        for incident in incidents:
+            assert len(incident.devices) >= 1
+            if incident.cause_kind != "device":
+                assert len(incident.devices) == 1
+
+    def test_forced_symptom_emission(self, topology):
+        """Planned outages are hard failures: every propagated event
+        carries emission probability 1 regardless of the base model."""
+        events, _ = plan(topology)
+        for device_events in events.values():
+            for event in device_events:
+                assert event.model.symptom_emission_probability == 1.0
+                assert event.model.pre_symptom_probability == 1.0
+
+    def test_same_rng_replans_identically(self, topology):
+        _, first = plan(topology)
+        _, second = plan(topology)
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(n_outages=0), "n_outages"),
+            (dict(attenuation=0.0), "attenuation"),
+            (dict(attenuation=1.5), "attenuation"),
+        ],
+    )
+    def test_bad_arguments_rejected(self, topology, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            plan(topology, **{"n_outages": 5, **kwargs})
+
+    def test_end_before_start_rejected(self, topology):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="after start"):
+            plan_correlated_outages(topology, 10.0, 10.0, 1, rng)
+
+
+class TestIncidentCsv:
+    def test_round_trip(self, topology, tmp_path):
+        _, incidents = plan(topology, n_outages=5)
+        path = tmp_path / "incidents.csv"
+        write_incidents(incidents, path)
+        loaded = read_incidents(path)
+        assert len(loaded) == len(incidents)
+        for got, want in zip(loaded, incidents):
+            assert got.incident_id == want.incident_id
+            assert got.cause_kind == want.cause_kind
+            assert got.cause_element == want.cause_element
+            assert got.devices == want.devices
+            assert got.onset == pytest.approx(want.onset, abs=1e-3)
+            assert got.clears_at == pytest.approx(
+                want.clears_at, abs=1e-3
+            )
+
+
+class TestScenarioPreset:
+    def test_preset_isolates_attribution(self):
+        config = correlated_outage_config(seed=3, n_outages=7)
+        assert config.n_vpes == 16
+        assert config.topology is not None
+        assert config.n_correlated_outages == 7
+        # Confounders off: no mid-trace update, no fleet-wide events.
+        assert config.update_month is None
+        assert config.n_fleet_events == 0
+        assert config.cascade_probability == 0.0
+        assert 0 < config.fault_rate_multiplier < 1
+
+
+_DETERMINISM_SCRIPT = """
+import numpy as np
+from repro.synthesis.correlated import (
+    OUTAGE_SEED_TAG, plan_correlated_outages,
+)
+from repro.topology import TopologyConfig, generate_topology
+
+devices = [f"vpe{i:02d}" for i in range(16)]
+topology = generate_topology(devices, TopologyConfig(seed=29))
+rng = np.random.default_rng([29, OUTAGE_SEED_TAG])
+_, incidents = plan_correlated_outages(
+    topology, 0.0, 30 * 86400.0, 10, rng
+)
+for incident in incidents:
+    print(
+        incident.incident_id, incident.cause_kind,
+        incident.cause_element, repr(incident.onset),
+        repr(incident.clears_at), ";".join(incident.devices),
+    )
+"""
+
+
+def test_outage_plan_stable_across_fresh_interpreters():
+    """Topology generation and fault-site selection both derive from
+    the master seed: two cold interpreters plan identical outages."""
+    outputs = [
+        subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SCRIPT],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        for _ in range(2)
+    ]
+    assert outputs[0] == outputs[1]
+    assert len(outputs[0].splitlines()) == 10

@@ -457,3 +457,125 @@ class TestTelemetryMerge:
             "telemetry", "--merge", str(tmp_path / "nope.json"),
         ]) == 2
         assert "cannot merge" in capsys.readouterr().err
+
+
+class TestServeRca:
+    """``serve --rca``: streaming root-cause analysis on a labeled
+    correlated-outage trace, including the crash drill the CI
+    ``rca-e2e`` job runs — kill mid-incident, replay, and expect the
+    incident CSVs to unify (``sort -u``) with an uninterrupted run."""
+
+    SERVE_ARGS = [
+        "--threshold", "4.0", "--tick-size", "64",
+        "--checkpoint-every", "5",
+    ]
+
+    @pytest.fixture(scope="class")
+    def rca_workflow(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("rca-cli")
+        trace = root / "trace"
+        templates = root / "templates.json"
+        model = root / "model"
+        assert main([
+            "simulate", "--out", str(trace), "--vpes", "6",
+            "--months", "1", "--rate", "6", "--seed", "4",
+            "--topology", "--scenario", "correlated-outage",
+            "--outages", "3",
+        ]) == 0
+        assert main([
+            "mine", "--trace", str(trace), "--out", str(templates),
+            "--max-messages", "8000",
+        ]) == 0
+        assert main([
+            "train", "--trace", str(trace), "--templates",
+            str(templates), "--out", str(model),
+            "--epochs", "1", "--hidden", "12", "--window", "6",
+            "--max-samples", "2000",
+        ]) == 0
+        return {"trace": trace, "model": model}
+
+    def serve(self, rca_workflow, data_dir, incidents, *extra):
+        trace = rca_workflow["trace"]
+        return main([
+            "serve", "--data-dir", str(data_dir),
+            "--trace", str(trace),
+            "--model", str(rca_workflow["model"]),
+            "--rca", "--topology", str(trace / "topology.json"),
+            "--incidents-out", str(incidents),
+            *self.SERVE_ARGS, *extra,
+        ])
+
+    @staticmethod
+    def rows(path):
+        return set(path.read_text().splitlines())
+
+    def test_trace_carries_topology_and_labels(self, rca_workflow):
+        trace = rca_workflow["trace"]
+        assert (trace / "topology.json").exists()
+        labels = (trace / "incidents.csv").read_text().splitlines()
+        assert len(labels) == 1 + 3  # header + outages
+
+    def test_crash_replay_incident_parity(
+        self, rca_workflow, tmp_path, capsys
+    ):
+        """The acceptance drill: a killed-and-replayed run's incident
+        CSV must sort -u to exactly the uninterrupted run's."""
+        a_csv = tmp_path / "a.csv"
+        b_csv = tmp_path / "b.csv"
+        assert self.serve(rca_workflow, tmp_path / "a", a_csv) == 0
+        assert "rca:" in capsys.readouterr().out
+        assert self.serve(
+            rca_workflow, tmp_path / "b", b_csv,
+            "--kill-after-ticks", "12",
+        ) == 3
+        assert self.serve(
+            rca_workflow, tmp_path / "b", b_csv, "--replay",
+        ) == 0
+        assert self.rows(a_csv) == self.rows(b_csv)
+        assert len(self.rows(a_csv)) >= 3
+
+    def test_incident_rows_are_well_formed(
+        self, rca_workflow, tmp_path
+    ):
+        from repro.rca import INCIDENT_CSV_COLUMNS
+        from repro.topology import FleetTopology
+
+        incidents = tmp_path / "incidents.csv"
+        assert self.serve(
+            rca_workflow, tmp_path / "svc", incidents
+        ) == 0
+        topology = FleetTopology.load(
+            rca_workflow["trace"] / "topology.json"
+        )
+        rows = sorted(self.rows(incidents))
+        assert rows
+        for row in rows:
+            fields = row.split(",")
+            assert len(fields) == len(INCIDENT_CSV_COLUMNS)
+            devices = fields[4].split(";")
+            for device in devices:
+                assert device in topology
+            assert fields[7] in {
+                "circuit", "site", "cable", "software", "device",
+            }
+            assert 0.0 < float(fields[9]) <= 1.0
+
+    def test_fleet_rca_writes_shard_incident_files(
+        self, rca_workflow, tmp_path
+    ):
+        incidents = tmp_path / "incidents.csv"
+        assert self.serve(
+            rca_workflow, tmp_path / "fleet", incidents,
+            "--shards", "2",
+        ) == 0
+        shard_files = sorted(
+            incidents.parent.glob(incidents.name + ".shard*")
+        )
+        assert len(shard_files) == 2
+        merged = set()
+        for path in shard_files:
+            for row in path.read_text().splitlines():
+                shard, _, rest = row.partition(",")
+                assert shard in {"0", "1"}
+                merged.add(rest)
+        assert merged

@@ -295,3 +295,106 @@ class TestAdaptDocs:
         design = read("DESIGN.md")
         assert "repro.runtime.adapt" in design
         assert "--auto-adapt" in design
+
+
+class TestRcaDocs:
+    """README's root-cause section mirrors the rca CLI and BENCH
+    table."""
+
+    def section(self):
+        readme = read("README.md")
+        assert "## Root-cause analysis" in readme
+        section = readme.split("## Root-cause analysis", 1)[1]
+        return section.split("\n## ", 1)[0]
+
+    def test_rca_flags_documented(self):
+        section = self.section()
+        for flag in (
+            "--rca",
+            "--topology",
+            "--incidents-out",
+            "--rca-gap",
+            "--scenario correlated-outage",
+        ):
+            assert flag in section, flag
+
+    def test_cause_taxonomy_documented(self):
+        from repro.topology.graph import (
+            KIND_CABLE,
+            KIND_CIRCUIT,
+            KIND_DEVICE,
+            KIND_SITE,
+            KIND_SOFTWARE,
+        )
+
+        section = self.section()
+        for kind in (
+            KIND_CABLE,
+            KIND_CIRCUIT,
+            KIND_DEVICE,
+            KIND_SITE,
+            KIND_SOFTWARE,
+        ):
+            assert f"| `{kind}` |" in section, kind
+
+    def test_rca_mechanics_documented(self):
+        section = self.section()
+        for term in (
+            "topology.json",
+            "incidents.csv",
+            "attenuation",
+            "RCA_STATE_VERSION",
+            "rca.incidents_opened",
+            "rca.attribution_seconds",
+            "sort -u",
+            "BENCH_rca.json",
+            "rca-e2e",
+        ):
+            assert term in section, term
+
+    def newest_default_run(self):
+        import json
+
+        payload = json.loads(read("BENCH_rca.json"))
+        runs = [
+            run
+            for run in payload["runs"]
+            if run.get("scale") == "default"
+        ]
+        assert runs, "BENCH_rca.json must hold a default-scale run"
+        return runs[-1]
+
+    def test_bench_rca_trajectory_shape(self):
+        record = self.newest_default_run()["benchmarks"]
+        assert record["attribution"]["macro_f1"] >= 0.80
+        assert record["overhead"]["overhead_fraction"] < 0.05
+
+    def test_readme_table_matches_newest_default_run(self):
+        """The README metric table cites the newest default-scale
+        BENCH_rca.json run.  Rerun the suite, refresh the table."""
+        section = self.section()
+        record = self.newest_default_run()["benchmarks"]
+        attribution = record["attribution"]
+        overhead = record["overhead"]
+        storm = record["storm"]
+        cells = [
+            f"{attribution['macro_f1']:.3f}",
+            f"{attribution['element_accuracy']:.2f}",
+            f"{attribution['n_matched']}/{attribution['n_outages']} "
+            f"matched, {attribution['n_spurious']} spurious",
+            f"{attribution['mean_detection_s']:.0f} s",
+            f"{attribution['mean_attribution_s'] / 3600:.1f} h",
+            f"{overhead['overhead_fraction'] * 100:.2f}%",
+            f"{storm['per_anomaly_us']:.1f} µs per anomaly",
+        ]
+        for cell in cells:
+            assert cell in section, (
+                f"expected {cell!r} in the README rca table"
+            )
+
+    def test_design_documents_rca_layer(self):
+        design = read("DESIGN.md")
+        assert "repro.topology" in design
+        assert "repro.rca" in design
+        assert "--rca" in design
+        assert "correlated-outage" in design

@@ -1,0 +1,150 @@
+"""Unit tests for the fleet topology graph model."""
+
+import pytest
+
+from repro.topology import (
+    KIND_CABLE,
+    KIND_CIRCUIT,
+    KIND_DEVICE,
+    KIND_SITE,
+    KIND_SOFTWARE,
+    TOPOLOGY_VERSION,
+    FleetTopology,
+    TopologyError,
+    cause_kind_for,
+)
+
+
+@pytest.fixture()
+def topology():
+    return FleetTopology(
+        device_circuit={
+            "a1": "circ-a", "a2": "circ-a",
+            "b1": "circ-b", "b2": "circ-b",
+        },
+        circuit_site={"circ-a": "site-0", "circ-b": "site-0"},
+        site_cable={"site-0": "cable-0"},
+        device_software={
+            "a1": "sw-1", "a2": "sw-1", "b1": "sw-2", "b2": "sw-2",
+        },
+    )
+
+
+class TestValidation:
+    def test_device_maps_must_agree(self):
+        with pytest.raises(TopologyError, match="same device set"):
+            FleetTopology(
+                device_circuit={"a": "c"},
+                circuit_site={"c": "s"},
+                site_cable={"s": "k"},
+                device_software={"b": "v"},
+            )
+
+    def test_circuit_without_site_rejected(self):
+        with pytest.raises(TopologyError, match="without a site"):
+            FleetTopology(
+                device_circuit={"a": "c"},
+                circuit_site={},
+                site_cable={},
+                device_software={"a": "v"},
+            )
+
+    def test_site_without_cable_rejected(self):
+        with pytest.raises(TopologyError, match="without a cable"):
+            FleetTopology(
+                device_circuit={"a": "c"},
+                circuit_site={"c": "s"},
+                site_cable={},
+                device_software={"a": "v"},
+            )
+
+    def test_unknown_element_raises(self, topology):
+        with pytest.raises(TopologyError):
+            topology.kind("nope")
+        with pytest.raises(TopologyError):
+            topology.covered("nope")
+        with pytest.raises(TopologyError):
+            topology.ancestry("nope")
+
+
+class TestIntrospection:
+    def test_kinds_and_hops(self, topology):
+        expected = {
+            "a1": (KIND_DEVICE, 0),
+            "circ-a": (KIND_CIRCUIT, 1),
+            "sw-1": (KIND_SOFTWARE, 1),
+            "site-0": (KIND_SITE, 2),
+            "cable-0": (KIND_CABLE, 3),
+        }
+        for element, (kind, hops) in expected.items():
+            assert topology.kind(element) == kind
+            assert topology.hops(element) == hops
+
+    def test_covered_sets(self, topology):
+        assert topology.covered("a1") == frozenset({"a1"})
+        assert topology.covered("circ-a") == frozenset({"a1", "a2"})
+        assert topology.covered("sw-2") == frozenset({"b1", "b2"})
+        assert topology.covered("cable-0") == frozenset(
+            {"a1", "a2", "b1", "b2"}
+        )
+
+    def test_ancestry_nearest_first(self, topology):
+        assert topology.ancestry("b1") == (
+            "b1", "circ-b", "sw-2", "site-0", "cable-0",
+        )
+
+    def test_containers(self, topology):
+        assert len(topology) == 4
+        assert "circ-a" in topology
+        assert "nope" not in topology
+        assert topology.devices == ("a1", "a2", "b1", "b2")
+        assert set(topology.devices) <= set(topology.elements)
+
+    def test_common_elements(self, topology):
+        assert topology.common_elements([]) == ()
+        assert topology.common_elements(["a1", "a2"]) == (
+            "circ-a", "sw-1", "site-0", "cable-0",
+        )
+        # Across circuits and cohorts only the site chain remains.
+        assert topology.common_elements(["a1", "b1"]) == (
+            "site-0", "cable-0",
+        )
+
+    def test_cause_kind_for(self, topology):
+        assert cause_kind_for(topology, "circ-a") == KIND_CIRCUIT
+        assert cause_kind_for(topology, "unmapped") == KIND_DEVICE
+        assert cause_kind_for(None, "circ-a") == KIND_DEVICE
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, topology):
+        raw = topology.to_dict()
+        assert raw["version"] == TOPOLOGY_VERSION
+        rebuilt = FleetTopology.from_dict(raw)
+        assert rebuilt.to_dict() == raw
+        assert rebuilt.ancestry("a1") == topology.ancestry("a1")
+
+    def test_version_mismatch_refused(self, topology):
+        raw = topology.to_dict()
+        raw["version"] = TOPOLOGY_VERSION + 1
+        with pytest.raises(TopologyError, match="version"):
+            FleetTopology.from_dict(raw)
+
+    def test_missing_key_refused(self, topology):
+        raw = topology.to_dict()
+        del raw["site_cable"]
+        with pytest.raises(TopologyError, match="missing"):
+            FleetTopology.from_dict(raw)
+
+    def test_save_load_round_trip(self, topology, tmp_path):
+        path = tmp_path / "topology.json"
+        topology.save(path)
+        assert FleetTopology.load(path).to_dict() == topology.to_dict()
+
+    def test_load_unreadable_raises(self, tmp_path):
+        with pytest.raises(TopologyError, match="cannot read"):
+            FleetTopology.load(tmp_path / "missing.json")
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        with pytest.raises(TopologyError, match="cannot read"):
+            FleetTopology.load(garbled)
